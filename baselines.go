@@ -1,0 +1,64 @@
+package megh
+
+import (
+	"megh/internal/consolidation"
+	"megh/internal/madvm"
+	"megh/internal/qlearn"
+)
+
+// Baseline policies, re-exported.
+type (
+	// MMT is the Minimum-Migration-Time consolidation heuristic family
+	// (Beloglazov & Buyya), the paper's primary comparison.
+	MMT = consolidation.MMT
+	// Detector decides host overload for an MMT policy.
+	Detector = consolidation.Detector
+	// MMTConfig tunes an MMT policy around its detector.
+	MMTConfig = consolidation.Config
+	// MadVM is the approximate-MDP baseline (Han et al., INFOCOM 2016).
+	MadVM = madvm.MadVM
+	// MadVMConfig parameterises MadVM.
+	MadVMConfig = madvm.Config
+	// QLearning is the offline-trained tabular baseline (§2.2).
+	QLearning = qlearn.QLearning
+	// QLearningConfig parameterises the Q-learner.
+	QLearningConfig = qlearn.Config
+)
+
+// NewTHRMMT returns THR-MMT: static 70 % overload threshold, MMT victim
+// selection, PABFD placement, underload consolidation.
+func NewTHRMMT() (*MMT, error) { return consolidation.NewTHRMMT() }
+
+// NewIQRMMT returns IQR-MMT (adaptive interquartile-range threshold).
+func NewIQRMMT() (*MMT, error) { return consolidation.NewIQRMMT() }
+
+// NewMADMMT returns MAD-MMT (adaptive median-absolute-deviation threshold).
+func NewMADMMT() (*MMT, error) { return consolidation.NewMADMMT() }
+
+// NewLRMMT returns LR-MMT (Loess local-regression overload prediction).
+func NewLRMMT() (*MMT, error) { return consolidation.NewLRMMT() }
+
+// NewLRRMMT returns LRR-MMT (robust local regression).
+func NewLRRMMT() (*MMT, error) { return consolidation.NewLRRMMT() }
+
+// NewMMT builds an MMT policy around a custom detector.
+func NewMMT(d Detector, cfg MMTConfig) (*MMT, error) {
+	return consolidation.NewMMT(d, cfg)
+}
+
+// NewMadVM constructs the MadVM baseline for numVMs virtual machines.
+func NewMadVM(numVMs int, cfg MadVMConfig) (*MadVM, error) {
+	return madvm.New(numVMs, cfg)
+}
+
+// DefaultMadVMConfig returns the Figure-4/5 MadVM parameters.
+func DefaultMadVMConfig(seed int64) MadVMConfig { return madvm.DefaultConfig(seed) }
+
+// NewQLearning constructs the Q-learning baseline; call its Train method
+// with a Simulator before serving.
+func NewQLearning(numVMs int, cfg QLearningConfig) (*QLearning, error) {
+	return qlearn.New(numVMs, cfg)
+}
+
+// DefaultQLearningConfig returns the baseline Q-learning parameters.
+func DefaultQLearningConfig(seed int64) QLearningConfig { return qlearn.DefaultConfig(seed) }

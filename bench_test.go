@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6) at benchmark scale. Each BenchmarkTableN_* / BenchmarkFigureN* runs
+// the same experiment code as cmd/tables and cmd/figures, shrunk so the
+// whole suite completes in minutes; custom metrics report the quantities
+// the paper's table columns hold (cost_usd, migrations, exec time). The
+// full-scale numbers live in EXPERIMENTS.md and are regenerated with the
+// cmd/ binaries.
+//
+// BenchmarkAblation* cover the design choices DESIGN.md §4 calls out:
+// Sherman–Morrison vs dense re-inversion, and fill-in truncation on/off.
+package megh_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"megh"
+	"megh/internal/experiments"
+	"megh/internal/sparse"
+)
+
+// benchTable runs one policy on a Table-2/3-shaped setup and reports the
+// table's columns as benchmark metrics.
+func benchTable(b *testing.B, setup experiments.Setup, policy string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPolicy(setup, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalCost(), "cost_usd")
+		b.ReportMetric(float64(res.TotalMigrations()), "migrations")
+		b.ReportMetric(res.MeanActiveHosts(), "active_hosts")
+		b.ReportMetric(res.MeanDecideSeconds()*1e3, "decide_ms")
+	}
+}
+
+// Table 2 (PlanetLab, 800×1052×2016 in the paper; ⅛ scale here).
+func table2Setup() experiments.Setup { return experiments.PaperPlanetLab(1).Scaled(8) }
+
+func BenchmarkTable2_THRMMT(b *testing.B) { benchTable(b, table2Setup(), "THR-MMT") }
+func BenchmarkTable2_IQRMMT(b *testing.B) { benchTable(b, table2Setup(), "IQR-MMT") }
+func BenchmarkTable2_MADMMT(b *testing.B) { benchTable(b, table2Setup(), "MAD-MMT") }
+func BenchmarkTable2_LRMMT(b *testing.B)  { benchTable(b, table2Setup(), "LR-MMT") }
+func BenchmarkTable2_LRRMMT(b *testing.B) { benchTable(b, table2Setup(), "LRR-MMT") }
+func BenchmarkTable2_Megh(b *testing.B)   { benchTable(b, table2Setup(), "Megh") }
+
+// Table 3 (Google Cluster, 500×2000×2016 in the paper; ⅛ scale here).
+func table3Setup() experiments.Setup { return experiments.PaperGoogle(1).Scaled(8) }
+
+func BenchmarkTable3_THRMMT(b *testing.B) { benchTable(b, table3Setup(), "THR-MMT") }
+func BenchmarkTable3_IQRMMT(b *testing.B) { benchTable(b, table3Setup(), "IQR-MMT") }
+func BenchmarkTable3_MADMMT(b *testing.B) { benchTable(b, table3Setup(), "MAD-MMT") }
+func BenchmarkTable3_LRMMT(b *testing.B)  { benchTable(b, table3Setup(), "LR-MMT") }
+func BenchmarkTable3_LRRMMT(b *testing.B) { benchTable(b, table3Setup(), "LRR-MMT") }
+func BenchmarkTable3_Megh(b *testing.B)   { benchTable(b, table3Setup(), "Megh") }
+
+// Figure 1(a): PlanetLab workload dynamics.
+func BenchmarkFigure1a(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure1a(132, 288, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mean float64
+		for _, m := range fig.Mean {
+			mean += m
+		}
+		b.ReportMetric(mean/float64(len(fig.Mean)), "mean_util_pct")
+	}
+}
+
+// Figure 1(b): Google task-duration histogram.
+func BenchmarkFigure1b(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure1b(250, 288, 1, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks := 0
+		for _, c := range fig.Counts {
+			tasks += c
+		}
+		b.ReportMetric(float64(tasks), "tasks")
+	}
+}
+
+// Figures 2 and 3: per-step series, Megh vs THR-MMT.
+func benchSeries(b *testing.B, setup experiments.Setup) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set, err := experiments.RunSeries(setup, []string{"Megh", "THR-MMT"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(set["Megh"].TotalCost(), "megh_cost_usd")
+		b.ReportMetric(set["THR-MMT"].TotalCost(), "thr_cost_usd")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) { benchSeries(b, experiments.PaperPlanetLab(1).Scaled(8)) }
+func BenchmarkFigure3(b *testing.B) { benchSeries(b, experiments.PaperGoogle(1).Scaled(8)) }
+
+// Figures 4 and 5: Megh vs MadVM on the 100×150 subset (¼-length horizon).
+func benchMadVMComparison(b *testing.B, ds experiments.Dataset) {
+	b.Helper()
+	setup := experiments.PaperMadVMSubset(ds, 1)
+	setup.Steps /= 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set, err := experiments.RunSeries(setup, []string{"Megh", "MadVM"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(set["Megh"].MeanDecideSeconds()*1e3, "megh_decide_ms")
+		b.ReportMetric(set["MadVM"].MeanDecideSeconds()*1e3, "madvm_decide_ms")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) { benchMadVMComparison(b, experiments.PlanetLab) }
+func BenchmarkFigure5(b *testing.B) { benchMadVMComparison(b, experiments.Google) }
+
+// Figure 6: scalability grids (paper: sizes 100..800 × 25 reps; benchmark
+// scale: two sizes × 2 reps over a 3-hour horizon).
+func benchScalability(b *testing.B, policy string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunScalability(experiments.PlanetLab, policy,
+			[]int{50, 100}, 2, 36, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].MeanDecideMs, "largest_grid_decide_ms")
+	}
+}
+
+func BenchmarkFigure6_THRMMT(b *testing.B) { benchScalability(b, "THR-MMT") }
+func BenchmarkFigure6_Megh(b *testing.B)   { benchScalability(b, "Megh") }
+
+// Figure 7: Q-table growth over time for two data-center sizes.
+func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		growth, err := experiments.QTableGrowth(experiments.PlanetLab, []int{50, 100}, 144, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := growth[100]
+		b.ReportMetric(float64(h[len(h)-1]), "final_nnz_m100")
+	}
+}
+
+// Figure 8(a): Temp₀ sensitivity (paper: 20 values × 25 reps; benchmark:
+// 3 values × 2 reps on a small world).
+func BenchmarkFigure8a(b *testing.B) {
+	setup := experiments.Setup{Dataset: experiments.PlanetLab, Hosts: 25, VMs: 33, Steps: 72, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunSensitivityTemp(setup, []float64{0.5, 3, 10}, 0.001, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].Boxplot.Median, "median_cost_t3")
+	}
+}
+
+// Figure 8(b): ε sensitivity.
+func BenchmarkFigure8b(b *testing.B) {
+	setup := experiments.Setup{Dataset: experiments.PlanetLab, Hosts: 25, VMs: 33, Steps: 72, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunSensitivityEpsilon(setup, []float64{0.001, 0.1, 1}, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Boxplot.Median, "median_cost_e001")
+	}
+}
+
+// Ablation: Sherman–Morrison incremental inverse vs Gauss–Jordan
+// re-inversion for a Megh-shaped update stream (DESIGN.md §4). The paper's
+// §5.2 claims this is the difference between O(#m) and O(d³) per step.
+func BenchmarkAblationShermanMorrison(b *testing.B) {
+	const dim = 256
+	m := sparse.NewMatrix(dim, 1.0/dim)
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, nb := r.Intn(dim), r.Intn(dim)
+		u := sparse.Basis(dim, a)
+		v := sparse.Basis(dim, a)
+		v.Add(nb, -0.5)
+		if _, err := m.ShermanMorrison(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDenseReinversion(b *testing.B) {
+	const dim = 256
+	t := sparse.NewDenseIdentity(dim, float64(dim))
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, nb := r.Intn(dim), r.Intn(dim)
+		u := make([]float64, dim)
+		u[a] = 1
+		v := make([]float64, dim)
+		v[a] += 1
+		v[nb] -= 0.5
+		t.AddOuter(1, u, v)
+		if _, err := t.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: fill-in truncation. Without a drop tolerance the Q-table
+// densifies superlinearly under repeated actions; with it, growth stays
+// linear (the paper's Figure-7 behaviour).
+func benchAblationDropTolerance(b *testing.B, tol float64) {
+	const dim = 4096
+	const actions = 64 // heavy action reuse to force fill-in
+	r := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := sparse.NewMatrix(dim, 1.0/dim)
+		m.SetDropTolerance(tol)
+		b.StartTimer()
+		for step := 0; step < 400; step++ {
+			a, nb := r.Intn(actions), r.Intn(actions)
+			u := sparse.Basis(dim, a)
+			v := sparse.Basis(dim, a)
+			v.Add(nb, -0.5)
+			if _, err := m.ShermanMorrison(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(m.NNZ()), "final_nnz")
+	}
+}
+
+func BenchmarkAblationDropToleranceOff(b *testing.B) { benchAblationDropTolerance(b, 0) }
+func BenchmarkAblationDropToleranceOn(b *testing.B) {
+	benchAblationDropTolerance(b, 1e-9/4096)
+}
+
+// BenchmarkQuickstart measures the documented public-API flow end to end.
+func BenchmarkQuickstart(b *testing.B) {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 25, VMs: 33, Steps: 72, Seed: 1}
+	cfg, err := setup.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := megh.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(learner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Command figures regenerates the data series behind every figure of the
+// paper's evaluation (Figures 1–8) as CSV on stdout.
+//
+// Usage:
+//
+//	figures -fig 1a                  # PlanetLab workload dynamics
+//	figures -fig 2 -scale 8          # Megh vs THR-MMT series, ⅛ scale
+//	figures -fig 4                   # Megh vs MadVM (PlanetLab subset)
+//	figures -fig 6a -sizes 100,200   # THR-MMT scalability grid
+//	figures -fig 7                   # Q-table growth
+//	figures -fig 8a -reps 5          # Temp₀ sensitivity boxplots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"megh/internal/experiments"
+	"megh/internal/report"
+	"megh/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig   = flag.String("fig", "", "figure id: 1a 1b 2 3 4 5 6a 6b 7 8a 8b")
+		scale = flag.Int("scale", 1, "divide the paper's sizes by this factor (figs 2, 3)")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+		reps  = flag.Int("reps", 25, "repetitions for figs 6 and 8 (paper: 25)")
+		steps = flag.Int("steps", 0, "override the horizon in 5-minute steps")
+		sizes = flag.String("sizes", "", "comma-separated sizes for figs 6 and 7 (default paper grid)")
+		plot  = flag.Bool("plot", false, "render a terminal chart instead of CSV (figs 2-6, 8)")
+		svg   = flag.Bool("svg", false, "emit an SVG chart instead of CSV (figs 2-5)")
+	)
+	flag.Parse()
+
+	parseSizes := func(def []int) ([]int, error) {
+		if *sizes == "" {
+			return def, nil
+		}
+		parts := strings.Split(*sizes, ",")
+		out := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad -sizes entry %q: %w", p, err)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	stepsOr := func(def int) int {
+		if *steps > 0 {
+			return *steps
+		}
+		return def
+	}
+
+	switch *fig {
+	case "1a":
+		f, err := experiments.RunFigure1a(1052, stepsOr(workload.SevenDays), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("step,mean_pct,max_pct,min_pct,std_pct")
+		for t := range f.Mean {
+			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f\n", t, f.Mean[t], f.Max[t], f.Min[t], f.Std[t])
+		}
+		return nil
+
+	case "1b":
+		f, err := experiments.RunFigure1b(2000, stepsOr(workload.SevenDays), *seed, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Println("bin_lo_sec,bin_hi_sec,tasks")
+		for i, c := range f.Counts {
+			fmt.Printf("%.1f,%.1f,%d\n", f.BinEdges[i], f.BinEdges[i+1], c)
+		}
+		return nil
+
+	case "2", "3":
+		setup := experiments.PaperPlanetLab(*seed)
+		if *fig == "3" {
+			setup = experiments.PaperGoogle(*seed)
+		}
+		setup = setup.Scaled(*scale)
+		if *steps > 0 {
+			setup.Steps = *steps
+		}
+		set, err := experiments.RunSeries(setup, []string{"Megh", "THR-MMT"})
+		if err != nil {
+			return err
+		}
+		if *svg {
+			return svgCostSeries(set, []string{"Megh", "THR-MMT"},
+				fmt.Sprintf("Figure %s: per-step cost", *fig))
+		}
+		if *plot {
+			return plotCostSeries(set, []string{"Megh", "THR-MMT"},
+				fmt.Sprintf("Figure %s: per-step cost (USD)", *fig))
+		}
+		return experiments.WriteSeriesCSV(os.Stdout, set, []string{"Megh", "THR-MMT"})
+
+	case "4", "5":
+		ds := experiments.PlanetLab
+		if *fig == "5" {
+			ds = experiments.Google
+		}
+		setup := experiments.PaperMadVMSubset(ds, *seed)
+		if *steps > 0 {
+			setup.Steps = *steps
+		}
+		set, err := experiments.RunSeries(setup, []string{"Megh", "MadVM"})
+		if err != nil {
+			return err
+		}
+		if *svg {
+			return svgCostSeries(set, []string{"Megh", "MadVM"},
+				fmt.Sprintf("Figure %s: per-step cost", *fig))
+		}
+		if *plot {
+			return plotCostSeries(set, []string{"Megh", "MadVM"},
+				fmt.Sprintf("Figure %s: per-step cost (USD)", *fig))
+		}
+		return experiments.WriteSeriesCSV(os.Stdout, set, []string{"Megh", "MadVM"})
+
+	case "6a", "6b":
+		policy := "THR-MMT"
+		if *fig == "6b" {
+			policy = "Megh"
+		}
+		grid, err := parseSizes([]int{100, 200, 300, 400, 500, 600, 700, 800})
+		if err != nil {
+			return err
+		}
+		pts, err := experiments.RunScalability(experiments.PlanetLab, policy,
+			grid, *reps, stepsOr(workload.StepsPerDay), *seed)
+		if err != nil {
+			return err
+		}
+		if *plot {
+			return plotScalabilityGrid(pts, grid,
+				fmt.Sprintf("Figure %s: %s per-step exec time (ms)", *fig, policy))
+		}
+		return experiments.WriteScalabilityCSV(os.Stdout, pts)
+
+	case "7":
+		grid, err := parseSizes([]int{100, 200, 400, 800})
+		if err != nil {
+			return err
+		}
+		growth, err := experiments.QTableGrowth(experiments.PlanetLab, grid,
+			stepsOr(workload.SevenDays), *seed)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteQTableGrowthCSV(os.Stdout, growth, grid)
+
+	case "8a":
+		setup := sensitivitySetup(*seed, stepsOr(workload.StepsPerDay))
+		temps := make([]float64, 0, 20)
+		for v := 0.5; v <= 10.001; v += 0.5 {
+			temps = append(temps, v)
+		}
+		pts, err := experiments.RunSensitivityTemp(setup, temps, 0.001, *reps)
+		if err != nil {
+			return err
+		}
+		if *plot {
+			return plotSensitivity(pts, "Figure 8a: per-step cost vs Temp0")
+		}
+		return experiments.WriteSensitivityCSV(os.Stdout, pts)
+
+	case "8b":
+		setup := sensitivitySetup(*seed, stepsOr(workload.StepsPerDay))
+		// 30 log-spaced values in [10⁻³, 10⁰] at 0.1 decade spacing.
+		eps := make([]float64, 0, 31)
+		for e := -3.0; e <= 0.001; e += 0.1 {
+			eps = append(eps, pow10(e))
+		}
+		pts, err := experiments.RunSensitivityEpsilon(setup, eps, 1, *reps)
+		if err != nil {
+			return err
+		}
+		if *plot {
+			return plotSensitivity(pts, "Figure 8b: per-step cost vs ε")
+		}
+		return experiments.WriteSensitivityCSV(os.Stdout, pts)
+
+	default:
+		return fmt.Errorf("unknown figure %q (want 1a 1b 2 3 4 5 6a 6b 7 8a 8b)", *fig)
+	}
+}
+
+// sensitivitySetup is the PlanetLab world the Figure-8 sweeps run on; kept
+// below full scale so 25 repetitions per parameter value stay tractable.
+func sensitivitySetup(seed int64, steps int) experiments.Setup {
+	return experiments.Setup{
+		Dataset: experiments.PlanetLab,
+		Hosts:   100, VMs: 132, Steps: steps, Seed: seed,
+	}
+}
+
+func pow10(e float64) float64 { return math.Pow(10, e) }
+
+// plotCostSeries renders the per-step cost panel as a terminal line chart.
+func plotCostSeries(set experiments.SeriesSet, order []string, title string) error {
+	series := make([]report.Series, 0, len(order))
+	for _, name := range order {
+		r, ok := set[name]
+		if !ok {
+			continue
+		}
+		series = append(series, report.Series{Name: name, Values: r.PerStepCosts()})
+	}
+	return report.LineChart(os.Stdout, title, series, 100, 20)
+}
+
+// svgCostSeries renders the per-step cost panel as an SVG line chart.
+func svgCostSeries(set experiments.SeriesSet, order []string, title string) error {
+	series := make([]report.Series, 0, len(order))
+	for _, name := range order {
+		r, ok := set[name]
+		if !ok {
+			continue
+		}
+		series = append(series, report.Series{Name: name, Values: r.PerStepCosts()})
+	}
+	return report.LineChartSVG(os.Stdout, title, "step (5-minute intervals)", "USD per step", series)
+}
+
+// plotScalabilityGrid renders the Figure-6 grid as a heat map.
+func plotScalabilityGrid(pts []experiments.ScalabilityPoint, grid []int, title string) error {
+	idx := make(map[[2]int]float64, len(pts))
+	for _, p := range pts {
+		idx[[2]int{p.Hosts, p.VMs}] = p.MeanDecideMs
+	}
+	labels := make([]string, len(grid))
+	cells := make([][]float64, len(grid))
+	for i, m := range grid {
+		labels[i] = strconv.Itoa(m)
+		cells[i] = make([]float64, len(grid))
+		for j, n := range grid {
+			cells[i][j] = idx[[2]int{m, n}]
+		}
+	}
+	return report.HeatGrid(os.Stdout, title+"  (rows: hosts, cols: VMs)", labels, labels, cells)
+}
+
+// plotSensitivity renders the Figure-8 boxplots as strips.
+func plotSensitivity(pts []experiments.SensitivityPoint, title string) error {
+	rows := make([]report.BoxplotRow, 0, len(pts))
+	for _, p := range pts {
+		b := p.Boxplot
+		rows = append(rows, report.BoxplotRow{
+			Label: fmt.Sprintf("%.4g", p.Param),
+			P05:   b.P05, Q1: b.Q1, Median: b.Median, Q3: b.Q3, P95: b.P95,
+		})
+	}
+	return report.BoxplotStrips(os.Stdout, title, rows, 60)
+}

@@ -1,0 +1,72 @@
+// Command meghd runs the Megh scheduler as an HTTP service — the "global
+// resource manager" of paper §3.1 as a deployable component. A monitoring
+// pipeline POSTs per-interval utilization snapshots; meghd answers with
+// live-migration decisions, learns from posted cost feedback, and
+// checkpoints its Q-table so restarts lose nothing.
+//
+// Usage:
+//
+//	meghd -vms 1052 -hosts 800 -listen :8080 -checkpoint /var/lib/megh/state
+//
+// API:
+//
+//	POST /v1/decide     {"step":0,"hosts":[…],"vms":[…]} → {"migrations":[…]}
+//	POST /v1/feedback   {"step":0,"step_cost":0.61}       → 204
+//	GET  /v1/stats      → learner internals (Q-table size, temperature, …)
+//	POST /v1/checkpoint → writes the state file
+//	GET  /healthz       → "ok"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"megh/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "meghd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":8080", "address to serve on")
+		vms        = flag.Int("vms", 0, "number of virtual machines (N, required)")
+		hosts      = flag.Int("hosts", 0, "number of physical machines (M, required)")
+		overload   = flag.Float64("overload", 0.70, "overload threshold β")
+		step       = flag.Float64("step", 300, "monitoring interval τ in seconds")
+		checkpoint = flag.String("checkpoint", "", "learner state file (restored on start if present)")
+		seed       = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
+	)
+	flag.Parse()
+
+	if *vms <= 0 || *hosts <= 0 {
+		return fmt.Errorf("-vms and -hosts are required and must be positive")
+	}
+	svc, err := server.New(server.Config{
+		NumVMs:            *vms,
+		NumHosts:          *hosts,
+		OverloadThreshold: *overload,
+		StepSeconds:       *step,
+		CheckpointPath:    *checkpoint,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("meghd: serving %d VMs × %d hosts on %s (β=%.2f, τ=%.0fs, checkpoint=%q)",
+		*vms, *hosts, *listen, *overload, *step, *checkpoint)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

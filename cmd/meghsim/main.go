@@ -1,0 +1,126 @@
+// Command meghsim runs one policy on one simulated data center and prints
+// the run's summary (and optionally the per-step series as CSV).
+//
+// Usage:
+//
+//	meghsim -dataset planetlab -policy Megh -hosts 100 -vms 132 \
+//	        -steps 288 -seed 1 [-csv]
+//
+// Registered policies: THR-MMT, IQR-MMT, MAD-MMT, LR-MMT, LRR-MMT, Megh,
+// MadVM, Q-learning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"megh/internal/experiments"
+	"megh/internal/sim"
+	"megh/internal/topology"
+)
+
+// parseFailures parses "host:from:until[,host:from:until…]".
+func parseFailures(spec string) ([]sim.Failure, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []sim.Failure
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -fail entry %q (want host:from:until)", part)
+		}
+		vals := make([]int, 3)
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad -fail entry %q: %w", part, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, sim.Failure{Host: vals[0], From: vals[1], Until: vals[2]})
+	}
+	return out, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "meghsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset = flag.String("dataset", "planetlab", "workload: planetlab or google")
+		policy  = flag.String("policy", "Megh", "policy name (see -list)")
+		hosts   = flag.Int("hosts", 100, "number of physical machines (M)")
+		vms     = flag.Int("vms", 132, "number of virtual machines (N)")
+		steps   = flag.Int("steps", 288, "horizon in 5-minute steps (288 = 1 day)")
+		seed    = flag.Int64("seed", 1, "seed for traces, specs and placement")
+		csv     = flag.Bool("csv", false, "emit the per-step series as CSV instead of a summary")
+		list    = flag.Bool("list", false, "list registered policies and exit")
+		fatTree = flag.Bool("fattree", false, "scale migration times with a fat-tree topology")
+		failAt  = flag.String("fail", "", "inject outages, e.g. \"0:96:192,7:100:150\" (host:from:until)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.PolicyNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	setup := experiments.Setup{
+		Dataset: experiments.Dataset(*dataset),
+		Hosts:   *hosts, VMs: *vms, Steps: *steps, Seed: *seed,
+	}
+	failures, err := parseFailures(*failAt)
+	if err != nil {
+		return err
+	}
+	var mutate func(*sim.Config)
+	if *fatTree || len(failures) > 0 {
+		var model sim.MigrationTimeModel
+		if *fatTree {
+			m, err := topology.NewMigrationModel(*hosts, 0.5)
+			if err != nil {
+				return err
+			}
+			model = m
+		}
+		mutate = func(c *sim.Config) {
+			if model != nil {
+				c.Migration = model
+			}
+			c.Failures = failures
+		}
+	}
+	var res *sim.Result
+	if mutate == nil {
+		// The default path also gives Q-learning its offline training.
+		res, err = experiments.RunPolicy(setup, *policy)
+	} else {
+		var p sim.Policy
+		p, err = experiments.NewPolicy(*policy, setup.VMs, setup.Hosts, setup.Seed+101)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.RunCustom(setup, p, mutate)
+	}
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return experiments.WriteSeriesCSV(os.Stdout,
+			experiments.SeriesSet{res.Policy: res}, []string{res.Policy})
+	}
+	row := experiments.RowFromResult(res)
+	return experiments.WriteTable(os.Stdout,
+		fmt.Sprintf("%s on %s (%d hosts, %d VMs, %d steps, seed %d)",
+			*policy, *dataset, *hosts, *vms, *steps, *seed),
+		[]experiments.TableRow{row})
+}

@@ -1,0 +1,94 @@
+// Command sweep runs the ablation studies DESIGN.md §4 calls out: the
+// migration-cap and exploration-rate sweeps for Megh, the SLA accounting
+// comparison, the victim-selection comparison for the MMT family, the
+// fat-tree topology comparison, and a failure-injection recovery study.
+//
+// Usage:
+//
+//	sweep -study cap
+//	sweep -study accounting -hosts 200 -vms 263
+//	sweep -study topology
+//	sweep -study failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"megh/internal/experiments"
+	"megh/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		study = flag.String("study", "cap",
+			"one of: cap, exploration, accounting, selection, topology, failure, learners")
+		dataset = flag.String("dataset", "planetlab", "workload: planetlab or google")
+		hosts   = flag.Int("hosts", 100, "number of physical machines")
+		vms     = flag.Int("vms", 132, "number of virtual machines")
+		steps   = flag.Int("steps", 288, "horizon in 5-minute steps")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	setup := experiments.Setup{
+		Dataset: experiments.Dataset(*dataset),
+		Hosts:   *hosts, VMs: *vms, Steps: *steps, Seed: *seed,
+	}
+
+	var (
+		rows  []experiments.TableRow
+		title string
+		err   error
+	)
+	switch *study {
+	case "cap":
+		title = "Ablation: Megh per-step migration cap (paper default 2%)"
+		rows, err = experiments.MigrationCapSweep(setup,
+			[]float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.25})
+	case "exploration":
+		title = "Ablation: Megh exploratory-candidate rate"
+		rows, err = experiments.ExplorationSweep(setup,
+			[]float64{0, 0.05, 0.1, 0.25, 0.5, 1})
+	case "accounting":
+		title = "Ablation: SLA accounting — per-interval vs the literal cumulative Eq. 3"
+		rows, err = experiments.AccountingComparison(setup, nil)
+	case "selection":
+		title = "Ablation: THR detector with each victim-selection policy"
+		rows, err = experiments.SelectionComparison(setup)
+	case "topology":
+		title = "Extension: flat network vs fat-tree migration times (§7)"
+		rows, err = experiments.TopologyComparison(setup, nil, 0.5)
+	case "learners":
+		title = "Comparison: the three RL approaches of §2.2 (Q-learning is trained offline first)"
+		rows, err = experiments.LearnerComparison(setup)
+	case "failure":
+		title = "Extension: recovery from injected host failures"
+		// Fail 5% of hosts for the middle third of the run.
+		var failures []sim.Failure
+		for h := 0; h < *hosts; h += 20 {
+			failures = append(failures, sim.Failure{
+				Host: h, From: *steps / 3, Until: 2 * *steps / 3,
+			})
+		}
+		rows, err = experiments.FailureRecovery(setup, nil, failures)
+	default:
+		return fmt.Errorf("unknown study %q", *study)
+	}
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return experiments.WriteTableCSV(os.Stdout, rows)
+	}
+	return experiments.WriteTable(os.Stdout, title, rows)
+}

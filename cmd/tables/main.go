@@ -1,0 +1,74 @@
+// Command tables regenerates the paper's Tables 2 and 3: the six-policy
+// comparison (THR/IQR/MAD/LR/LRR-MMT vs Megh) on the PlanetLab-like and
+// Google-Cluster-like workloads.
+//
+// Usage:
+//
+//	tables -table 2             # full-scale Table 2 (800×1052×2016; slow)
+//	tables -table 3 -scale 8    # ⅛-scale Table 3 (fast)
+//	tables -table 2 -csv > table2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"megh/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table    = flag.Int("table", 2, "paper table to regenerate: 2 (PlanetLab) or 3 (Google)")
+		scale    = flag.Int("scale", 1, "divide the paper's sizes by this factor")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		policies = flag.String("policies", "", "comma-separated policy list (default: the table's six)")
+		parallel = flag.Int("parallel", 0, "run policies concurrently with this many workers (0 = #CPUs, -1 = sequential)")
+	)
+	flag.Parse()
+
+	var setup experiments.Setup
+	var title string
+	switch *table {
+	case 2:
+		setup = experiments.PaperPlanetLab(*seed)
+		title = "Table 2: Performance Evaluation for PlanetLab"
+	case 3:
+		setup = experiments.PaperGoogle(*seed)
+		title = "Table 3: Performance Evaluation for Google Cluster"
+	default:
+		return fmt.Errorf("unknown table %d (want 2 or 3)", *table)
+	}
+	if *scale > 1 {
+		setup = setup.Scaled(*scale)
+		title += fmt.Sprintf(" (1/%d scale: %d hosts, %d VMs, %d steps)",
+			*scale, setup.Hosts, setup.VMs, setup.Steps)
+	}
+	var names []string
+	if *policies != "" {
+		names = strings.Split(*policies, ",")
+	}
+	var rows []experiments.TableRow
+	var err error
+	if *parallel < 0 {
+		rows, err = experiments.RunTable(setup, names)
+	} else {
+		rows, err = experiments.RunTableParallel(setup, names, *parallel)
+	}
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return experiments.WriteTableCSV(os.Stdout, rows)
+	}
+	return experiments.WriteTable(os.Stdout, title, rows)
+}

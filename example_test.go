@@ -1,0 +1,97 @@
+package megh_test
+
+import (
+	"fmt"
+	"log"
+
+	"megh"
+)
+
+// Example demonstrates the quick-start flow: build a small data center,
+// run the Megh learner, inspect the outcome. Deterministic given the
+// seeds, so the output is stable.
+func Example() {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 10, VMs: 13, Steps: 36, Seed: 1}
+	cfg, err := setup.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := megh.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sim.Run(learner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps simulated: %d\n", len(result.Steps))
+	fmt.Printf("cost is positive: %v\n", result.TotalCost() > 0)
+	// Output:
+	// steps simulated: 36
+	// cost is positive: true
+}
+
+// ExampleNewTHRMMT shows how the baseline policies plug into the same
+// simulator as the learner.
+func ExampleNewTHRMMT() {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 10, VMs: 13, Steps: 24, Seed: 2}
+	cfg, err := setup.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := megh.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := megh.NewTHRMMT()
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sim.Run(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Policy)
+	// Output:
+	// THR-MMT
+}
+
+// ExampleHPProLiantG4 pins the paper's Table-1 power model.
+func ExampleHPProLiantG4() {
+	model := megh.HPProLiantG4()
+	fmt.Printf("idle: %.0f W, full load: %.0f W\n", model.Power(0), model.Power(1))
+	// Output:
+	// idle: 86 W, full load: 117 W
+}
+
+// ExampleGeneratePlanetLabTraces shows the synthetic workload generator.
+func ExampleGeneratePlanetLabTraces() {
+	cfg := megh.DefaultPlanetLabTraceConfig(7)
+	cfg.Steps = 288 // one day
+	traces, err := megh.GeneratePlanetLabTraces(cfg, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d traces of %d samples\n", len(traces), traces[0].Len())
+	// Output:
+	// 3 traces of 288 samples
+}
+
+// ExampleNewFatTree shows the §7 topology extension.
+func ExampleNewFatTree() {
+	tree, err := megh.NewFatTree(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=4 fat-tree hosts: %d\n", tree.Hosts())
+	fmt.Printf("hops 0→1 (same edge): %d\n", tree.Hops(0, 1))
+	fmt.Printf("hops 0→15 (cross pod): %d\n", tree.Hops(0, 15))
+	// Output:
+	// k=4 fat-tree hosts: 16
+	// hops 0→1 (same edge): 2
+	// hops 0→15 (cross pod): 6
+}

@@ -1,0 +1,98 @@
+// Failover: operate Megh through injected host failures and a scheduler
+// restart. Demonstrates two production-facing capabilities beyond the
+// paper's evaluation: (a) failure injection — 10% of hosts go down
+// mid-run and the policy must evacuate them; (b) learner persistence —
+// the learner is checkpointed with SaveState, "the scheduler restarts",
+// and the restored learner (LoadLearner) keeps operating with its learned
+// Q-table intact.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"megh"
+)
+
+func main() {
+	const (
+		hosts = 60
+		vms   = 80
+		steps = 288 // one day
+	)
+	setup := megh.Setup{
+		Dataset: megh.PlanetLab, Hosts: hosts, VMs: vms, Steps: steps, Seed: 9,
+	}
+
+	// 10% of hosts fail for the middle third of the day.
+	var failures []megh.Failure
+	for h := 0; h < hosts; h += 10 {
+		failures = append(failures, megh.Failure{Host: h, From: steps / 3, Until: 2 * steps / 3})
+	}
+
+	fmt.Printf("world: %d hosts / %d VMs, %d hosts failing during steps %d–%d\n\n",
+		hosts, vms, len(failures), steps/3, 2*steps/3)
+
+	// Phase 1: run the first half-day, then checkpoint the learner.
+	firstHalf := setup
+	firstHalf.Steps = steps / 2
+	learner, err := megh.New(megh.DefaultConfig(vms, hosts, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1, err := megh.RunCustom(firstHalf, learner, func(c *megh.SimConfig) {
+		c.Failures = failures
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 (steps 0–%d, failures begin at %d):\n", steps/2-1, steps/3)
+	fmt.Printf("  cost %.2f USD, %d migrations, Q-table %d entries, temperature %.2f\n\n",
+		res1.TotalCost(), res1.TotalMigrations(), learner.QTableNNZ(), learner.Temperature())
+
+	var checkpoint bytes.Buffer
+	if err := learner.SaveState(&checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d bytes — simulating a scheduler restart…\n\n", checkpoint.Len())
+
+	// Phase 2: restore into a "new process" and keep going on the same
+	// world (failures still active until step 2·steps/3 of the original
+	// timeline; here the fresh run replays the remaining failure window).
+	restored, err := megh.LoadLearner(&checkpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored learner: Q-table %d entries, temperature %.2f (state intact)\n",
+		restored.QTableNNZ(), restored.Temperature())
+
+	secondHalf := setup
+	secondHalf.Steps = steps / 2
+	secondHalf.Seed = setup.Seed + 1 // fresh workload draw for the second shift
+	res2, err := megh.RunCustom(secondHalf, restored, func(c *megh.SimConfig) {
+		var late []megh.Failure
+		for _, f := range failures {
+			late = append(late, megh.Failure{Host: f.Host, From: 0, Until: steps / 6})
+		}
+		c.Failures = late
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2 (restored learner, failures until step %d):\n", steps/6)
+	fmt.Printf("  cost %.2f USD, %d migrations, Q-table grew to %d entries\n\n",
+		res2.TotalCost(), res2.TotalMigrations(), restored.QTableNNZ())
+
+	// Compare against THR-MMT facing the same outages end to end.
+	rows, err := megh.FailureRecovery(setup, []string{"THR-MMT", "Megh"}, failures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full-day comparison under the same failure schedule:")
+	for _, r := range rows {
+		fmt.Printf("  %-8s cost %.2f USD, %d migrations\n", r.Policy, r.TotalCost, r.Migrations)
+	}
+}

@@ -1,0 +1,71 @@
+// Google Cluster scenario: the Table-3 / Figure-5 experiment at laptop
+// scale. Demonstrates (a) the task-stream workload whose durations spread
+// over 10¹–10⁶ s, (b) Megh against THR-MMT and MadVM on it, and (c) the
+// paper's counter-intuitive observation that on low, short-lived workloads
+// the cheapest policy is NOT the one with the fewest active hosts (§6.3).
+//
+//	go run ./examples/googlecluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"megh"
+)
+
+func main() {
+	// First, show the workload itself: the duration spread of Fig. 1b.
+	_, tasks, err := megh.GenerateGoogleTraces(megh.DefaultGoogleTraceConfig(7), 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minD, maxD := math.Inf(1), math.Inf(-1)
+	for _, task := range tasks {
+		minD = math.Min(minD, task.DurationSec)
+		maxD = math.Max(maxD, task.DurationSec)
+	}
+	fmt.Printf("Google-like task stream: %d tasks, durations %.0f s … %.0f s (%.1f decades)\n\n",
+		len(tasks), minD, maxD, math.Log10(maxD/minD))
+
+	// Then the policy comparison on the 100×150 subset the paper uses
+	// for its MadVM experiments (Figure 5), at a 1-day horizon.
+	setup := megh.PaperMadVMSubset(megh.Google, 7)
+	setup.Steps = 288
+
+	fmt.Printf("Policies on %d hosts / %d VMs / %d steps:\n", setup.Hosts, setup.VMs, setup.Steps)
+	type line struct {
+		cost   float64
+		active float64
+	}
+	results := make(map[string]line, 3)
+	for _, name := range []string{"THR-MMT", "MadVM", "Megh"} {
+		res, err := megh.RunPolicy(setup, name)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  %-8s cost=%7.2f USD  migrations=%5d  active hosts=%5.1f  decide=%7.3f ms\n",
+			name, res.TotalCost(), res.TotalMigrations(),
+			res.MeanActiveHosts(), res.MeanDecideSeconds()*1000)
+		results[name] = line{res.TotalCost(), res.MeanActiveHosts()}
+	}
+
+	// §6.3's observation: fewest active hosts ≠ lowest cost on this
+	// workload.
+	cheapest, fewestHosts := "", ""
+	for name, l := range results {
+		if cheapest == "" || l.cost < results[cheapest].cost {
+			cheapest = name
+		}
+		if fewestHosts == "" || l.active < results[fewestHosts].active {
+			fewestHosts = name
+		}
+	}
+	fmt.Printf("\ncheapest policy: %s; fewest active hosts: %s", cheapest, fewestHosts)
+	if cheapest != fewestHosts {
+		fmt.Printf("  ← the paper's §6.3 dilemma: consolidation is not free\n")
+	} else {
+		fmt.Println()
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small simulated data center, run the Megh learner on
+// a PlanetLab-like workload, and print what it did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"megh"
+)
+
+func main() {
+	// A 1-day experiment on 50 hosts / 66 VMs with the PlanetLab-like
+	// bursty workload. The Setup helper wires traces, host fleet, VM
+	// specs, cost model and initial placement together.
+	setup := megh.Setup{
+		Dataset: megh.PlanetLab,
+		Hosts:   50,
+		VMs:     66,
+		Steps:   288, // 288 five-minute steps = 24 h
+		Seed:    1,
+	}
+	cfg, err := setup.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := megh.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Megh learner with the paper's hyper-parameters (γ = 0.5,
+	// Temp₀ = 3, ε = 0.01, 2 % migration cap).
+	learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := sim.Run(learner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy:           %s\n", result.Policy)
+	fmt.Printf("total cost:       %.2f USD (energy %.2f + SLA %.2f)\n",
+		result.TotalCost(), result.TotalEnergyCost(), result.TotalSLACost())
+	fmt.Printf("migrations:       %d over %d steps\n",
+		result.TotalMigrations(), len(result.Steps))
+	fmt.Printf("mean active PMs:  %.1f of %d\n", result.MeanActiveHosts(), setup.Hosts)
+	fmt.Printf("decision latency: %.3f ms per step\n", result.MeanDecideSeconds()*1000)
+	fmt.Printf("Q-table size:     %d non-zero entries\n", learner.QTableNNZ())
+	fmt.Printf("final temperature: %.3f (decayed from 3 by exp(-0.01) per step)\n",
+		learner.Temperature())
+}

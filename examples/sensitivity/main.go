@@ -1,0 +1,59 @@
+// Sensitivity sweep: the Figure-8 experiment at laptop scale. Sweeps
+// Megh's exploration hyper-parameters (Temp₀ with ε fixed, then ε with
+// Temp₀ fixed) and renders per-step-cost boxplot strips in the terminal.
+//
+// The paper's own Figure 8 varies within < 0.5 % on the y-axis; expect a
+// near-flat landscape here too (EXPERIMENTS.md discusses why).
+//
+//	go run ./examples/sensitivity [-reps 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"megh"
+	"megh/internal/experiments"
+	"megh/internal/report"
+)
+
+func main() {
+	reps := flag.Int("reps", 5, "repetitions per parameter value (paper: 25)")
+	flag.Parse()
+
+	setup := megh.Setup{
+		Dataset: megh.PlanetLab,
+		Hosts:   50, VMs: 66, Steps: 144, Seed: 3,
+	}
+
+	temps := []float64{0.5, 1, 2, 3, 5, 8, 10}
+	pts, err := experiments.RunSensitivityTemp(setup, temps, 0.001, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	render(fmt.Sprintf("Figure 8(a): per-step cost vs Temp0 (ε = 0.001, %d reps)", *reps), pts)
+
+	fmt.Println()
+	eps := []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1}
+	pts, err = experiments.RunSensitivityEpsilon(setup, eps, 1, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	render(fmt.Sprintf("Figure 8(b): per-step cost vs ε (Temp0 = 1, %d reps)", *reps), pts)
+}
+
+func render(title string, pts []experiments.SensitivityPoint) {
+	rows := make([]report.BoxplotRow, 0, len(pts))
+	for _, p := range pts {
+		b := p.Boxplot
+		rows = append(rows, report.BoxplotRow{
+			Label: fmt.Sprintf("%.4g", p.Param),
+			P05:   b.P05, Q1: b.Q1, Median: b.Median, Q3: b.Q3, P95: b.P95,
+		})
+	}
+	if err := report.BoxplotStrips(os.Stdout, title, rows, 56); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package megh_test
+
+import (
+	"bytes"
+	"testing"
+
+	"megh"
+)
+
+func TestPublicAPICostParams(t *testing.T) {
+	p := megh.DefaultCostParams()
+	if p.EnergyPricePerKWh != 0.18675 {
+		t.Fatalf("tariff = %g", p.EnergyPricePerKWh)
+	}
+	p.Accounting = megh.SLACumulative
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if megh.SLAPerInterval.String() != "per-interval" {
+		t.Fatal("accounting re-export broken")
+	}
+}
+
+func TestPublicAPITopology(t *testing.T) {
+	tree, err := megh.NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Hosts() != 16 {
+		t.Fatalf("fat-tree hosts = %d", tree.Hosts())
+	}
+	model, err := megh.NewTopologyMigrationModel(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ megh.MigrationTimeModel = model
+	// End to end: a topology-aware run through the facade.
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 12, VMs: 16, Steps: 24, Seed: 3}
+	p, err := megh.NewPolicy("Megh", setup.VMs, setup.Hosts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := megh.RunCustom(setup, p, func(c *megh.SimConfig) {
+		c.Migration = model
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost() <= 0 {
+		t.Fatal("topology-aware run degenerate")
+	}
+}
+
+func TestPublicAPIPersistenceRoundTrip(t *testing.T) {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 10, VMs: 13, Steps: 36, Seed: 4}
+	learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := megh.RunCustom(setup, learner, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := learner.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := megh.LoadLearner(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.QTableNNZ() != learner.QTableNNZ() {
+		t.Fatal("facade persistence lost Q-table entries")
+	}
+}
+
+func TestPublicAPIDiurnalTraces(t *testing.T) {
+	cfg := megh.DefaultDiurnalTraceConfig(6)
+	cfg.Steps = 100
+	traces, err := megh.GenerateDiurnalTraces(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 || traces[0].Len() != 100 {
+		t.Fatalf("diurnal generation wrong: %d traces", len(traces))
+	}
+}
+
+func TestPublicAPIReplicatedAndFailures(t *testing.T) {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 10, VMs: 13, Steps: 24, Seed: 2}
+	rows, err := megh.RunReplicated(setup, []string{"Megh"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Reps != 2 {
+		t.Fatalf("replicated rows = %+v", rows)
+	}
+	fr, err := megh.FailureRecovery(setup, []string{"Megh"}, []megh.Failure{
+		{Host: 0, From: 5, Until: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr) != 1 {
+		t.Fatalf("failure rows = %d", len(fr))
+	}
+}
+
+func TestPublicAPICustomMMTAndSelection(t *testing.T) {
+	thr, err := megh.NewTHRMMT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.Detector() == nil {
+		t.Fatal("detector accessor broken")
+	}
+	custom, err := megh.NewMMT(thr.Detector(), megh.MMTConfig{Selection: megh.SelectRandom, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Name() != "THR-RS" {
+		t.Fatalf("custom MMT name %q", custom.Name())
+	}
+	if megh.SelectMaxCorrelation.String() != "MC" || megh.SelectMinUtil.String() != "MU" {
+		t.Fatal("selection re-exports broken")
+	}
+}

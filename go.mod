@@ -1,0 +1,3 @@
+module megh
+
+go 1.22

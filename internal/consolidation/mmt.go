@@ -1,0 +1,383 @@
+package consolidation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"megh/internal/sim"
+)
+
+// Config tunes the MMT policy around its detector.
+type Config struct {
+	// UnderloadThreshold marks hosts to vacate for sleeping; 0 means 0.5.
+	UnderloadThreshold float64
+	// DisableUnderload turns the consolidation pass off entirely.
+	DisableUnderload bool
+	// MaxUnderloadHostsPerStep bounds how many hosts are vacated per
+	// step; 0 means effectively unbounded (Beloglazov's behaviour).
+	MaxUnderloadHostsPerStep int
+	// Selection chooses the victim-VM policy; 0 means SelectMMT.
+	Selection Selection
+	// Seed drives SelectRandom.
+	Seed int64
+	// PlacementHeadroom keeps placements below headroom·β so a freshly
+	// packed host has margin before the next workload shift overloads
+	// it; 0 means 0.9.
+	PlacementHeadroom float64
+}
+
+// MMT is an overload-detector + Minimum-Migration-Time selection + PABFD
+// placement policy — the THR/IQR/MAD/LR/LRR-MMT family of the paper's
+// Tables 2–3.
+type MMT struct {
+	detector Detector
+	cfg      Config
+	rng      *rand.Rand
+
+	// per-step placement bookkeeping (reused to avoid allocation).
+	addRAM  []float64
+	addMIPS []float64
+}
+
+var _ sim.Policy = (*MMT)(nil)
+
+// NewMMT builds an MMT policy around the given detector.
+func NewMMT(detector Detector, cfg Config) (*MMT, error) {
+	if detector == nil {
+		return nil, fmt.Errorf("consolidation: nil detector")
+	}
+	if cfg.UnderloadThreshold < 0 || cfg.UnderloadThreshold > 1 {
+		return nil, fmt.Errorf("consolidation: UnderloadThreshold %g out of [0,1]",
+			cfg.UnderloadThreshold)
+	}
+	if cfg.UnderloadThreshold == 0 {
+		// Beloglazov's consolidation continually tries to vacate the
+		// least-utilized hosts; 0.5 reproduces that aggressive packing
+		// (and the churn the paper attributes to the MMT heuristics).
+		cfg.UnderloadThreshold = 0.5
+	}
+	if cfg.MaxUnderloadHostsPerStep == 0 {
+		// Beloglazov's algorithm attempts to vacate every underloaded
+		// host each step; keep the default effectively unbounded.
+		cfg.MaxUnderloadHostsPerStep = 1 << 20
+	}
+	if cfg.MaxUnderloadHostsPerStep < 0 {
+		return nil, fmt.Errorf("consolidation: MaxUnderloadHostsPerStep %d negative",
+			cfg.MaxUnderloadHostsPerStep)
+	}
+	if cfg.Selection == 0 {
+		cfg.Selection = SelectMMT
+	}
+	if cfg.PlacementHeadroom == 0 {
+		cfg.PlacementHeadroom = 0.9
+	}
+	if cfg.PlacementHeadroom < 0 || cfg.PlacementHeadroom > 1 {
+		return nil, fmt.Errorf("consolidation: PlacementHeadroom %g out of (0,1]",
+			cfg.PlacementHeadroom)
+	}
+	if err := cfg.Selection.Validate(); err != nil {
+		return nil, err
+	}
+	return &MMT{
+		detector: detector,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// NewTHRMMT, NewIQRMMT, NewMADMMT, NewLRMMT and NewLRRMMT build the five
+// variants with the literature's standard safety parameters.
+func NewTHRMMT() (*MMT, error) {
+	d, err := NewTHR(0.7)
+	if err != nil {
+		return nil, err
+	}
+	return NewMMT(d, Config{})
+}
+
+// NewIQRMMT returns IQR-MMT (safety 1.5).
+func NewIQRMMT() (*MMT, error) {
+	d, err := NewIQR(1.5)
+	if err != nil {
+		return nil, err
+	}
+	return NewMMT(d, Config{})
+}
+
+// NewMADMMT returns MAD-MMT (safety 2.5).
+func NewMADMMT() (*MMT, error) {
+	d, err := NewMAD(2.5)
+	if err != nil {
+		return nil, err
+	}
+	return NewMMT(d, Config{})
+}
+
+// NewLRMMT returns LR-MMT (safety 1.2).
+func NewLRMMT() (*MMT, error) {
+	d, err := NewLR(1.2)
+	if err != nil {
+		return nil, err
+	}
+	return NewMMT(d, Config{})
+}
+
+// NewLRRMMT returns LRR-MMT (safety 1.2, robust regression).
+func NewLRRMMT() (*MMT, error) {
+	d, err := NewLRR(1.2)
+	if err != nil {
+		return nil, err
+	}
+	return NewMMT(d, Config{})
+}
+
+// Name implements sim.Policy: detector plus selection policy, e.g.
+// "THR-MMT" or "THR-RS".
+func (m *MMT) Name() string { return m.detector.Name() + "-" + m.cfg.Selection.String() }
+
+// Detector exposes the underlying overload detector.
+func (m *MMT) Detector() Detector { return m.detector }
+
+// Decide implements sim.Policy: shed VMs from overloaded hosts (MMT
+// selection, PABFD placement), then vacate underloaded hosts.
+func (m *MMT) Decide(s *sim.Snapshot) []sim.Migration {
+	m.resetScratch(s)
+
+	var migrations []sim.Migration
+	moved := make(map[int]bool)      // VMs already scheduled to move
+	receiving := make(map[int]bool)  // hosts that received a VM this step
+	overloaded := make(map[int]bool) // detector verdicts, cached
+
+	for i := 0; i < s.NumHosts(); i++ {
+		if len(s.HostVMs[i]) > 0 && m.detector.Overloaded(s, i) {
+			overloaded[i] = true
+		}
+	}
+
+	// Pass 1: overload resolution. A failed host is fully evacuated (the
+	// keep-one rule only makes sense when the host still has capacity);
+	// an overloaded one sheds victims per the selection policy.
+	for host := range s.HostVMs {
+		if !overloaded[host] {
+			continue
+		}
+		var victims []int
+		if len(s.HostFailed) > 0 && s.HostFailed[host] {
+			victims = append([]int(nil), s.HostVMs[host]...)
+		} else {
+			victims = m.selectVictims(s, host)
+		}
+		for _, vm := range victims {
+			dest, ok := m.placePABFD(s, vm, host, overloaded, nil)
+			if !ok {
+				continue
+			}
+			migrations = append(migrations, sim.Migration{VM: vm, Dest: dest})
+			moved[vm] = true
+			receiving[dest] = true
+			m.addRAM[dest] += s.VMSpecs[vm].RAMMB
+			m.addMIPS[dest] += s.VMMIPS[vm]
+		}
+	}
+
+	// Pass 2: underload consolidation — vacate the least-utilized active
+	// hosts entirely so they can sleep.
+	if !m.cfg.DisableUnderload {
+		migrations = append(migrations,
+			m.consolidate(s, moved, receiving, overloaded)...)
+	}
+	return migrations
+}
+
+func (m *MMT) resetScratch(s *sim.Snapshot) {
+	if cap(m.addRAM) < s.NumHosts() {
+		m.addRAM = make([]float64, s.NumHosts())
+		m.addMIPS = make([]float64, s.NumHosts())
+	}
+	m.addRAM = m.addRAM[:s.NumHosts()]
+	m.addMIPS = m.addMIPS[:s.NumHosts()]
+	for i := range m.addRAM {
+		m.addRAM[i] = 0
+		m.addMIPS[i] = 0
+	}
+}
+
+// selectVictims repeatedly picks a VM per the configured selection policy
+// until the host's utilization would drop to the detector's target.
+func (m *MMT) selectVictims(s *sim.Snapshot, host int) []int {
+	target := m.detector.TargetUtilization(s, host)
+	capMIPS := s.HostSpecs[host].MIPS
+	util := s.HostUtil[host]
+	remaining := append([]int(nil), s.HostVMs[host]...)
+	var victims []int
+	for util > target && len(remaining) > 1 { // keep at least one VM
+		best := pickVictim(m.cfg.Selection, s, host, remaining, m.rng)
+		vm := remaining[best]
+		remaining[best] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		victims = append(victims, vm)
+		util -= s.VMMIPS[vm] / capMIPS
+	}
+	return victims
+}
+
+// placePABFD picks the destination with the least power increase among
+// hosts that can take the VM without becoming overloaded (power-aware
+// best-fit decreasing, Beloglazov & Buyya). Hosts in `exclude` are skipped.
+func (m *MMT) placePABFD(s *sim.Snapshot, vm, srcHost int, overloaded map[int]bool,
+	exclude map[int]bool) (int, bool) {
+	bestHost := -1
+	bestDelta := math.Inf(1)
+	for h := 0; h < s.NumHosts(); h++ {
+		if h == srcHost || overloaded[h] || exclude[h] {
+			continue
+		}
+		if !m.fits(s, vm, h) {
+			continue
+		}
+		spec := s.HostSpecs[h]
+		var hostMIPS float64
+		for _, other := range s.HostVMs[h] {
+			hostMIPS += s.VMMIPS[other]
+		}
+		hostMIPS += m.addMIPS[h]
+		before := spec.Power.Power(clamp01(hostMIPS / spec.MIPS))
+		afterUtil := (hostMIPS + s.VMMIPS[vm]) / spec.MIPS
+		if afterUtil > m.cfg.PlacementHeadroom*s.OverloadThreshold {
+			continue // would leave no margin before the next overload
+		}
+		after := spec.Power.Power(clamp01(afterUtil))
+		delta := after - before
+		if len(s.HostVMs[h]) == 0 && m.addRAM[h] == 0 {
+			// Waking a sleeping host costs its idle power too.
+			delta += spec.Power.Power(0)
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			bestHost = h
+		}
+	}
+	return bestHost, bestHost >= 0
+}
+
+// consolidate tries to fully vacate the least-utilized active hosts onto
+// other already-active hosts.
+func (m *MMT) consolidate(s *sim.Snapshot, moved, receiving, overloaded map[int]bool) []sim.Migration {
+	type hostLoad struct {
+		host int
+		util float64
+	}
+	var cands []hostLoad
+	for h := 0; h < s.NumHosts(); h++ {
+		if len(s.HostVMs[h]) == 0 || overloaded[h] || receiving[h] {
+			continue
+		}
+		if s.HostUtil[h] < m.cfg.UnderloadThreshold {
+			cands = append(cands, hostLoad{h, s.HostUtil[h]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].util < cands[j].util })
+
+	var out []sim.Migration
+	vacated := make(map[int]bool)
+	done := 0
+	for _, c := range cands {
+		if done >= m.cfg.MaxUnderloadHostsPerStep {
+			break
+		}
+		// All VMs of the host must be placeable on other active,
+		// non-overloaded, non-vacated hosts; otherwise skip the host.
+		var plan []sim.Migration
+		planRAM := make(map[int]float64)
+		planMIPS := make(map[int]float64)
+		ok := true
+		for _, vm := range s.HostVMs[c.host] {
+			if moved[vm] {
+				ok = false
+				break
+			}
+			dest := m.placeOnActive(s, vm, c.host, overloaded, vacated, planRAM, planMIPS)
+			if dest < 0 {
+				ok = false
+				break
+			}
+			plan = append(plan, sim.Migration{VM: vm, Dest: dest})
+			planRAM[dest] += s.VMSpecs[vm].RAMMB
+			planMIPS[dest] += s.VMMIPS[vm]
+		}
+		if !ok || len(plan) == 0 {
+			continue
+		}
+		for _, mig := range plan {
+			moved[mig.VM] = true
+			m.addRAM[mig.Dest] += s.VMSpecs[mig.VM].RAMMB
+			m.addMIPS[mig.Dest] += s.VMMIPS[mig.VM]
+		}
+		vacated[c.host] = true
+		out = append(out, plan...)
+		done++
+	}
+	return out
+}
+
+// placeOnActive is PABFD restricted to already-active hosts (consolidation
+// must not wake sleeping machines), with additional per-plan deltas.
+func (m *MMT) placeOnActive(s *sim.Snapshot, vm, srcHost int, overloaded, vacated map[int]bool,
+	planRAM, planMIPS map[int]float64) int {
+	bestHost := -1
+	bestDelta := math.Inf(1)
+	for h := 0; h < s.NumHosts(); h++ {
+		if h == srcHost || overloaded[h] || vacated[h] {
+			continue
+		}
+		if len(s.HostVMs[h]) == 0 && m.addRAM[h] == 0 {
+			continue // sleeping
+		}
+		spec := s.HostSpecs[h]
+		var ram, hostMIPS float64
+		for _, other := range s.HostVMs[h] {
+			ram += s.VMSpecs[other].RAMMB
+			hostMIPS += s.VMMIPS[other]
+		}
+		ram += m.addRAM[h] + planRAM[h]
+		hostMIPS += m.addMIPS[h] + planMIPS[h]
+		if ram+s.VMSpecs[vm].RAMMB > spec.RAMMB {
+			continue
+		}
+		afterUtil := (hostMIPS + s.VMMIPS[vm]) / spec.MIPS
+		if afterUtil > m.cfg.PlacementHeadroom*s.OverloadThreshold {
+			continue
+		}
+		before := spec.Power.Power(clamp01(hostMIPS / spec.MIPS))
+		after := spec.Power.Power(clamp01(afterUtil))
+		if delta := after - before; delta < bestDelta {
+			bestDelta = delta
+			bestHost = h
+		}
+	}
+	return bestHost
+}
+
+// fits checks RAM and raw MIPS capacity including this step's additions.
+func (m *MMT) fits(s *sim.Snapshot, vm, h int) bool {
+	spec := s.HostSpecs[h]
+	var ram, mips float64
+	for _, other := range s.HostVMs[h] {
+		ram += s.VMSpecs[other].RAMMB
+		mips += s.VMMIPS[other]
+	}
+	return ram+m.addRAM[h]+s.VMSpecs[vm].RAMMB <= spec.RAMMB &&
+		mips+m.addMIPS[h]+s.VMMIPS[vm] <= spec.MIPS
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

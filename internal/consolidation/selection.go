@@ -1,0 +1,129 @@
+package consolidation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"megh/internal/sim"
+	"megh/internal/stats"
+)
+
+// Selection chooses which VM an overloaded host sheds first. The paper
+// evaluates the Minimum-Migration-Time family; the sibling policies from
+// the same literature (random selection, maximum correlation, minimum
+// utilization) are provided for ablations.
+type Selection int
+
+// VM selection policies.
+const (
+	// SelectMMT sheds the VM with the smallest RAM/bandwidth ratio — the
+	// fastest to migrate (the paper's family).
+	SelectMMT Selection = iota + 1
+	// SelectRandom sheds a uniformly random VM (Beloglazov's RS).
+	SelectRandom
+	// SelectMaxCorrelation sheds the VM whose utilization history is
+	// most correlated with the rest of the host's load (Beloglazov's
+	// MC): correlated VMs are the ones that spike together.
+	SelectMaxCorrelation
+	// SelectMinUtil sheds the least CPU-demanding VM first (MU), the
+	// cheapest in immediate re-placement capacity.
+	SelectMinUtil
+)
+
+// String implements fmt.Stringer with the literature's abbreviations.
+func (s Selection) String() string {
+	switch s {
+	case SelectMMT:
+		return "MMT"
+	case SelectRandom:
+		return "RS"
+	case SelectMaxCorrelation:
+		return "MC"
+	case SelectMinUtil:
+		return "MU"
+	default:
+		return fmt.Sprintf("selection(%d)", int(s))
+	}
+}
+
+// Validate reports unknown selections.
+func (s Selection) Validate() error {
+	switch s {
+	case SelectMMT, SelectRandom, SelectMaxCorrelation, SelectMinUtil:
+		return nil
+	default:
+		return fmt.Errorf("consolidation: unknown selection %d", int(s))
+	}
+}
+
+// pickVictim returns the index (within remaining) of the next VM to shed
+// from host, following the policy.
+func pickVictim(sel Selection, s *sim.Snapshot, host int, remaining []int, rng *rand.Rand) int {
+	switch sel {
+	case SelectRandom:
+		return rng.Intn(len(remaining))
+	case SelectMinUtil:
+		best, bestMIPS := 0, math.Inf(1)
+		for idx, vm := range remaining {
+			if s.VMMIPS[vm] < bestMIPS {
+				bestMIPS = s.VMMIPS[vm]
+				best = idx
+			}
+		}
+		return best
+	case SelectMaxCorrelation:
+		return pickMaxCorrelation(s, remaining)
+	default: // SelectMMT
+		best, bestTime := 0, math.Inf(1)
+		bw := s.HostSpecs[host].BandwidthMbps
+		for idx, vm := range remaining {
+			mt := math.Inf(1)
+			if bw > 0 {
+				mt = s.VMSpecs[vm].RAMMB * 8 / bw
+			}
+			if mt < bestTime {
+				bestTime = mt
+				best = idx
+			}
+		}
+		return best
+	}
+}
+
+// pickMaxCorrelation selects the VM whose utilization history correlates
+// most with the aggregate history of its co-located peers. With too little
+// history it degrades to the first VM.
+func pickMaxCorrelation(s *sim.Snapshot, remaining []int) int {
+	if len(remaining) == 1 {
+		return 0
+	}
+	histLen := len(s.VMHistory[remaining[0]])
+	if histLen < 3 {
+		return 0
+	}
+	// Aggregate utilization history across the candidate VMs.
+	total := make([]float64, histLen)
+	for _, vm := range remaining {
+		h := s.VMHistory[vm]
+		if len(h) != histLen {
+			return 0 // ragged histories: bail out conservatively
+		}
+		for i, u := range h {
+			total[i] += u
+		}
+	}
+	best, bestCorr := 0, math.Inf(-1)
+	others := make([]float64, histLen)
+	for idx, vm := range remaining {
+		h := s.VMHistory[vm]
+		for i := range others {
+			others[i] = total[i] - h[i]
+		}
+		if c := stats.Correlation(h, others); c > bestCorr {
+			bestCorr = c
+			best = idx
+		}
+	}
+	return best
+}

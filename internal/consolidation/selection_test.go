@@ -1,0 +1,180 @@
+package consolidation
+
+import (
+	"math/rand"
+	"testing"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+func TestSelectionString(t *testing.T) {
+	cases := map[Selection]string{
+		SelectMMT:            "MMT",
+		SelectRandom:         "RS",
+		SelectMaxCorrelation: "MC",
+		SelectMinUtil:        "MU",
+		Selection(42):        "selection(42)",
+	}
+	for sel, want := range cases {
+		if got := sel.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(sel), got, want)
+		}
+	}
+}
+
+func TestSelectionValidate(t *testing.T) {
+	for _, sel := range []Selection{SelectMMT, SelectRandom, SelectMaxCorrelation, SelectMinUtil} {
+		if err := sel.Validate(); err != nil {
+			t.Errorf("%v: %v", sel, err)
+		}
+	}
+	if Selection(0).Validate() == nil || Selection(9).Validate() == nil {
+		t.Error("invalid selections should fail validation")
+	}
+}
+
+func TestMMTConfigRejectsBadSelection(t *testing.T) {
+	thr, _ := NewTHR(0.7)
+	if _, err := NewMMT(thr, Config{Selection: Selection(99)}); err == nil {
+		t.Fatal("expected error for unknown selection")
+	}
+}
+
+func TestPolicyNameIncludesSelection(t *testing.T) {
+	thr, _ := NewTHR(0.7)
+	p, err := NewMMT(thr, Config{Selection: SelectRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "THR-RS" {
+		t.Fatalf("name = %q, want THR-RS", p.Name())
+	}
+}
+
+// overloadedSnapshot builds one overloaded host with VMs of distinct RAM
+// and MIPS so the selection policies produce distinguishable victims.
+func overloadedSnapshot(t *testing.T) *sim.Snapshot {
+	t.Helper()
+	lin, err := power.NewLinear("test", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []sim.HostSpec{
+		{MIPS: 3000, RAMMB: 32768, BandwidthMbps: 1000, Power: lin},
+		{MIPS: 3000, RAMMB: 32768, BandwidthMbps: 1000, Power: lin},
+	}
+	// VM 0: big RAM, high demand; VM 1: small RAM (MMT victim);
+	// VM 2: low demand (MU victim).
+	vms := []sim.VMSpec{
+		{MIPS: 1500, RAMMB: 4096, BandwidthMbps: 100},
+		{MIPS: 1500, RAMMB: 128, BandwidthMbps: 100},
+		{MIPS: 1500, RAMMB: 2048, BandwidthMbps: 100},
+	}
+	traces := []workload.Trace{{0.9}, {0.8}, {0.1}}
+	var snap *sim.Snapshot
+	s, err := sim.New(sim.Config{
+		Hosts: hosts, VMs: vms, Traces: traces, Steps: 1,
+		InitialPlacement: sim.PlacementFirstFit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(&grabber{&snap}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.HostUtil[0] <= 0.7 {
+		t.Fatalf("setup: host util %g not overloaded", snap.HostUtil[0])
+	}
+	return snap
+}
+
+func TestPickVictimMMT(t *testing.T) {
+	snap := overloadedSnapshot(t)
+	remaining := append([]int(nil), snap.HostVMs[0]...)
+	idx := pickVictim(SelectMMT, snap, 0, remaining, rand.New(rand.NewSource(1)))
+	if remaining[idx] != 1 {
+		t.Fatalf("MMT picked VM %d, want the 128 MiB VM 1", remaining[idx])
+	}
+}
+
+func TestPickVictimMinUtil(t *testing.T) {
+	snap := overloadedSnapshot(t)
+	remaining := append([]int(nil), snap.HostVMs[0]...)
+	idx := pickVictim(SelectMinUtil, snap, 0, remaining, rand.New(rand.NewSource(1)))
+	if remaining[idx] != 2 {
+		t.Fatalf("MU picked VM %d, want the 10%%-load VM 2", remaining[idx])
+	}
+}
+
+func TestPickVictimRandomCoversAll(t *testing.T) {
+	snap := overloadedSnapshot(t)
+	remaining := append([]int(nil), snap.HostVMs[0]...)
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[remaining[pickVictim(SelectRandom, snap, 0, remaining, rng)]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("RS visited %d of 3 VMs", len(seen))
+	}
+}
+
+func TestPickVictimMaxCorrelation(t *testing.T) {
+	snap := overloadedSnapshot(t)
+	remaining := append([]int(nil), snap.HostVMs[0]...)
+	// Hand-craft VM histories: VMs 0 and 1 spike together, VM 2 is flat.
+	snap.VMHistory[0] = []float64{0.1, 0.9, 0.1, 0.9, 0.1, 0.9}
+	snap.VMHistory[1] = []float64{0.2, 0.8, 0.2, 0.8, 0.2, 0.8}
+	snap.VMHistory[2] = []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	idx := pickVictim(SelectMaxCorrelation, snap, 0, remaining, rand.New(rand.NewSource(1)))
+	if vm := remaining[idx]; vm != 0 && vm != 1 {
+		t.Fatalf("MC picked the uncorrelated VM %d", vm)
+	}
+}
+
+func TestPickVictimMaxCorrelationShortHistoryFallsBack(t *testing.T) {
+	snap := overloadedSnapshot(t)
+	remaining := append([]int(nil), snap.HostVMs[0]...)
+	for j := range snap.VMHistory {
+		snap.VMHistory[j] = []float64{0.5}
+	}
+	if idx := pickVictim(SelectMaxCorrelation, snap, 0, remaining, rand.New(rand.NewSource(1))); idx != 0 {
+		t.Fatalf("short-history MC fallback picked index %d, want 0", idx)
+	}
+}
+
+// TestSelectionVariantsEndToEnd runs each selection policy through a full
+// simulation and checks they all keep the data center functioning.
+func TestSelectionVariantsEndToEnd(t *testing.T) {
+	const nVMs, nHosts, steps = 26, 12, 72
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(4)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 4)
+	s, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []Selection{SelectMMT, SelectRandom, SelectMaxCorrelation, SelectMinUtil} {
+		thr, _ := NewTHR(0.7)
+		p, err := NewMMT(thr, Config{Selection: sel, Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", sel, err)
+		}
+		res, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("%v: %v", sel, err)
+		}
+		if res.TotalCost() <= 0 {
+			t.Fatalf("%v: bad cost", sel)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package core implements Megh, the paper's primary contribution: an online
+// reinforcement-learning policy for live VM migration (Algorithms 1 and 2).
+//
+// Megh models migration as an infinite-horizon discounted MDP (§4) and runs
+// least-squares policy iteration over a d = N·M-dimensional projection of
+// the state-action space spanned by the sparse basis {φ_jk} (§5, Theorem 1).
+// The inverse transition operator B = T⁻¹ is maintained incrementally with
+// the Sherman–Morrison formula (Eq. 11) on a sparse triplet-backed matrix,
+// so each step costs O(#migrations) rather than O(d³) (§5.2). Actions are
+// drawn by Boltzmann exploration with an exponentially decaying temperature
+// (Algorithm 2).
+//
+// Deviations from the pseudocode, and why, are catalogued in DESIGN.md §5:
+// Boltzmann weights are *sampled* rather than arg-maxed, multiple actions
+// per step share the observed interval cost, the action space contains a
+// "stay" per VM, and per-step candidate VMs are drawn from overloaded and
+// underloaded hosts plus an exploratory draw (the practical embodiment of
+// §3.1's "Megh may migrate the VMs allocated in an underloaded PM … if a PM
+// gets overloaded, some of the VMs operating on it are migrated").
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"megh/internal/mdp"
+	"megh/internal/sim"
+	"megh/internal/sparse"
+)
+
+// Config parameterises a Megh learner. The defaults mirror §6.1.
+type Config struct {
+	// NumVMs (N) and NumHosts (M) fix the projected space dimension d = N·M.
+	NumVMs, NumHosts int
+	// Gamma is the discount factor γ (paper: 0.5).
+	Gamma float64
+	// Temp0 is the initial Boltzmann temperature (paper: 3).
+	Temp0 float64
+	// Epsilon is the temperature decay rate, Temp ← Temp·exp(−ε)
+	// (paper: 0.01; the sensitivity study also uses 0.001).
+	Epsilon float64
+	// MaxMigrationsFrac caps per-step migrations at ⌈frac·N⌉ (paper: 0.02).
+	MaxMigrationsFrac float64
+	// UnderloadThreshold marks a host as a consolidation source when its
+	// utilization falls below it (§3.1's underloaded-PM rule).
+	UnderloadThreshold float64
+	// ExplorationRate is the per-step probability of adding one uniformly
+	// drawn candidate VM on top of the overload/underload candidates.
+	ExplorationRate float64
+	// Seed drives exploration randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's §6.1 parameters for an N-VM, M-host
+// data center.
+func DefaultConfig(numVMs, numHosts int, seed int64) Config {
+	return Config{
+		NumVMs:             numVMs,
+		NumHosts:           numHosts,
+		Gamma:              0.5,
+		Temp0:              3,
+		Epsilon:            0.01,
+		MaxMigrationsFrac:  0.02,
+		UnderloadThreshold: 0.1,
+		ExplorationRate:    0.1,
+		Seed:               seed,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.NumVMs <= 0:
+		return fmt.Errorf("core: NumVMs %d must be positive", c.NumVMs)
+	case c.NumHosts <= 0:
+		return fmt.Errorf("core: NumHosts %d must be positive", c.NumHosts)
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("core: Gamma %g out of [0,1)", c.Gamma)
+	case c.Temp0 <= 0:
+		return fmt.Errorf("core: Temp0 %g must be positive", c.Temp0)
+	case c.Epsilon < 0:
+		return fmt.Errorf("core: Epsilon %g must be non-negative", c.Epsilon)
+	case c.MaxMigrationsFrac <= 0 || c.MaxMigrationsFrac > 1:
+		return fmt.Errorf("core: MaxMigrationsFrac %g out of (0,1]", c.MaxMigrationsFrac)
+	case c.UnderloadThreshold < 0 || c.UnderloadThreshold > 1:
+		return fmt.Errorf("core: UnderloadThreshold %g out of [0,1]", c.UnderloadThreshold)
+	case c.ExplorationRate < 0 || c.ExplorationRate > 1:
+		return fmt.Errorf("core: ExplorationRate %g out of [0,1]", c.ExplorationRate)
+	}
+	return nil
+}
+
+// Megh is the learner. It implements sim.Policy and sim.FeedbackReceiver.
+// It is not safe for concurrent use; one instance drives one simulation.
+type Megh struct {
+	cfg Config
+	d   int
+
+	// b is B = T⁻¹, initialised to (1/δ)·I with δ = d (Algorithm 1 line 2).
+	b *sparse.Matrix
+	// z accumulates Σ φ_{a_t}·C_{t+1} (Algorithm 1 line 10).
+	z *sparse.Vector
+	// theta is θ = B·z, maintained incrementally (Algorithm 1 line 11).
+	theta *sparse.Vector
+
+	temp float64
+	rng  *rand.Rand
+
+	// pending holds the action indices chosen last step, awaiting the
+	// observed cost to complete their LSPI update.
+	pending  []int
+	stepCost float64
+	haveCost bool
+
+	// nnzHistory records b.NNZ() after each Decide — Figure 7's series.
+	nnzHistory []int
+
+	// scratch state for per-step feasibility tracking and sampling,
+	// reused across steps to avoid per-decision allocation. hostRAM and
+	// hostMIPS hold each host's aggregate committed RAM and demanded
+	// MIPS including this step's already-chosen migrations, so
+	// feasibility checks are O(1) per destination.
+	hostRAM         []float64
+	hostMIPS        []float64
+	hostActive      []bool
+	feasibleScratch []int
+	qScratch        []float64
+}
+
+var (
+	_ sim.Policy           = (*Megh)(nil)
+	_ sim.FeedbackReceiver = (*Megh)(nil)
+)
+
+// New constructs a Megh learner.
+func New(cfg Config) (*Megh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := mdp.SpaceSize(cfg.NumVMs, cfg.NumHosts)
+	b := sparse.NewMatrix(d, 1/float64(d))
+	// Entries this far below B's initial 1/δ scale cannot influence any
+	// Q comparison; dropping them keeps the Q-table growth linear in the
+	// migration count (§5.2, Figure 7).
+	b.SetDropTolerance(1e-9 / float64(d))
+	return &Megh{
+		cfg:        cfg,
+		d:          d,
+		b:          b,
+		z:          sparse.NewVector(d),
+		theta:      sparse.NewVector(d),
+		temp:       cfg.Temp0,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hostRAM:    make([]float64, cfg.NumHosts),
+		hostMIPS:   make([]float64, cfg.NumHosts),
+		hostActive: make([]bool, cfg.NumHosts),
+	}, nil
+}
+
+// Name implements sim.Policy.
+func (m *Megh) Name() string { return "Megh" }
+
+// Temperature returns the current Boltzmann temperature.
+func (m *Megh) Temperature() float64 { return m.temp }
+
+// QTableNNZ returns the number of materialised entries in B — the paper's
+// "non-zero elements in the Q-table" metric (Figure 7).
+func (m *Megh) QTableNNZ() int { return m.b.NNZ() }
+
+// NNZHistory returns the per-step Q-table sizes recorded so far.
+func (m *Megh) NNZHistory() []int { return m.nnzHistory }
+
+// Q returns the learned cost-to-go estimate θᵀφ_a for an action.
+func (m *Megh) Q(a mdp.Action) float64 {
+	return m.theta.Get(a.Index(m.cfg.NumHosts))
+}
+
+// Observe implements sim.FeedbackReceiver: it records the realised
+// per-stage cost C_{t+1} of Eq. 6 for the actions chosen at step t.
+func (m *Megh) Observe(fb *sim.Feedback) {
+	m.stepCost = fb.StepCost
+	m.haveCost = true
+}
+
+// Decide implements sim.Policy. Each call performs one iteration of
+// Algorithm 1: select this step's actions with the current policy
+// (Algorithm 2), then complete the pending LSPI update for last step's
+// actions using the cost observed in between.
+func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.NumVMs() != m.cfg.NumVMs || s.NumHosts() != m.cfg.NumHosts {
+		panic(fmt.Sprintf("core: snapshot %d×%d does not match Megh config %d×%d",
+			s.NumVMs(), s.NumHosts(), m.cfg.NumVMs, m.cfg.NumHosts))
+	}
+	// Temperature decay (Algorithm 2 line 2).
+	m.temp *= math.Exp(-m.cfg.Epsilon)
+	if m.temp < 1e-9 {
+		m.temp = 1e-9
+	}
+
+	actions, migrations := m.selectActions(s)
+
+	// Complete the pending update: for each action a taken at step t,
+	// T ← T + φ_a(φ_a − γφ_b)ᵀ with b = π_t(s_{t+1}) (Eq. 10), B via
+	// Sherman–Morrison (Eq. 11), z ← z + φ_a·C (line 10), θ = B·z
+	// (line 11, maintained incrementally).
+	if m.haveCost && len(m.pending) > 0 {
+		next := m.pending[0]
+		if len(actions) > 0 {
+			next = actions[0]
+		}
+		share := m.stepCost / float64(len(m.pending))
+		for _, a := range m.pending {
+			m.update(a, next, share)
+		}
+	}
+	m.haveCost = false
+	if len(actions) > 0 {
+		m.pending = actions
+	}
+	// When a step produces no decisions, the previous actions stay
+	// pending: the configuration they created remains in effect, so
+	// subsequent interval costs keep informing their value (a sequence of
+	// implicit self-transitions, v = (1−γ)·φ_a).
+
+	m.nnzHistory = append(m.nnzHistory, m.b.NNZ())
+	return migrations
+}
+
+// update applies one LSPI transition (a taken, b the policy's next action,
+// c the per-stage cost share), maintaining B, z and θ = B·z incrementally:
+//
+//	B' = B − (B·u)(vᵀB)/den          u = φ_a, v = φ_a − γφ_b
+//	θ' = B'·(z + c·φ_a) = θ − (B·u)(vᵀθ)/den + c·col_a(B')
+//
+// A numerically singular update is skipped (the operator would lose
+// invertibility), matching the guarded inverse of §5.2.
+func (m *Megh) update(a, b int, c float64) {
+	u := sparse.Basis(m.d, a)
+	v := sparse.Basis(m.d, a)
+	v.Add(b, -m.cfg.Gamma)
+	bu := m.b.Col(a)
+	vTheta := m.theta.Get(a) - m.cfg.Gamma*m.theta.Get(b)
+	den, err := m.b.ShermanMorrison(u, v)
+	if err != nil {
+		return
+	}
+	if vTheta != 0 {
+		m.theta.AXPY(-vTheta/den, bu)
+	}
+	m.z.Add(a, c)
+	if c != 0 {
+		m.theta.AXPY(c, m.b.Col(a))
+	}
+}
+
+// candidate pairs a VM with the reason it is being decided this step; the
+// reason constrains its destination set.
+type candidate struct {
+	vm int
+	// overload marks a VM shed from an overloaded host; only those may
+	// wake a sleeping destination (and only when no active host fits).
+	overload bool
+}
+
+// selectActions picks this step's candidate VMs and samples one action per
+// candidate from the Boltzmann distribution over the learned Q row.
+func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.Migration) {
+	maxMig := int(math.Ceil(m.cfg.MaxMigrationsFrac * float64(m.cfg.NumVMs)))
+	if maxMig < 1 {
+		maxMig = 1
+	}
+	m.refreshHostAggregates(s)
+	candidates := m.candidates(s, maxMig)
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+
+	migBudget := maxMig
+	for _, c := range candidates {
+		dest, act := m.sampleDestination(s, c)
+		actions = append(actions, act)
+		if dest != s.VMHost[c.vm] && migBudget > 0 {
+			migrations = append(migrations, sim.Migration{VM: c.vm, Dest: dest})
+			m.hostRAM[dest] += s.VMSpecs[c.vm].RAMMB
+			m.hostMIPS[dest] += s.VMMIPS[c.vm]
+			m.hostActive[dest] = true
+			migBudget--
+		}
+	}
+	return actions, migrations
+}
+
+// refreshHostAggregates rebuilds the O(1)-feasibility tables for this step.
+func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
+	for i := 0; i < s.NumHosts(); i++ {
+		m.hostRAM[i] = 0
+		m.hostMIPS[i] = 0
+		m.hostActive[i] = len(s.HostVMs[i]) > 0
+	}
+	for j := 0; j < s.NumVMs(); j++ {
+		h := s.VMHost[j]
+		m.hostRAM[h] += s.VMSpecs[j].RAMMB
+		m.hostMIPS[h] += s.VMMIPS[j]
+	}
+}
+
+// candidates assembles the step's decision set: up to two VMs per
+// overloaded host, the VMs of the most underloaded active host
+// (consolidation source, §3.1), and ExplorationCandidates uniform draws;
+// deduplicated and capped.
+func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
+	seen := make(map[int]bool)
+	var out []candidate
+	add := func(j int, overload bool) {
+		if !seen[j] && len(out) < cap_ {
+			seen[j] = true
+			out = append(out, candidate{vm: j, overload: overload})
+		}
+	}
+	// Overloaded hosts: shed pressure, one decision per host per step so
+	// a batch does not overshoot below the threshold (an unresolved
+	// overload re-triggers next step). The heaviest VM is the decisive
+	// one to re-place.
+	for i := 0; i < s.NumHosts() && len(out) < cap_; i++ {
+		if !s.HostOverloaded(i) || len(s.HostVMs[i]) == 0 {
+			continue
+		}
+		heaviest, demand := -1, -1.0
+		for _, j := range s.HostVMs[i] {
+			if s.VMMIPS[j] > demand {
+				heaviest, demand = j, s.VMMIPS[j]
+			}
+		}
+		add(heaviest, true)
+	}
+	// Most underloaded active host below the threshold: consolidation
+	// (may only target already-active hosts — never wake a machine to
+	// empty another).
+	minUtil := m.cfg.UnderloadThreshold
+	minHost := -1
+	for i := 0; i < s.NumHosts(); i++ {
+		if len(s.HostVMs[i]) > 0 && s.HostUtil[i] < minUtil {
+			minUtil = s.HostUtil[i]
+			minHost = i
+		}
+	}
+	if minHost >= 0 {
+		for _, j := range s.HostVMs[minHost] {
+			add(j, false)
+		}
+	}
+	// An occasional exploration draw keeps the learner sampling the rest
+	// of the space.
+	if m.rng.Float64() < m.cfg.ExplorationRate && len(out) < cap_ {
+		add(m.rng.Intn(s.NumVMs()), false)
+	}
+	return out
+}
+
+// sampleDestination draws host k for VM j from the Boltzmann distribution
+// exp(−(Q(j,k) − minQ)/Temp) over the feasible destinations (including the
+// stay action), which is Algorithm 2 with sampling instead of arg-max.
+// It returns the chosen destination and the action index.
+func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx int) {
+	j := c.vm
+	cur := s.VMHost[j]
+	base := j * m.cfg.NumHosts
+
+	// Collect feasible destinations and their Q values. Active hosts are
+	// preferred; an overload shed may wake a sleeping machine, but only
+	// when no active host can absorb the VM.
+	feasible := m.feasibleScratch[:0]
+	qs := m.qScratch[:0]
+	minQ := math.Inf(1)
+	collect := func(activeOnly bool) {
+		for k := 0; k < s.NumHosts(); k++ {
+			if k != cur && !m.fits(s, j, k, activeOnly) {
+				continue
+			}
+			q := m.theta.Get(base + k)
+			feasible = append(feasible, k)
+			qs = append(qs, q)
+			if q < minQ {
+				minQ = q
+			}
+		}
+	}
+	collect(true)
+	if c.overload && len(feasible) <= 1 { // only the stay option found
+		feasible = feasible[:0]
+		qs = qs[:0]
+		minQ = math.Inf(1)
+		collect(false)
+	}
+	m.feasibleScratch = feasible
+	m.qScratch = qs
+	if len(feasible) == 0 {
+		return cur, base + cur
+	}
+	// Boltzmann weights; the minimum-Q action always has weight 1, so the
+	// total never underflows.
+	var total float64
+	for i, q := range qs {
+		w := math.Exp(-(q - minQ) / m.temp)
+		qs[i] = w
+		total += w
+	}
+	r := m.rng.Float64() * total
+	for i, w := range qs {
+		r -= w
+		if r <= 0 {
+			return feasible[i], base + feasible[i]
+		}
+	}
+	k := feasible[len(feasible)-1]
+	return k, base + k
+}
+
+// fits checks whether VM j can move to host k: RAM capacity, the overload
+// threshold β after placement (a policy must not manufacture overloads),
+// and — for consolidation/exploration moves — that the destination is
+// already active. Aggregates include this step's earlier choices.
+func (m *Megh) fits(s *sim.Snapshot, j, k int, activeOnly bool) bool {
+	if activeOnly && !m.hostActive[k] {
+		return false
+	}
+	spec := s.HostSpecs[k]
+	if m.hostRAM[k]+s.VMSpecs[j].RAMMB > spec.RAMMB {
+		return false
+	}
+	after := (m.hostMIPS[k] + s.VMMIPS[j]) / spec.MIPS
+	return after <= s.OverloadThreshold
+}
+
+// DebugTriplets exposes B's materialised entries for diagnostics.
+func (m *Megh) DebugTriplets() []sparse.Triplet { return m.b.Triplets() }
+
+// DebugTheta exposes a copy of θ for diagnostics.
+func (m *Megh) DebugTheta() *sparse.Vector { return m.theta.Clone() }

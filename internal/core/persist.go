@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"megh/internal/sparse"
+)
+
+// stateVersion guards the persisted format; bump on incompatible change.
+const stateVersion = 1
+
+// persistedState is the gob image of a learner. Everything the LSPI
+// machinery needs survives a round-trip: B (the Q-table), z, θ, the
+// temperature, and the pending transition. The exploration RNG is reseeded
+// from its own next output, so a restored learner is deterministic but its
+// random stream differs from an uninterrupted run (documented on SaveState).
+type persistedState struct {
+	Version    int
+	Config     Config
+	Temp       float64
+	B          sparse.MatrixState
+	Z          sparse.VectorState
+	Theta      sparse.VectorState
+	Pending    []int
+	StepCost   float64
+	HaveCost   bool
+	NNZHistory []int
+	RngSeed    int64
+}
+
+// SaveState serialises the learner so it can resume in a later process —
+// the Q-table persistence a production deployment of an as-you-go learner
+// needs across scheduler restarts. The exploration RNG position is not
+// preserved bit-exactly (a fresh seed drawn from the current stream is
+// stored), so a save/load pair is deterministic but not byte-identical to
+// an uninterrupted run.
+func (m *Megh) SaveState(w io.Writer) error {
+	st := persistedState{
+		Version:    stateVersion,
+		Config:     m.cfg,
+		Temp:       m.temp,
+		B:          m.b.State(),
+		Z:          m.z.State(),
+		Theta:      m.theta.State(),
+		Pending:    append([]int(nil), m.pending...),
+		StepCost:   m.stepCost,
+		HaveCost:   m.haveCost,
+		NNZHistory: append([]int(nil), m.nnzHistory...),
+		RngSeed:    m.rng.Int63(),
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: encoding learner state: %w", err)
+	}
+	return nil
+}
+
+// LoadState reconstructs a learner saved with SaveState.
+func LoadState(r io.Reader) (*Megh, error) {
+	var st persistedState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding learner state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("core: learner state version %d, this build reads %d",
+			st.Version, stateVersion)
+	}
+	m, err := New(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring learner: %w", err)
+	}
+	if st.Temp <= 0 {
+		return nil, fmt.Errorf("core: persisted temperature %g invalid", st.Temp)
+	}
+	b, err := sparse.MatrixFromState(st.B)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring B: %w", err)
+	}
+	z, err := sparse.VectorFromState(st.Z)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring z: %w", err)
+	}
+	theta, err := sparse.VectorFromState(st.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring θ: %w", err)
+	}
+	if b.Dim() != m.d || z.Dim() != m.d || theta.Dim() != m.d {
+		return nil, fmt.Errorf("core: persisted dimensions (%d,%d,%d) do not match config d=%d",
+			b.Dim(), z.Dim(), theta.Dim(), m.d)
+	}
+	for _, a := range st.Pending {
+		if a < 0 || a >= m.d {
+			return nil, fmt.Errorf("core: pending action %d out of range [0,%d)", a, m.d)
+		}
+	}
+	m.temp = st.Temp
+	m.b = b
+	m.z = z
+	m.theta = theta
+	m.pending = st.Pending
+	m.stepCost = st.StepCost
+	m.haveCost = st.HaveCost
+	m.nnzHistory = st.NNZHistory
+	m.rng = rand.New(rand.NewSource(st.RngSeed))
+	return m, nil
+}

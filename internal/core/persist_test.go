@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+// trainLearner runs a learner through a short bursty simulation so its
+// state is non-trivial.
+func trainLearner(t *testing.T) (*Megh, *sim.Simulator) {
+	t.Helper()
+	const nVMs, nHosts, steps = 12, 8, 60
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(3)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 2)
+	s, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(nVMs, nHosts, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, _ := trainLearner(t)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.QTableNNZ() != m.QTableNNZ() {
+		t.Fatalf("Q-table NNZ %d != %d", back.QTableNNZ(), m.QTableNNZ())
+	}
+	if math.Abs(back.Temperature()-m.Temperature()) > 1e-15 {
+		t.Fatalf("temperature %g != %g", back.Temperature(), m.Temperature())
+	}
+	if len(back.NNZHistory()) != len(m.NNZHistory()) {
+		t.Fatal("NNZ history length lost")
+	}
+	// θ must be identical entry-wise.
+	for i := 0; i < m.d; i++ {
+		if back.theta.Get(i) != m.theta.Get(i) {
+			t.Fatalf("θ[%d] differs after round-trip", i)
+		}
+	}
+	// B must be identical on a sample of entries.
+	for _, tr := range m.b.Triplets() {
+		if back.b.Get(tr.Row, tr.Col) != tr.Val {
+			t.Fatalf("B[%d,%d] differs after round-trip", tr.Row, tr.Col)
+		}
+	}
+}
+
+func TestRestoredLearnerKeepsServing(t *testing.T) {
+	m, s := trainLearner(t)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored learner must drive a fresh simulation without issue
+	// and keep its learned state growing.
+	before := back.QTableNNZ()
+	res, err := s.Run(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost() <= 0 {
+		t.Fatal("restored learner produced a degenerate run")
+	}
+	if back.QTableNNZ() < before {
+		t.Fatal("restored learner's Q-table shrank")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	if _, err := LoadState(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadStateRejectsWrongVersion(t *testing.T) {
+	m, _ := trainLearner(t)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding through the internal type.
+	var st persistedState
+	dec := newTestDecoder(t, buf.Bytes(), &st)
+	_ = dec
+	st.Version = 99
+	var buf2 bytes.Buffer
+	encodeTestState(t, &buf2, st)
+	if _, err := LoadState(&buf2); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestLoadStateRejectsInvalidFields(t *testing.T) {
+	m, _ := trainLearner(t)
+	mutations := []func(*persistedState){
+		func(st *persistedState) { st.Temp = -1 },
+		func(st *persistedState) { st.Config.NumVMs = 0 },
+		func(st *persistedState) { st.Pending = []int{1 << 30} },
+		func(st *persistedState) { st.Z.Dim = 1 },
+	}
+	for i, mutate := range mutations {
+		var buf bytes.Buffer
+		if err := m.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var st persistedState
+		newTestDecoder(t, buf.Bytes(), &st)
+		mutate(&st)
+		var buf2 bytes.Buffer
+		encodeTestState(t, &buf2, st)
+		if _, err := LoadState(&buf2); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperConstants(t *testing.T) {
+	p := Default()
+	if p.EnergyPricePerKWh != 0.18675 {
+		t.Errorf("energy price = %g, want 0.18675 (paper §6.1)", p.EnergyPricePerKWh)
+	}
+	if p.RevenuePerVMHour != 1.2 {
+		t.Errorf("revenue = %g, want 1.2", p.RevenuePerVMHour)
+	}
+	if p.RefundTier1 != 0.167 || p.RefundTier2 != 0.333 {
+		t.Errorf("refunds = %g/%g, want 0.167/0.333", p.RefundTier1, p.RefundTier2)
+	}
+	if p.Tier1Threshold != 0.0005 || p.Tier2Threshold != 0.0010 {
+		t.Errorf("thresholds = %g/%g, want 0.0005/0.0010", p.Tier1Threshold, p.Tier2Threshold)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.EnergyPricePerKWh = -1 },
+		func(p *Params) { p.RevenuePerVMHour = -1 },
+		func(p *Params) { p.RefundTier1 = 1.5 },
+		func(p *Params) { p.RefundTier2 = -0.1 },
+		func(p *Params) { p.RefundTier1, p.RefundTier2 = 0.4, 0.2 },
+		func(p *Params) { p.Tier1Threshold = -0.1 },
+		func(p *Params) { p.Tier2Threshold = 0.0001 },
+		func(p *Params) { p.MigrationDowntimeFactor = 2 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEnergyCostKnown(t *testing.T) {
+	p := Default()
+	// 1000 W for one hour = 1 kWh.
+	if got := p.EnergyCost(1000, 3600); math.Abs(got-0.18675) > 1e-12 {
+		t.Fatalf("EnergyCost = %g, want 0.18675", got)
+	}
+	if p.EnergyCost(0, 100) != 0 || p.EnergyCost(100, 0) != 0 || p.EnergyCost(-5, 10) != 0 {
+		t.Fatal("degenerate energy costs should be 0")
+	}
+}
+
+func TestRefundRateTiers(t *testing.T) {
+	p := Default()
+	cases := []struct {
+		frac, want float64
+	}{
+		{0, 0},
+		{0.0005, 0},     // exactly at tier-1 boundary: still free (open interval)
+		{0.0007, 0.167}, // inside (0.05%, 0.10%]
+		{0.0010, 0.167}, // exactly at tier-2 boundary: tier 1 (closed)
+		{0.0011, 0.333}, // beyond 0.10%
+		{0.5, 0.333},
+	}
+	for _, c := range cases {
+		if got := p.RefundRate(c.frac); got != c.want {
+			t.Errorf("RefundRate(%g) = %g, want %g", c.frac, got, c.want)
+		}
+	}
+}
+
+func TestSLACost(t *testing.T) {
+	p := Default()
+	// Tier-2 VM for 300 s: 0.333 × 1.2 USD/h × (300/3600) h.
+	want := 0.333 * 1.2 * 300 / 3600
+	if got := p.SLACost(0.01, 300); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SLACost = %g, want %g", got, want)
+	}
+	if p.SLACost(0, 300) != 0 {
+		t.Fatal("no downtime must cost nothing")
+	}
+	if p.SLACost(0.01, 0) != 0 {
+		t.Fatal("zero-length interval must cost nothing")
+	}
+}
+
+// Property: costs are non-negative and monotone in their drivers.
+func TestQuickCostMonotone(t *testing.T) {
+	p := Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w1, w2 := r.Float64()*500, r.Float64()*500
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		sec := r.Float64() * 1e5
+		if p.EnergyCost(w1, sec) > p.EnergyCost(w2, sec) {
+			return false
+		}
+		d1, d2 := r.Float64()*0.01, r.Float64()*0.01
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		if p.SLACost(d1, sec) > p.SLACost(d2, sec) {
+			return false
+		}
+		return p.EnergyCost(w1, sec) >= 0 && p.SLACost(d1, sec) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountingString(t *testing.T) {
+	if SLAPerInterval.String() != "per-interval" || SLACumulative.String() != "cumulative" {
+		t.Fatal("accounting names wrong")
+	}
+	if SLAAccounting(77).String() != "accounting(77)" {
+		t.Fatalf("unknown accounting renders %q", SLAAccounting(77).String())
+	}
+}
+
+func TestMemoryCost(t *testing.T) {
+	p := Default()
+	p.MemoryPricePerGBHour = 0.02
+	// 2048 MiB = 2 GB for half an hour.
+	if got, want := p.MemoryCost(2048, 1800), 0.02*2*0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MemoryCost = %g, want %g", got, want)
+	}
+	if p.MemoryCost(0, 100) != 0 || p.MemoryCost(100, 0) != 0 || p.MemoryCost(-1, 5) != 0 {
+		t.Fatal("degenerate memory costs should be 0")
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	p := Default()
+	p.MigrationTransferPricePerGB = 0.25
+	if got, want := p.TransferCost(512), 0.25*0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransferCost = %g, want %g", got, want)
+	}
+	if p.TransferCost(0) != 0 || p.TransferCost(-3) != 0 {
+		t.Fatal("degenerate transfer costs should be 0")
+	}
+}
+
+func TestValidateResourceAndAccountingFields(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Accounting = SLAAccounting(9) },
+		func(p *Params) { p.MemoryPricePerGBHour = -0.1 },
+		func(p *Params) { p.MigrationTransferPricePerGB = -0.1 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	for _, a := range []SLAAccounting{0, SLAPerInterval, SLACumulative} {
+		p := Default()
+		p.Accounting = a
+		if err := p.Validate(); err != nil {
+			t.Errorf("accounting %v should validate: %v", a, err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"megh/internal/consolidation"
+	"megh/internal/core"
+	"megh/internal/cost"
+	"megh/internal/sim"
+	"megh/internal/topology"
+)
+
+// RunCustom runs a pre-built policy on a setup, optionally mutating the
+// simulator configuration first (cost model, topology, failures, …). It is
+// the extension point every ablation below is built on.
+func RunCustom(setup Setup, p sim.Policy, mutate func(*sim.Config)) (*sim.Result, error) {
+	cfg, err := setup.Build()
+	if err != nil {
+		return nil, err
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(p)
+}
+
+// MigrationCapSweep ablates Megh's 2 % per-step migration cap (§6.1,
+// DESIGN.md §4): one row per cap fraction.
+func MigrationCapSweep(setup Setup, fractions []float64) ([]TableRow, error) {
+	rows := make([]TableRow, 0, len(fractions))
+	for _, f := range fractions {
+		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.Seed+101)
+		mc.MaxMigrationsFrac = f
+		learner, err := core.New(mc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cap %g: %w", f, err)
+		}
+		res, err := RunCustom(setup, learner, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cap %g: %w", f, err)
+		}
+		row := RowFromResult(res)
+		row.Policy = fmt.Sprintf("Megh(cap=%g%%)", f*100)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ExplorationSweep ablates Megh's exploratory candidate rate.
+func ExplorationSweep(setup Setup, rates []float64) ([]TableRow, error) {
+	rows := make([]TableRow, 0, len(rates))
+	for _, r := range rates {
+		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.Seed+101)
+		mc.ExplorationRate = r
+		learner, err := core.New(mc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exploration %g: %w", r, err)
+		}
+		res, err := RunCustom(setup, learner, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exploration %g: %w", r, err)
+		}
+		row := RowFromResult(res)
+		row.Policy = fmt.Sprintf("Megh(explore=%g)", r)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AccountingComparison reruns the named policies under both SLA accounting
+// modes (the DESIGN.md §5.4 deviation, quantified).
+func AccountingComparison(setup Setup, policies []string) ([]TableRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "Megh"}
+	}
+	modes := []cost.SLAAccounting{cost.SLAPerInterval, cost.SLACumulative}
+	rows := make([]TableRow, 0, len(policies)*len(modes))
+	for _, mode := range modes {
+		for _, name := range policies {
+			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunCustom(setup, p, func(c *sim.Config) {
+				params := cost.Default()
+				params.Accounting = mode
+				c.Cost = params
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s under %v: %w", name, mode, err)
+			}
+			row := RowFromResult(res)
+			row.Policy = fmt.Sprintf("%s[%v]", name, mode)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// SelectionComparison runs the THR detector with every victim-selection
+// policy (MMT vs RS vs MC vs MU).
+func SelectionComparison(setup Setup) ([]TableRow, error) {
+	selections := []consolidation.Selection{
+		consolidation.SelectMMT,
+		consolidation.SelectRandom,
+		consolidation.SelectMaxCorrelation,
+		consolidation.SelectMinUtil,
+	}
+	rows := make([]TableRow, 0, len(selections))
+	for _, sel := range selections {
+		thr, err := consolidation.NewTHR(0.7)
+		if err != nil {
+			return nil, err
+		}
+		p, err := consolidation.NewMMT(thr, consolidation.Config{
+			Selection: sel, Seed: setup.Seed + 101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunCustom(setup, p, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: selection %v: %w", sel, err)
+		}
+		rows = append(rows, RowFromResult(res))
+	}
+	return rows, nil
+}
+
+// TopologyComparison reruns the named policies with and without the
+// fat-tree migration-time model (§7's future-work extension).
+func TopologyComparison(setup Setup, policies []string, hopFactor float64) ([]TableRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "Megh"}
+	}
+	model, err := topology.NewMigrationModel(setup.Hosts, hopFactor)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableRow, 0, 2*len(policies))
+	for _, withTopo := range []bool{false, true} {
+		for _, name := range policies {
+			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+			if err != nil {
+				return nil, err
+			}
+			var mutate func(*sim.Config)
+			label := name + "[flat]"
+			if withTopo {
+				mutate = func(c *sim.Config) { c.Migration = model }
+				label = fmt.Sprintf("%s[fat-tree k=%d]", name, model.Tree.K())
+			}
+			res, err := RunCustom(setup, p, mutate)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", label, err)
+			}
+			row := RowFromResult(res)
+			row.Policy = label
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// LearnerComparison runs the three reinforcement-learning approaches the
+// paper discusses (§2.2) head to head on the MadVM-subset world: Megh
+// (online, sparse LSPI), MadVM (online, per-VM value iteration) and
+// Q-learning with its offline training phase. It substantiates the paper's
+// narrative that Megh avoids both MadVM's per-step cost and Q-learning's
+// training dependency.
+func LearnerComparison(setup Setup) ([]TableRow, error) {
+	return RunTable(setup, []string{"Megh", "MadVM", "Q-learning"})
+}
+
+// FailureRecovery injects host outages and reports how each policy copes:
+// the standard table columns plus the failure exposure.
+func FailureRecovery(setup Setup, policies []string, failures []sim.Failure) ([]TableRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "Megh"}
+	}
+	rows := make([]TableRow, 0, len(policies))
+	for _, name := range policies {
+		p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunCustom(setup, p, func(c *sim.Config) {
+			c.Failures = append([]sim.Failure(nil), failures...)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s with failures: %w", name, err)
+		}
+		rows = append(rows, RowFromResult(res))
+	}
+	return rows, nil
+}

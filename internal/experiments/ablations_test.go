@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"megh/internal/cost"
+	"megh/internal/sim"
+)
+
+func ablationSetup() Setup {
+	return Setup{Dataset: PlanetLab, Hosts: 24, VMs: 32, Steps: 72, Seed: 5}
+}
+
+func TestRunCustomMutatorApplied(t *testing.T) {
+	setup := ablationSetup()
+	p, err := NewPolicy("Megh", setup.VMs, setup.Hosts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	res, err := RunCustom(setup, p, func(c *sim.Config) {
+		mutated = true
+		params := cost.Default()
+		params.EnergyPricePerKWh = 0 // free electricity
+		c.Cost = params
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mutated {
+		t.Fatal("mutator not invoked")
+	}
+	if res.TotalEnergyCost() != 0 {
+		t.Fatalf("energy cost %g with zero tariff", res.TotalEnergyCost())
+	}
+}
+
+func TestMigrationCapSweep(t *testing.T) {
+	rows, err := MigrationCapSweep(ablationSetup(), []float64{0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if !strings.Contains(rows[0].Policy, "cap=1%") {
+		t.Fatalf("row label %q", rows[0].Policy)
+	}
+	if _, err := MigrationCapSweep(ablationSetup(), []float64{-1}); err == nil {
+		t.Fatal("invalid cap should error")
+	}
+}
+
+func TestExplorationSweep(t *testing.T) {
+	rows, err := ExplorationSweep(ablationSetup(), []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// More exploration must not migrate less (same world, same seed).
+	if rows[1].Migrations < rows[0].Migrations {
+		t.Fatalf("exploration=1 migrated %d < exploration=0's %d",
+			rows[1].Migrations, rows[0].Migrations)
+	}
+}
+
+func TestAccountingComparison(t *testing.T) {
+	rows, err := AccountingComparison(ablationSetup(), []string{"Megh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var perInterval, cumulative float64
+	for _, r := range rows {
+		switch {
+		case strings.Contains(r.Policy, "per-interval"):
+			perInterval = r.SLACost
+		case strings.Contains(r.Policy, "cumulative"):
+			cumulative = r.SLACost
+		default:
+			t.Fatalf("unlabelled row %q", r.Policy)
+		}
+	}
+	// The ratchet can only increase SLA cost.
+	if cumulative < perInterval {
+		t.Fatalf("cumulative SLA %.4f below per-interval %.4f", cumulative, perInterval)
+	}
+}
+
+func TestSelectionComparison(t *testing.T) {
+	rows, err := SelectionComparison(ablationSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Policy] = true
+	}
+	for _, want := range []string{"THR-MMT", "THR-RS", "THR-MC", "THR-MU"} {
+		if !names[want] {
+			t.Fatalf("missing %s in %v", want, names)
+		}
+	}
+}
+
+func TestTopologyComparison(t *testing.T) {
+	rows, err := TopologyComparison(ablationSetup(), []string{"Megh"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if !strings.Contains(rows[0].Policy, "flat") || !strings.Contains(rows[1].Policy, "fat-tree") {
+		t.Fatalf("row labels %q / %q", rows[0].Policy, rows[1].Policy)
+	}
+	if _, err := TopologyComparison(ablationSetup(), nil, -1); err == nil {
+		t.Fatal("negative hop factor should error")
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	setup := ablationSetup()
+	failures := []sim.Failure{{Host: 0, From: 24, Until: 48}}
+	rows, err := FailureRecovery(setup, []string{"Megh", "THR-MMT"}, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Compare against the failure-free baseline: injected outages must
+	// not reduce cost.
+	base, err := RunPolicy(setup, "Megh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Policy == "Megh" && r.TotalCost < base.TotalCost()*0.95 {
+			t.Fatalf("failure run cost %.4f suspiciously below baseline %.4f",
+				r.TotalCost, base.TotalCost())
+		}
+	}
+	if _, err := FailureRecovery(setup, nil, []sim.Failure{{Host: 99, From: 0, Until: 1}}); err == nil {
+		t.Fatal("invalid failure host should error")
+	}
+}
+
+func TestLearnerComparison(t *testing.T) {
+	rows, err := LearnerComparison(ablationSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	names := map[string]bool{}
+	var megh, madvm float64
+	for _, r := range rows {
+		names[r.Policy] = true
+		switch r.Policy {
+		case "Megh":
+			megh = r.MeanDecideMs
+		case "MadVM":
+			madvm = r.MeanDecideMs
+		}
+	}
+	for _, want := range []string{"Megh", "MadVM", "Q-learning"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	// The paper's execution-time ordering: Megh ≪ MadVM.
+	if megh >= madvm {
+		t.Fatalf("Megh decide %.4f ms not below MadVM's %.4f ms", megh, madvm)
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"megh/internal/workload"
+)
+
+// smallPL is a fast PlanetLab-like setup used across the tests.
+func smallPL() Setup {
+	return Setup{Dataset: PlanetLab, Hosts: 40, VMs: 52, Steps: 144, Seed: 1}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := PlanetLab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Google.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Dataset("nope").Validate(); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestPaperSetups(t *testing.T) {
+	pl := PaperPlanetLab(1)
+	if pl.Hosts != 800 || pl.VMs != 1052 || pl.Steps != workload.SevenDays {
+		t.Fatalf("PaperPlanetLab = %+v, want 800×1052×%d (§6.2)", pl, workload.SevenDays)
+	}
+	g := PaperGoogle(1)
+	if g.Hosts != 500 || g.VMs != 2000 {
+		t.Fatalf("PaperGoogle = %+v, want 500×2000 (§6.2)", g)
+	}
+	m := PaperMadVMSubset(PlanetLab, 1)
+	if m.Hosts != 100 || m.VMs != 150 || m.Steps != workload.ThreeDays {
+		t.Fatalf("PaperMadVMSubset = %+v, want 100×150×%d (§6.3)", m, workload.ThreeDays)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := PaperPlanetLab(1).Scaled(8)
+	if s.Hosts != 100 || s.VMs != 131 || s.Steps != 252 {
+		t.Fatalf("Scaled(8) = %+v", s)
+	}
+	if same := PaperPlanetLab(1).Scaled(1); same != PaperPlanetLab(1) {
+		t.Fatal("Scaled(1) must be identity")
+	}
+	tiny := Setup{Dataset: PlanetLab, Hosts: 4, VMs: 4, Steps: 40, Seed: 1}.Scaled(100)
+	if tiny.Hosts < 2 || tiny.VMs < 2 || tiny.Steps < 36 {
+		t.Fatalf("Scaled floor violated: %+v", tiny)
+	}
+}
+
+func TestBuildRejectsBadSetups(t *testing.T) {
+	bad := []Setup{
+		{Dataset: "nope", Hosts: 2, VMs: 2, Steps: 2},
+		{Dataset: PlanetLab, Hosts: 0, VMs: 2, Steps: 2},
+		{Dataset: PlanetLab, Hosts: 2, VMs: -1, Steps: 2},
+		{Dataset: Google, Hosts: 2, VMs: 2, Steps: 0},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("case %d: expected Build error for %+v", i, s)
+		}
+	}
+}
+
+func TestBuildBothDatasets(t *testing.T) {
+	for _, ds := range []Dataset{PlanetLab, Google} {
+		s := Setup{Dataset: ds, Hosts: 10, VMs: 15, Steps: 20, Seed: 3}
+		cfg, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if len(cfg.Hosts) != 10 || len(cfg.VMs) != 15 || len(cfg.Traces) != 15 {
+			t.Fatalf("%s: built %d hosts / %d VMs / %d traces", ds,
+				len(cfg.Hosts), len(cfg.VMs), len(cfg.Traces))
+		}
+	}
+}
+
+func TestNewPolicyAllNames(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, 10, 5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("bogus", 10, 5, 1); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+// TestHeadlineShape is the repository's core reproduction assertion at test
+// scale: Megh must beat THR-MMT on total cost with several-fold fewer
+// migrations (paper Table 2: −14 % cost, ~140× fewer migrations). The gap
+// opens with data-center size (MMT's churn scales with the host count), so
+// the assertion runs at 100 hosts — the smallest size where the paper-shape
+// is stable across seeds; see EXPERIMENTS.md for the full-scale numbers.
+func TestHeadlineShape(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 100, VMs: 132, Steps: 288, Seed: 1}
+	megh, err := RunPolicy(setup, "Megh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := RunPolicy(setup, "THR-MMT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if megh.TotalCost() >= thr.TotalCost() {
+		t.Errorf("Megh total cost %.2f not below THR-MMT %.2f (paper Table 2 shape)",
+			megh.TotalCost(), thr.TotalCost())
+	}
+	if megh.TotalMigrations()*2 >= thr.TotalMigrations() {
+		t.Errorf("Megh migrations %d not ≪ THR-MMT %d", megh.TotalMigrations(), thr.TotalMigrations())
+	}
+}
+
+func TestRunTableDefaultsAndEmit(t *testing.T) {
+	setup := smallPL()
+	rows, err := RunTable(setup, []string{"THR-MMT", "Megh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalCost <= 0 || math.IsNaN(r.TotalCost) {
+			t.Fatalf("row %+v has bad cost", r)
+		}
+		if math.Abs(r.TotalCost-(r.EnergyCost+r.SLACost)) > 1e-9 {
+			t.Fatalf("row %s: cost decomposition inconsistent", r.Policy)
+		}
+	}
+	var text strings.Builder
+	if err := WriteTable(&text, "T", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Megh") || !strings.Contains(text.String(), "THR-MMT") {
+		t.Fatal("text table missing policies")
+	}
+	var csv strings.Builder
+	if err := WriteTableCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "policy,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunFigure1a(t *testing.T) {
+	fig, err := RunFigure1a(60, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Mean) != 100 || len(fig.Max) != 100 || len(fig.Min) != 100 || len(fig.Std) != 100 {
+		t.Fatal("series length mismatch")
+	}
+	for i := range fig.Mean {
+		if fig.Min[i] > fig.Mean[i] || fig.Mean[i] > fig.Max[i] {
+			t.Fatalf("step %d: ordering violated (%g ≤ %g ≤ %g)", i, fig.Min[i], fig.Mean[i], fig.Max[i])
+		}
+	}
+	// The paper's Figure 1(a) shows mean around 12% and max near 90%+.
+	meanOfMeans := 0.0
+	for _, m := range fig.Mean {
+		meanOfMeans += m
+	}
+	meanOfMeans /= float64(len(fig.Mean))
+	if meanOfMeans < 5 || meanOfMeans > 25 {
+		t.Errorf("mean utilization %.1f%%, want ≈12%%", meanOfMeans)
+	}
+}
+
+func TestRunFigure1b(t *testing.T) {
+	fig, err := RunFigure1b(100, 200, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Counts) != 10 || len(fig.BinEdges) != 11 {
+		t.Fatal("histogram shape wrong")
+	}
+	total := 0
+	nonEmpty := 0
+	for _, c := range fig.Counts {
+		total += c
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no tasks histogrammed")
+	}
+	// The paper's point: durations spread over many decades.
+	if nonEmpty < 5 {
+		t.Errorf("durations concentrated in %d bins, want broad spread", nonEmpty)
+	}
+	if fig.BinEdges[0] > 10.01 || fig.BinEdges[10] < 0.99e6 {
+		t.Errorf("bin edges [%g, %g] do not span 10¹–10⁶ s", fig.BinEdges[0], fig.BinEdges[10])
+	}
+}
+
+func TestRunSeriesAndCSV(t *testing.T) {
+	setup := smallPL()
+	set, err := RunSeries(setup, []string{"Megh", "THR-MMT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d series", len(set))
+	}
+	var csv strings.Builder
+	if err := WriteSeriesCSV(&csv, set, []string{"Megh", "THR-MMT"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != setup.Steps+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(lines), setup.Steps+1)
+	}
+	if !strings.Contains(lines[0], "Megh_cost") || !strings.Contains(lines[0], "THR-MMT_exec_ms") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	pts, err := RunScalability(PlanetLab, "Megh", []int{6, 12}, 2, 36, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("grid size %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.MeanDecideMs < 0 {
+			t.Fatalf("negative decide time at %dx%d", p.Hosts, p.VMs)
+		}
+	}
+	if _, err := RunScalability(PlanetLab, "Megh", []int{4}, 0, 10, 1); err == nil {
+		t.Fatal("zero reps should error")
+	}
+	var csv strings.Builder
+	if err := WriteScalabilityCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "hosts,vms,mean_exec_ms") {
+		t.Fatal("scalability CSV header wrong")
+	}
+}
+
+func TestQTableGrowth(t *testing.T) {
+	growth, err := QTableGrowth(PlanetLab, []int{8, 16}, 72, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{8, 16} {
+		hist := growth[m]
+		if len(hist) != 72 {
+			t.Fatalf("m=%d: history length %d", m, len(hist))
+		}
+		for i := 1; i < len(hist); i++ {
+			if hist[i] < hist[i-1] {
+				t.Fatalf("m=%d: Q-table shrank at %d", m, i)
+			}
+		}
+	}
+	var csv strings.Builder
+	if err := WriteQTableGrowthCSV(&csv, growth, []int{8, 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "nnz_m8") {
+		t.Fatal("growth CSV header wrong")
+	}
+}
+
+func TestSensitivityRunners(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 12, VMs: 16, Steps: 48, Seed: 4}
+	temps, err := RunSensitivityTemp(setup, []float64{1, 3}, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temps) != 2 {
+		t.Fatalf("got %d temp points", len(temps))
+	}
+	for _, p := range temps {
+		b := p.Boxplot
+		if !(b.P05 <= b.Median && b.Median <= b.P95) {
+			t.Fatalf("boxplot unordered at Temp0=%g: %+v", p.Param, b)
+		}
+	}
+	eps, err := RunSensitivityEpsilon(setup, []float64{0.001, 0.1}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("got %d epsilon points", len(eps))
+	}
+	if _, err := RunSensitivityTemp(setup, []float64{1}, 0.001, 0); err == nil {
+		t.Fatal("zero reps should error")
+	}
+	var csv strings.Builder
+	if err := WriteSensitivityCSV(&csv, temps); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "param,p05,q1,median,q3,p95") {
+		t.Fatal("sensitivity CSV header wrong")
+	}
+}
+
+func TestQLearningGetsTrainedInRunPolicy(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 8, VMs: 10, Steps: 36, Seed: 6}
+	res, err := RunPolicy(setup, "Q-learning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "Q-learning" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunTableParallel is RunTable with the policies executed concurrently,
+// bounded by maxParallel workers (0 means GOMAXPROCS). Policies never
+// share state — each gets its own simulator world built from the same
+// setup — so the results are identical to the sequential runner; only
+// wall-clock time changes. Per-step DecideSeconds remain comparable
+// because each policy's Decide runs single-threaded.
+func RunTableParallel(setup Setup, policies []string, maxParallel int) ([]TableRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "Megh"}
+	}
+	if maxParallel <= 0 {
+		maxParallel = runtime.GOMAXPROCS(0)
+	}
+	type slot struct {
+		row TableRow
+		err error
+	}
+	results := make([]slot, len(policies))
+	sem := make(chan struct{}, maxParallel)
+	var wg sync.WaitGroup
+	for i, name := range policies {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := RunPolicy(setup, name)
+			if err != nil {
+				results[i].err = fmt.Errorf("experiments: policy %s: %w", name, err)
+				return
+			}
+			results[i].row = RowFromResult(res)
+		}(i, name)
+	}
+	wg.Wait()
+	rows := make([]TableRow, 0, len(policies))
+	for _, s := range results {
+		if s.err != nil {
+			return nil, s.err
+		}
+		rows = append(rows, s.row)
+	}
+	return rows, nil
+}

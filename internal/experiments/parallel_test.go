@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRunTableParallelMatchesSequential(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 20, VMs: 26, Steps: 48, Seed: 3}
+	policies := []string{"THR-MMT", "Megh", "LR-MMT"}
+	seq, err := RunTable(setup, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTableParallel(setup, policies, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Policy != par[i].Policy {
+			t.Fatalf("row %d ordering differs: %s vs %s", i, seq[i].Policy, par[i].Policy)
+		}
+		// Everything except wall-clock timing must be bit-identical.
+		if seq[i].TotalCost != par[i].TotalCost ||
+			seq[i].Migrations != par[i].Migrations ||
+			seq[i].MeanActiveHosts != par[i].MeanActiveHosts {
+			t.Fatalf("row %d differs:\nseq %+v\npar %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunTableParallelDefaults(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 10, VMs: 13, Steps: 24, Seed: 1}
+	rows, err := RunTableParallel(setup, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("default policy set yielded %d rows", len(rows))
+	}
+}
+
+func TestRunTableParallelPropagatesErrors(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 10, VMs: 13, Steps: 24, Seed: 1}
+	if _, err := RunTableParallel(setup, []string{"Megh", "bogus"}, 2); err == nil {
+		t.Fatal("unknown policy should fail the whole table")
+	}
+}

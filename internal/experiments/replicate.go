@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"megh/internal/stats"
+)
+
+// ReplicatedRow summarises one policy across independent seeded
+// repetitions — how EXPERIMENTS.md reports run-to-run robustness.
+type ReplicatedRow struct {
+	Policy string
+	Reps   int
+	// Cost, Migrations, ActiveHosts, DecideMs hold mean and population
+	// standard deviation across repetitions.
+	Cost, Migrations, ActiveHosts, DecideMs MeanStd
+}
+
+// MeanStd is a mean ± standard deviation pair.
+type MeanStd struct {
+	Mean, Std float64
+}
+
+func meanStd(xs []float64) MeanStd {
+	return MeanStd{Mean: stats.Mean(xs), Std: stats.StdDev(xs)}
+}
+
+// String renders the pair as "m ± s".
+func (m MeanStd) String() string { return fmt.Sprintf("%.2f ± %.2f", m.Mean, m.Std) }
+
+// RunReplicated runs each named policy `reps` times with distinct seeds
+// (setup.Seed + k·8779) and returns per-policy summaries. The same seed
+// sequence is used for every policy so they face identical workloads.
+func RunReplicated(setup Setup, policies []string, reps int) ([]ReplicatedRow, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiments: reps %d must be positive", reps)
+	}
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "Megh"}
+	}
+	rows := make([]ReplicatedRow, 0, len(policies))
+	for _, name := range policies {
+		costs := make([]float64, 0, reps)
+		migs := make([]float64, 0, reps)
+		act := make([]float64, 0, reps)
+		dec := make([]float64, 0, reps)
+		for k := 0; k < reps; k++ {
+			s := setup
+			s.Seed = setup.Seed + int64(k)*8779
+			res, err := RunPolicy(s, name)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s rep %d: %w", name, k, err)
+			}
+			costs = append(costs, res.TotalCost())
+			migs = append(migs, float64(res.TotalMigrations()))
+			act = append(act, res.MeanActiveHosts())
+			dec = append(dec, res.MeanDecideSeconds()*1000)
+		}
+		rows = append(rows, ReplicatedRow{
+			Policy:      name,
+			Reps:        reps,
+			Cost:        meanStd(costs),
+			Migrations:  meanStd(migs),
+			ActiveHosts: meanStd(act),
+			DecideMs:    meanStd(dec),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReplicated(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 20, VMs: 26, Steps: 48, Seed: 1}
+	rows, err := RunReplicated(setup, []string{"Megh", "THR-MMT"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reps != 3 {
+			t.Fatalf("%s: reps = %d", r.Policy, r.Reps)
+		}
+		if r.Cost.Mean <= 0 {
+			t.Fatalf("%s: degenerate mean cost", r.Policy)
+		}
+		if r.Cost.Std < 0 || r.Migrations.Std < 0 {
+			t.Fatalf("%s: negative std", r.Policy)
+		}
+	}
+	if !strings.Contains(rows[0].Cost.String(), "±") {
+		t.Fatal("MeanStd.String missing ± rendering")
+	}
+}
+
+func TestRunReplicatedValidation(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 5, VMs: 6, Steps: 10, Seed: 1}
+	if _, err := RunReplicated(setup, nil, 0); err == nil {
+		t.Fatal("zero reps should error")
+	}
+	if _, err := RunReplicated(setup, []string{"bogus"}, 1); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestRunReplicatedDefaultPolicies(t *testing.T) {
+	setup := Setup{Dataset: PlanetLab, Hosts: 8, VMs: 10, Steps: 24, Seed: 2}
+	rows, err := RunReplicated(setup, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy != "THR-MMT" || rows[1].Policy != "Megh" {
+		t.Fatalf("default policies wrong: %+v", rows)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"megh/internal/qlearn"
+	"megh/internal/sim"
+)
+
+// TableRow is one policy's line in a Table-2/3-style comparison.
+type TableRow struct {
+	Policy          string
+	TotalCost       float64 // USD
+	EnergyCost      float64 // USD
+	SLACost         float64 // USD
+	Migrations      int
+	MeanActiveHosts float64
+	MeanDecideMs    float64
+}
+
+// RunPolicy builds and runs one named policy on the setup. Q-learning is
+// given its offline training phase first (two episodes), which is part of
+// the point the paper makes about it.
+func RunPolicy(setup Setup, policy string) (*sim.Result, error) {
+	cfg, err := setup.Build()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPolicy(policy, setup.VMs, setup.Hosts, setup.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	if q, ok := p.(*qlearn.QLearning); ok {
+		if err := q.Train(s, 2); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run(p)
+}
+
+// RowFromResult condenses a run into a table row.
+func RowFromResult(r *sim.Result) TableRow {
+	return TableRow{
+		Policy:          r.Policy,
+		TotalCost:       r.TotalCost(),
+		EnergyCost:      r.TotalEnergyCost(),
+		SLACost:         r.TotalSLACost(),
+		Migrations:      r.TotalMigrations(),
+		MeanActiveHosts: r.MeanActiveHosts(),
+		MeanDecideMs:    r.MeanDecideSeconds() * 1000,
+	}
+}
+
+// RunTable reproduces a Table-2/3-style comparison: every named policy on
+// the same setup. On the full paper setups this is the most expensive
+// entry point in the package.
+func RunTable(setup Setup, policies []string) ([]TableRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "Megh"}
+	}
+	rows := make([]TableRow, 0, len(policies))
+	for _, name := range policies {
+		res, err := RunPolicy(setup, name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy %s: %w", name, err)
+		}
+		rows = append(rows, RowFromResult(res))
+	}
+	return rows, nil
+}
+
+// WriteTable renders rows as an aligned text table (the layout of the
+// paper's Tables 2–3).
+func WriteTable(w io.Writer, title string, rows []TableRow) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Policy\tTotal cost (USD)\tEnergy (USD)\tSLA (USD)\t#VM migrations\tMean active hosts\tExec time (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%d\t%.1f\t%.3f\n",
+			r.Policy, r.TotalCost, r.EnergyCost, r.SLACost,
+			r.Migrations, r.MeanActiveHosts, r.MeanDecideMs)
+	}
+	return tw.Flush()
+}
+
+// WriteTableCSV renders rows as CSV.
+func WriteTableCSV(w io.Writer, rows []TableRow) error {
+	if _, err := fmt.Fprintln(w, "policy,total_cost_usd,energy_usd,sla_usd,migrations,mean_active_hosts,exec_ms"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f,%d,%.2f,%.4f\n",
+			r.Policy, r.TotalCost, r.EnergyCost, r.SLACost,
+			r.Migrations, r.MeanActiveHosts, r.MeanDecideMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

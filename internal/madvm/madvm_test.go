@@ -1,0 +1,269 @@
+package madvm
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.UtilBuckets = 0 },
+		func(c *Config) { c.HostBuckets = -1 },
+		func(c *Config) { c.Gamma = 1 },
+		func(c *Config) { c.ValueIterations = 0 },
+		func(c *Config) { c.Epsilon = 2 },
+		func(c *Config) { c.MigrationPenalty = -1 },
+		func(c *Config) { c.OverloadPenalty = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig(1)
+		mutate(&cfg)
+		if _, err := New(5, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := New(0, DefaultConfig(1)); err == nil {
+		t.Error("zero VMs should error")
+	}
+	if err := DefaultConfig(1).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	cases := []struct {
+		u    float64
+		n    int
+		want int
+	}{
+		{0, 10, 0}, {0.05, 10, 0}, {0.1, 10, 1}, {0.99, 10, 9},
+		{1.0, 10, 9}, {1.5, 10, 9}, {-0.2, 10, 0},
+	}
+	for _, c := range cases {
+		if got := bucket(c.u, c.n); got != c.want {
+			t.Errorf("bucket(%g, %d) = %d, want %d", c.u, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDecidePanicsOnVMCountMismatch(t *testing.T) {
+	m, err := New(3, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := buildWorldSnapshot(t, 2, 2, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on VM-count mismatch")
+		}
+	}()
+	m.Decide(snap)
+}
+
+func buildWorldSnapshot(t *testing.T, nVMs, nHosts int, util float64) *sim.Snapshot {
+	t.Helper()
+	lin, err := power.NewLinear("test", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]sim.HostSpec, nHosts)
+	for i := range hosts {
+		hosts[i] = sim.HostSpec{MIPS: 4000, RAMMB: 8192, BandwidthMbps: 1000, Power: lin}
+	}
+	vms := make([]sim.VMSpec, nVMs)
+	traces := make([]workload.Trace, nVMs)
+	for i := range vms {
+		vms[i] = sim.VMSpec{MIPS: 1000, RAMMB: 1024, BandwidthMbps: 100}
+		traces[i] = workload.Trace{util}
+	}
+	var snap *sim.Snapshot
+	s, err := sim.New(sim.Config{
+		Hosts: hosts, VMs: vms, Traces: traces, Steps: 1,
+		InitialPlacement: sim.PlacementRoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(&grabber{&snap}); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+type grabber struct{ out **sim.Snapshot }
+
+func (grabber) Name() string { return "grab" }
+func (g *grabber) Decide(s *sim.Snapshot) []sim.Migration {
+	c := *s
+	c.VMHost = append([]int(nil), s.VMHost...)
+	c.VMUtil = append([]float64(nil), s.VMUtil...)
+	c.VMMIPS = append([]float64(nil), s.VMMIPS...)
+	c.HostUtil = append([]float64(nil), s.HostUtil...)
+	c.HostVMs = make([][]int, len(s.HostVMs))
+	for i := range s.HostVMs {
+		c.HostVMs[i] = append([]int(nil), s.HostVMs[i]...)
+	}
+	*g.out = &c
+	return nil
+}
+
+func TestValueIterationConvergesOnKnownChain(t *testing.T) {
+	// Hand-build a 2-state-visited chain: staying in state 0 costs 1 and
+	// self-loops. V(0) must converge to 1/(1−γ) = 2 for γ = 0.5.
+	cfg := DefaultConfig(1)
+	cfg.ValueIterations = 200
+	m, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := &m.vms[0]
+	vm.visited[0] = true
+	vm.visits[0][actStay] = 10
+	vm.costSum[0][actStay] = 10 // mean cost 1
+	vm.counts[0][actStay][0] = 10
+	// Make migrate expensive so stay is chosen.
+	vm.visits[0][actMigrate] = 10
+	vm.costSum[0][actMigrate] = 100
+	vm.counts[0][actMigrate][0] = 10
+	m.valueIterate(vm)
+	if math.Abs(vm.value[0]-2) > 1e-6 {
+		t.Fatalf("V(0) = %g, want 2 (= 1/(1−γ))", vm.value[0])
+	}
+	if a := m.chooseActionDeterministic(vm, 0); a != actStay {
+		t.Fatalf("greedy action = %d, want stay", a)
+	}
+}
+
+// chooseActionDeterministic is chooseAction with exploration disabled, for
+// tests.
+func (m *MadVM) chooseActionDeterministic(vm *vmModel, st int) int {
+	eps := m.cfg.Epsilon
+	m.cfg.Epsilon = 0
+	defer func() { m.cfg.Epsilon = eps }()
+	return m.chooseAction(vm, st)
+}
+
+func TestMadVMLearnsToFleeOverload(t *testing.T) {
+	// Two hot VMs pinned on one host (overloaded), three empty hosts.
+	// MadVM should migrate at least one VM away within a few steps, and
+	// the overload should subside.
+	lin, _ := power.NewLinear("test", 100, 200)
+	hosts := make([]sim.HostSpec, 4)
+	for i := range hosts {
+		hosts[i] = sim.HostSpec{MIPS: 2000, RAMMB: 8192, BandwidthMbps: 1000, Power: lin}
+	}
+	vms := make([]sim.VMSpec, 2)
+	traces := make([]workload.Trace, 2)
+	for i := range vms {
+		vms[i] = sim.VMSpec{MIPS: 1000, RAMMB: 512, BandwidthMbps: 100}
+		tr := make(workload.Trace, 40)
+		for k := range tr {
+			tr[k] = 0.9
+		}
+		traces[i] = tr
+	}
+	s, err := sim.New(sim.Config{
+		Hosts: hosts, VMs: vms, Traces: traces,
+		InitialPlacement: sim.PlacementFirstFit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(2, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMigrations() == 0 {
+		t.Fatal("MadVM never migrated away from a persistent overload")
+	}
+	lateOverloads := 0
+	for _, sm := range res.Steps[20:] {
+		lateOverloads += sm.OverloadedHosts
+	}
+	if lateOverloads > 15 {
+		t.Fatalf("overload persisted late in the run: %d host-steps", lateOverloads)
+	}
+}
+
+func TestMadVMEndToEndFeasibility(t *testing.T) {
+	const nVMs, nHosts, steps = 15, 10, 60
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(4)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 5)
+	s, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(nVMs, DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range res.Steps {
+		if sm.Rejected != 0 {
+			t.Fatalf("step %d: MadVM proposed %d infeasible migrations", sm.Step, sm.Rejected)
+		}
+	}
+	if math.IsNaN(res.TotalCost()) || res.TotalCost() <= 0 {
+		t.Fatalf("bad total cost %g", res.TotalCost())
+	}
+}
+
+func TestMadVMIsSlowerThanTrivialPolicy(t *testing.T) {
+	// The whole point of the comparison: MadVM's per-step work (per-VM
+	// value iteration) must dominate a trivial policy's.
+	const nVMs, nHosts, steps = 40, 20, 20
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(4)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 5)
+	s, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(nVMs, DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMad, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNop, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMad.MeanDecideSeconds() <= resNop.MeanDecideSeconds() {
+		t.Fatalf("MadVM mean decide %.3gs not slower than nop %.3gs",
+			resMad.MeanDecideSeconds(), resNop.MeanDecideSeconds())
+	}
+}
+
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                         { return "nop" }
+func (nopPolicy) Decide(*sim.Snapshot) []sim.Migration { return nil }

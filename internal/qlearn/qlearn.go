@@ -1,0 +1,293 @@
+// Package qlearn implements the tabular Q-learning baseline the paper
+// discusses in §2.2: an actor-style learner that must be trained offline
+// ("computationally expensive training periods of a few hundred iterations
+// before using it in an online setup") before it can serve, in contrast to
+// Megh which learns as-it-goes. The state space is the same per-VM
+// (VM-load × host-load) discretization MadVM uses, with a Q-table shared
+// across VMs.
+package qlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"megh/internal/sim"
+)
+
+// Config parameterises the Q-learner.
+type Config struct {
+	// UtilBuckets and HostBuckets discretize the per-VM state (default 10).
+	UtilBuckets, HostBuckets int
+	// Alpha is the learning rate (default 0.1).
+	Alpha float64
+	// Gamma is the discount factor (default 0.5, matching the paper).
+	Gamma float64
+	// TrainEpsilon is the exploration rate during offline training
+	// (default 0.3).
+	TrainEpsilon float64
+	// ServeEpsilon is the residual exploration when serving (default 0.01).
+	ServeEpsilon float64
+	// MigrationPenalty and OverloadPenalty shape the local cost signal.
+	MigrationPenalty, OverloadPenalty float64
+	// Seed drives exploration.
+	Seed int64
+}
+
+// DefaultConfig returns the baseline configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		UtilBuckets:      10,
+		HostBuckets:      10,
+		Alpha:            0.1,
+		Gamma:            0.5,
+		TrainEpsilon:     0.3,
+		ServeEpsilon:     0.01,
+		MigrationPenalty: 0.05,
+		OverloadPenalty:  1,
+		Seed:             seed,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.UtilBuckets <= 0 || c.HostBuckets <= 0:
+		return fmt.Errorf("qlearn: buckets (%d, %d) must be positive", c.UtilBuckets, c.HostBuckets)
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("qlearn: Alpha %g out of (0,1]", c.Alpha)
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("qlearn: Gamma %g out of [0,1)", c.Gamma)
+	case c.TrainEpsilon < 0 || c.TrainEpsilon > 1:
+		return fmt.Errorf("qlearn: TrainEpsilon %g out of [0,1]", c.TrainEpsilon)
+	case c.ServeEpsilon < 0 || c.ServeEpsilon > 1:
+		return fmt.Errorf("qlearn: ServeEpsilon %g out of [0,1]", c.ServeEpsilon)
+	case c.MigrationPenalty < 0 || c.OverloadPenalty < 0:
+		return fmt.Errorf("qlearn: negative penalties")
+	}
+	return nil
+}
+
+// Per-VM actions (same vocabulary as MadVM).
+const (
+	actStay = iota
+	actMigrate
+	numActions
+)
+
+// QLearning implements sim.Policy. Call Train before serving; an untrained
+// learner acts like an ε-greedy random policy, which is exactly the failure
+// mode the paper criticises.
+type QLearning struct {
+	cfg    Config
+	states int
+	q      [][]float64 // Q[state][action], shared across VMs
+	rng    *rand.Rand
+
+	training bool
+	trained  bool
+
+	lastState []int
+	lastAct   []int
+	hasPrev   []bool
+
+	addRAM  map[int]float64
+	addMIPS map[int]float64
+}
+
+var _ sim.Policy = (*QLearning)(nil)
+
+// New constructs a Q-learner for numVMs virtual machines.
+func New(numVMs int, cfg Config) (*QLearning, error) {
+	if numVMs <= 0 {
+		return nil, fmt.Errorf("qlearn: numVMs %d must be positive", numVMs)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	states := cfg.UtilBuckets * cfg.HostBuckets
+	q := make([][]float64, states)
+	for s := range q {
+		q[s] = make([]float64, numActions)
+	}
+	return &QLearning{
+		cfg:       cfg,
+		states:    states,
+		q:         q,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lastState: make([]int, numVMs),
+		lastAct:   make([]int, numVMs),
+		hasPrev:   make([]bool, numVMs),
+		addRAM:    make(map[int]float64),
+		addMIPS:   make(map[int]float64),
+	}, nil
+}
+
+// Name implements sim.Policy.
+func (q *QLearning) Name() string { return "Q-learning" }
+
+// Trained reports whether Train has completed at least once.
+func (q *QLearning) Trained() bool { return q.trained }
+
+// Train runs the offline training phase: `episodes` full simulator runs
+// with exploratory ε. This is the elaborate offline cost Megh avoids.
+func (q *QLearning) Train(s *sim.Simulator, episodes int) error {
+	if s == nil {
+		return fmt.Errorf("qlearn: nil simulator")
+	}
+	if episodes <= 0 {
+		return fmt.Errorf("qlearn: episodes %d must be positive", episodes)
+	}
+	q.training = true
+	defer func() { q.training = false }()
+	for e := 0; e < episodes; e++ {
+		q.resetEpisode()
+		if _, err := s.Run(q); err != nil {
+			return fmt.Errorf("qlearn: training episode %d: %w", e, err)
+		}
+	}
+	q.trained = true
+	q.resetEpisode()
+	return nil
+}
+
+func (q *QLearning) resetEpisode() {
+	for j := range q.hasPrev {
+		q.hasPrev[j] = false
+	}
+}
+
+func (q *QLearning) epsilon() float64 {
+	if q.training {
+		return q.cfg.TrainEpsilon
+	}
+	return q.cfg.ServeEpsilon
+}
+
+func (q *QLearning) state(s *sim.Snapshot, j int) int {
+	ub := bucket(s.VMUtil[j], q.cfg.UtilBuckets)
+	hb := bucket(s.HostUtil[s.VMHost[j]], q.cfg.HostBuckets)
+	return ub*q.cfg.HostBuckets + hb
+}
+
+func bucket(u float64, n int) int {
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		return n - 1
+	}
+	return int(u * float64(n))
+}
+
+func (q *QLearning) localCost(s *sim.Snapshot, j int, migrated bool) float64 {
+	host := s.VMHost[j]
+	c := s.HostUtil[host]
+	if s.HostOverloaded(host) {
+		c += q.cfg.OverloadPenalty
+	}
+	if migrated {
+		c += q.cfg.MigrationPenalty
+	}
+	return c
+}
+
+// Decide implements sim.Policy: temporal-difference update from the
+// previous transition, then ε-greedy action per VM.
+func (q *QLearning) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.NumVMs() != len(q.lastState) {
+		panic(fmt.Sprintf("qlearn: snapshot has %d VMs, learner has %d",
+			s.NumVMs(), len(q.lastState)))
+	}
+	clear(q.addRAM)
+	clear(q.addMIPS)
+
+	// TD(0) update for every VM's last transition.
+	for j := range q.lastState {
+		cur := q.state(s, j)
+		if q.hasPrev[j] {
+			prev, act := q.lastState[j], q.lastAct[j]
+			c := q.localCost(s, j, act == actMigrate)
+			best := math.Inf(1)
+			for a := 0; a < numActions; a++ {
+				if q.q[cur][a] < best {
+					best = q.q[cur][a]
+				}
+			}
+			td := c + q.cfg.Gamma*best - q.q[prev][act]
+			q.q[prev][act] += q.cfg.Alpha * td
+		}
+	}
+
+	var migrations []sim.Migration
+	eps := q.epsilon()
+	for j := range q.lastState {
+		cur := q.state(s, j)
+		var act int
+		if q.rng.Float64() < eps {
+			act = q.rng.Intn(numActions)
+		} else if q.q[cur][actMigrate] < q.q[cur][actStay] {
+			act = actMigrate
+		} else {
+			act = actStay
+		}
+		migrated := false
+		if act == actMigrate {
+			if dest, ok := q.bestDestination(s, j); ok {
+				migrations = append(migrations, sim.Migration{VM: j, Dest: dest})
+				q.addRAM[dest] += s.VMSpecs[j].RAMMB
+				q.addMIPS[dest] += s.VMMIPS[j]
+				migrated = true
+			}
+		}
+		if !migrated {
+			act = actStay
+		}
+		q.lastState[j], q.lastAct[j], q.hasPrev[j] = cur, act, true
+	}
+	return migrations
+}
+
+// bestDestination mirrors MadVM's load-balancing placement.
+func (q *QLearning) bestDestination(s *sim.Snapshot, j int) (int, bool) {
+	cur := s.VMHost[j]
+	best, bestUtil := -1, math.Inf(1)
+	for h := 0; h < s.NumHosts(); h++ {
+		if h == cur || !q.fits(s, j, h) {
+			continue
+		}
+		spec := s.HostSpecs[h]
+		var mips float64
+		for _, other := range s.HostVMs[h] {
+			mips += s.VMMIPS[other]
+		}
+		after := (mips + q.addMIPS[h] + s.VMMIPS[j]) / spec.MIPS
+		if after > s.OverloadThreshold {
+			continue
+		}
+		if after < bestUtil {
+			bestUtil = after
+			best = h
+		}
+	}
+	return best, best >= 0
+}
+
+func (q *QLearning) fits(s *sim.Snapshot, j, h int) bool {
+	spec := s.HostSpecs[h]
+	var ram, mips float64
+	for _, other := range s.HostVMs[h] {
+		ram += s.VMSpecs[other].RAMMB
+		mips += s.VMMIPS[other]
+	}
+	return ram+q.addRAM[h]+s.VMSpecs[j].RAMMB <= spec.RAMMB &&
+		mips+q.addMIPS[h]+s.VMMIPS[j] <= spec.MIPS
+}
+
+// QValue exposes the learned table for tests and diagnostics.
+func (q *QLearning) QValue(state, action int) float64 {
+	if state < 0 || state >= q.states || action < 0 || action >= numActions {
+		panic(fmt.Sprintf("qlearn: Q(%d,%d) out of range", state, action))
+	}
+	return q.q[state][action]
+}

@@ -1,0 +1,216 @@
+package qlearn
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.UtilBuckets = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.Gamma = 1 },
+		func(c *Config) { c.TrainEpsilon = -0.1 },
+		func(c *Config) { c.ServeEpsilon = 1.1 },
+		func(c *Config) { c.MigrationPenalty = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig(1)
+		mutate(&cfg)
+		if _, err := New(5, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := New(-1, DefaultConfig(1)); err == nil {
+		t.Error("negative VM count should error")
+	}
+}
+
+func buildSim(t *testing.T, nVMs, nHosts, steps int, seed int64) *sim.Simulator {
+	t.Helper()
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(seed)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := sim.PlanetLabHosts(nHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := sim.PlanetLabVMs(nVMs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrainRequiresValidArguments(t *testing.T) {
+	q, err := New(5, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Train(nil, 1); err == nil {
+		t.Error("nil simulator should error")
+	}
+	s := buildSim(t, 5, 4, 5, 2)
+	if err := q.Train(s, 0); err == nil {
+		t.Error("zero episodes should error")
+	}
+}
+
+func TestTrainingFlipsTrainedFlagAndLearnsValues(t *testing.T) {
+	const nVMs, nHosts = 10, 6
+	s := buildSim(t, nVMs, nHosts, 40, 3)
+	q, err := New(nVMs, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Trained() {
+		t.Fatal("fresh learner claims to be trained")
+	}
+	if err := q.Train(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Trained() {
+		t.Fatal("Train did not mark learner trained")
+	}
+	// Some Q entries must have moved away from zero.
+	moved := 0
+	for st := 0; st < q.states; st++ {
+		for a := 0; a < numActions; a++ {
+			if q.QValue(st, a) != 0 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("training left the whole Q-table at zero")
+	}
+}
+
+func TestServingAfterTrainingIsFeasibleAndCheap(t *testing.T) {
+	const nVMs, nHosts = 10, 6
+	s := buildSim(t, nVMs, nHosts, 40, 3)
+	q, err := New(nVMs, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Train(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range res.Steps {
+		if sm.Rejected != 0 {
+			t.Fatalf("step %d: %d infeasible proposals", sm.Step, sm.Rejected)
+		}
+	}
+	if math.IsNaN(res.TotalCost()) || res.TotalCost() <= 0 {
+		t.Fatalf("bad total cost %g", res.TotalCost())
+	}
+}
+
+func TestQValueBoundsChecked(t *testing.T) {
+	q, err := New(3, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range state")
+		}
+	}()
+	q.QValue(q.states, 0)
+}
+
+func TestDecidePanicsOnVMCountMismatch(t *testing.T) {
+	q, err := New(3, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSim(t, 5, 4, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on VM-count mismatch")
+		}
+	}()
+	if _, err := s.Run(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainedLearnerResolvesPersistentOverload(t *testing.T) {
+	// The paper's point about Q-learning: it only performs after offline
+	// training. Build a world with one persistently overloaded host; the
+	// untrained learner (all-zero Q, ε ≈ 0) mostly stays and suffers,
+	// while the trained learner must have learned to migrate away.
+	overloadSim := func() *sim.Simulator {
+		hosts, err := sim.PlanetLabHosts(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms := make([]sim.VMSpec, 3)
+		traces := make([]workload.Trace, 3)
+		for i := range vms {
+			vms[i] = sim.VMSpec{MIPS: 1200, RAMMB: 512, BandwidthMbps: 100}
+			tr := make(workload.Trace, 60)
+			for k := range tr {
+				tr[k] = 0.95
+			}
+			traces[i] = tr
+		}
+		s, err := sim.New(sim.Config{
+			Hosts: hosts, VMs: vms, Traces: traces,
+			InitialPlacement: sim.PlacementFirstFit, // all three on host 0 → 92% util
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := overloadSim()
+
+	untrained, err := New(3, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := s.Run(untrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := New(3, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.Train(s, 5); err != nil {
+		t.Fatal(err)
+	}
+	resT, err := s.Run(trained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overloads := func(r *sim.Result) int {
+		n := 0
+		for _, sm := range r.Steps {
+			n += sm.OverloadedHosts
+		}
+		return n
+	}
+	if overloads(resT) >= overloads(resU) {
+		t.Fatalf("trained overload host-steps %d not fewer than untrained %d",
+			overloads(resT), overloads(resU))
+	}
+}

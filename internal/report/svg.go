@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering: real figure files for the paper's plots, written with the
+// standard library only. The charts are deliberately plain — axes, ticks,
+// polylines, a legend — matching what the reproduction needs.
+
+// svgPalette holds the series stroke colours.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	svgW, svgH             = 860.0, 420.0
+	svgMarginL, svgMarginR = 70.0, 20.0
+	svgMarginT, svgMarginB = 40.0, 50.0
+)
+
+// LineChartSVG writes the series as an SVG line chart with y-axis ticks
+// and a legend. xLabel and yLabel annotate the axes.
+func LineChartSVG(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to draw")
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("report: series %q contains a non-finite value", s.Name)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	plotW := svgW - svgMarginL - svgMarginR
+	plotH := svgH - svgMarginT - svgMarginB
+	xAt := func(i, n int) float64 {
+		if n <= 1 {
+			return svgMarginL
+		}
+		return svgMarginL + float64(i)/float64(n-1)*plotW
+	}
+	yAt := func(v float64) float64 {
+		return svgMarginT + (hi-v)/(hi-lo)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", svgW, svgH)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="20" text-anchor="middle" font-size="15">%s</text>`+"\n",
+			svgW/2, escapeXML(title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		svgMarginL, svgMarginT, svgMarginL, svgMarginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		svgMarginL, svgMarginT+plotH, svgMarginL+plotW, svgMarginT+plotH)
+	// Y ticks.
+	for k := 0; k <= 4; k++ {
+		v := lo + (hi-lo)*float64(k)/4
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			svgMarginL, y, svgMarginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%.4g</text>`+"\n",
+			svgMarginL-6, y+4, v)
+	}
+	// X ticks (start, middle, end indices).
+	for _, frac := range []float64{0, 0.5, 1} {
+		i := int(frac * float64(maxLen-1))
+		x := xAt(i, maxLen)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%d</text>`+"\n",
+			x, svgMarginT+plotH+18, i)
+	}
+	// Series polylines.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts strings.Builder
+		for i, v := range s.Values {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", xAt(i, len(s.Values)), yAt(v))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pts.String()), color)
+	}
+	// Legend.
+	lx := svgMarginL + 10
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		y := svgMarginT + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, y-4, lx+22, y-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", lx+28, y, escapeXML(s.Name))
+	}
+	// Axis labels.
+	if xLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			svgMarginL+plotW/2, svgH-12, escapeXML(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			svgMarginT+plotH/2, svgMarginT+plotH/2, escapeXML(yLabel))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChartSVG writes one vertical bar per (label, value).
+func BarChartSVG(w io.Writer, title, yLabel string, labels []string, values []float64) error {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return fmt.Errorf("report: bar chart needs matching non-empty labels and values")
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("report: bar values must be finite and non-negative")
+		}
+		maxV = math.Max(maxV, v)
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	plotW := svgW - svgMarginL - svgMarginR
+	plotH := svgH - svgMarginT - svgMarginB
+	slot := plotW / float64(len(values))
+	barW := slot * 0.6
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", svgW, svgH)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="20" text-anchor="middle" font-size="15">%s</text>`+"\n",
+			svgW/2, escapeXML(title))
+	}
+	for k := 0; k <= 4; k++ {
+		v := maxV * float64(k) / 4
+		y := svgMarginT + plotH - v/maxV*plotH
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			svgMarginL, y, svgMarginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%.4g</text>`+"\n",
+			svgMarginL-6, y+4, v)
+	}
+	for i, v := range values {
+		x := svgMarginL + float64(i)*slot + (slot-barW)/2
+		h := v / maxV * plotH
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+			x, svgMarginT+plotH-h, barW, h, svgPalette[i%len(svgPalette)])
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, svgMarginT+plotH+16, escapeXML(labels[i]))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%.4g</text>`+"\n",
+			x+barW/2, svgMarginT+plotH-h-4, v)
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			svgMarginT+plotH/2, svgMarginT+plotH/2, escapeXML(yLabel))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeXML escapes the five XML special characters.
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

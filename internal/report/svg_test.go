@@ -1,0 +1,115 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// assertWellFormedXML parses the output to guarantee valid SVG structure.
+func assertWellFormedXML(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("output is not well-formed XML: %v\n%s", err, s)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	var b strings.Builder
+	err := LineChartSVG(&b, "Fig 2 <cost>", "step", "USD", []Series{
+		{Name: "Megh", Values: []float64{1, 2, 1.5, 1.2}},
+		{Name: "THR-MMT", Values: []float64{2, 3, 2.5, 2.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	assertWellFormedXML(t, out)
+	if !strings.Contains(out, "<polyline") {
+		t.Fatal("no polylines")
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("want one polyline per series")
+	}
+	if !strings.Contains(out, "Fig 2 &lt;cost&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "Megh") || !strings.Contains(out, "THR-MMT") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestLineChartSVGValidation(t *testing.T) {
+	var b strings.Builder
+	if err := LineChartSVG(&b, "", "", "", nil); err == nil {
+		t.Fatal("no series should error")
+	}
+	if err := LineChartSVG(&b, "", "", "", []Series{{Name: "x"}}); err == nil {
+		t.Fatal("empty series should error")
+	}
+	if err := LineChartSVG(&b, "", "", "", []Series{
+		{Name: "x", Values: []float64{math.NaN()}},
+	}); err == nil {
+		t.Fatal("NaN should error")
+	}
+}
+
+func TestLineChartSVGFlatAndSingle(t *testing.T) {
+	var b strings.Builder
+	if err := LineChartSVG(&b, "", "", "", []Series{
+		{Name: "flat", Values: []float64{5, 5, 5}},
+	}); err != nil {
+		t.Fatalf("flat series must render: %v", err)
+	}
+	b.Reset()
+	if err := LineChartSVG(&b, "", "", "", []Series{
+		{Name: "one", Values: []float64{3}},
+	}); err != nil {
+		t.Fatalf("single-point series must render: %v", err)
+	}
+	assertWellFormedXML(t, b.String())
+}
+
+func TestBarChartSVG(t *testing.T) {
+	var b strings.Builder
+	err := BarChartSVG(&b, "Total cost", "USD",
+		[]string{"Megh", "THR-MMT"}, []float64{1216.8, 1610.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	assertWellFormedXML(t, out)
+	if strings.Count(out, "<rect") != 3 { // background + 2 bars
+		t.Fatalf("want 3 rects, output:\n%s", out)
+	}
+	if !strings.Contains(out, "1216.8") && !strings.Contains(out, "1217") {
+		t.Fatal("bar value label missing")
+	}
+}
+
+func TestBarChartSVGValidation(t *testing.T) {
+	var b strings.Builder
+	if err := BarChartSVG(&b, "", "", []string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if err := BarChartSVG(&b, "", "", []string{"a"}, []float64{-1}); err == nil {
+		t.Fatal("negative value should error")
+	}
+	if err := BarChartSVG(&b, "", "", []string{"a"}, []float64{0}); err != nil {
+		t.Fatalf("zero bars must render: %v", err)
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`a<b>&"c"'d'`); got != "a&lt;b&gt;&amp;&quot;c&quot;&apos;d&apos;" {
+		t.Fatalf("escapeXML = %q", got)
+	}
+}

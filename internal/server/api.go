@@ -1,0 +1,185 @@
+// Package server exposes the Megh learner as a long-running scheduling
+// service — the "global resource manager" of paper §3.1 as a deployable
+// component. VMMs (or a monitoring pipeline) POST utilization snapshots;
+// the service answers with live-migration decisions, learns from posted
+// cost feedback, and checkpoints its Q-table to disk so restarts lose
+// nothing.
+//
+// API (JSON over HTTP):
+//
+//	POST /v1/decide     StateRequest  → DecideResponse
+//	POST /v1/feedback   FeedbackRequest → 204
+//	GET  /v1/stats      → StatsResponse
+//	POST /v1/checkpoint → CheckpointResponse (writes the state file)
+//	GET  /healthz       → 200 "ok"
+package server
+
+import (
+	"fmt"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+)
+
+// HostState describes one physical machine in a snapshot.
+type HostState struct {
+	// MIPS, RAMMB, BandwidthMbps are the static capacities.
+	MIPS          float64 `json:"mips"`
+	RAMMB         float64 `json:"ram_mb"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+	// PowerModel names the utilization→Watts curve: "g4", "g5", or
+	// "linear:<idle>:<max>". Only used for reporting; decisions do not
+	// need it, so it may be empty.
+	PowerModel string `json:"power_model,omitempty"`
+	// Failed marks an injected/observed outage.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// VMState describes one virtual machine in a snapshot.
+type VMState struct {
+	// Host is the index of the PM currently running the VM.
+	Host int `json:"host"`
+	// Utilization is the demanded fraction of the VM's requested MIPS.
+	Utilization float64 `json:"utilization"`
+	// MIPS, RAMMB, BandwidthMbps are the requested resources.
+	MIPS          float64 `json:"mips"`
+	RAMMB         float64 `json:"ram_mb"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+}
+
+// StateRequest is one monitoring interval's snapshot.
+type StateRequest struct {
+	Step  int         `json:"step"`
+	Hosts []HostState `json:"hosts"`
+	VMs   []VMState   `json:"vms"`
+}
+
+// MigrationDecision is one ordered live migration.
+type MigrationDecision struct {
+	VM   int `json:"vm"`
+	Dest int `json:"dest"`
+}
+
+// DecideResponse carries the decisions for the posted snapshot.
+type DecideResponse struct {
+	Step       int                 `json:"step"`
+	Migrations []MigrationDecision `json:"migrations"`
+}
+
+// FeedbackRequest reports the realised cost of the previous interval.
+type FeedbackRequest struct {
+	Step     int     `json:"step"`
+	StepCost float64 `json:"step_cost"`
+	// Optional decomposition, informational only.
+	EnergyCost   float64 `json:"energy_cost,omitempty"`
+	SLACost      float64 `json:"sla_cost,omitempty"`
+	ResourceCost float64 `json:"resource_cost,omitempty"`
+}
+
+// StatsResponse reports the learner's internals.
+type StatsResponse struct {
+	NumVMs      int     `json:"num_vms"`
+	NumHosts    int     `json:"num_hosts"`
+	Decisions   int     `json:"decisions"`
+	QTableNNZ   int     `json:"qtable_nnz"`
+	Temperature float64 `json:"temperature"`
+}
+
+// CheckpointResponse reports where the learner state was written.
+type CheckpointResponse struct {
+	Path  string `json:"path"`
+	Bytes int    `json:"bytes"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Validate checks a snapshot for structural problems before it reaches
+// the learner.
+func (r *StateRequest) Validate() error {
+	if len(r.Hosts) == 0 {
+		return fmt.Errorf("server: snapshot has no hosts")
+	}
+	if len(r.VMs) == 0 {
+		return fmt.Errorf("server: snapshot has no VMs")
+	}
+	if r.Step < 0 {
+		return fmt.Errorf("server: negative step %d", r.Step)
+	}
+	for i, h := range r.Hosts {
+		if h.MIPS <= 0 || h.RAMMB <= 0 {
+			return fmt.Errorf("server: host %d has non-positive capacity", i)
+		}
+	}
+	for j, v := range r.VMs {
+		if v.Host < 0 || v.Host >= len(r.Hosts) {
+			return fmt.Errorf("server: VM %d placed on unknown host %d", j, v.Host)
+		}
+		if v.MIPS <= 0 || v.RAMMB <= 0 {
+			return fmt.Errorf("server: VM %d has non-positive resources", j)
+		}
+		if v.Utilization < 0 || v.Utilization > 1 {
+			return fmt.Errorf("server: VM %d utilization %g out of [0,1]", j, v.Utilization)
+		}
+	}
+	return nil
+}
+
+// snapshot converts the request into the read-only view the policies
+// consume. The β threshold and τ come from the server configuration.
+func (r *StateRequest) snapshot(overload float64, stepSeconds float64) *sim.Snapshot {
+	nH, nV := len(r.Hosts), len(r.VMs)
+	s := &sim.Snapshot{
+		Step:              r.Step,
+		StepSeconds:       stepSeconds,
+		OverloadThreshold: overload,
+		VMHost:            make([]int, nV),
+		VMUtil:            make([]float64, nV),
+		VMMIPS:            make([]float64, nV),
+		VMSpecs:           make([]sim.VMSpec, nV),
+		HostUtil:          make([]float64, nH),
+		HostVMs:           make([][]int, nH),
+		HostSpecs:         make([]sim.HostSpec, nH),
+		HostHistory:       make([][]float64, nH),
+		VMHistory:         make([][]float64, nV),
+		HostFailed:        make([]bool, nH),
+	}
+	for i, h := range r.Hosts {
+		s.HostSpecs[i] = sim.HostSpec{
+			MIPS:          h.MIPS,
+			RAMMB:         h.RAMMB,
+			BandwidthMbps: h.BandwidthMbps,
+			Power:         parsePowerModel(h.PowerModel),
+		}
+		s.HostFailed[i] = h.Failed
+	}
+	for j, v := range r.VMs {
+		s.VMHost[j] = v.Host
+		s.VMUtil[j] = v.Utilization
+		s.VMMIPS[j] = v.Utilization * v.MIPS
+		s.VMSpecs[j] = sim.VMSpec{MIPS: v.MIPS, RAMMB: v.RAMMB, BandwidthMbps: v.BandwidthMbps}
+		s.HostVMs[v.Host] = append(s.HostVMs[v.Host], j)
+	}
+	for i := range s.HostUtil {
+		var mips float64
+		for _, j := range s.HostVMs[i] {
+			mips += s.VMMIPS[j]
+		}
+		s.HostUtil[i] = mips / s.HostSpecs[i].MIPS
+	}
+	return s
+}
+
+// parsePowerModel resolves the optional power-model name; unknown or empty
+// names fall back to the G4 table (decisions never read it, it only keeps
+// the HostSpec valid).
+func parsePowerModel(name string) power.Model {
+	switch name {
+	case "g5":
+		return power.HPProLiantG5()
+	default:
+		return power.HPProLiantG4()
+	}
+}

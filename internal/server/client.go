@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"megh/internal/sim"
+)
+
+// Client is the typed HTTP client for a meghd service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the service at baseURL (no trailing
+// slash). A nil httpClient means http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: httpClient}
+}
+
+func (c *Client) post(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("server: encoding %s request: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("server: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return c.finish(path, resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("server: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return c.finish(path, resp, out)
+}
+
+func (c *Client) finish(path string, resp *http.Response, out any) error {
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Decide posts a snapshot and returns the service's migration decisions.
+func (c *Client) Decide(req StateRequest) (DecideResponse, error) {
+	var out DecideResponse
+	err := c.post("/v1/decide", req, &out)
+	return out, err
+}
+
+// Feedback reports the realised cost of an interval.
+func (c *Client) Feedback(fb FeedbackRequest) error {
+	return c.post("/v1/feedback", fb, nil)
+}
+
+// Stats fetches the learner internals.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.get("/v1/stats", &out)
+	return out, err
+}
+
+// Checkpoint asks the service to persist its learner state.
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := c.post("/v1/checkpoint", struct{}{}, &out)
+	return out, err
+}
+
+// Health pings /healthz.
+func (c *Client) Health() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("server: health check: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: health check: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// RemotePolicy adapts a meghd service into a sim.Policy, so the simulator
+// can drive the service over HTTP exactly as a monitoring pipeline would —
+// the loopback ("hardware-in-the-loop") configuration used by the service
+// integration tests and examples/service.
+type RemotePolicy struct {
+	client *Client
+	// name reported to the simulator.
+	name string
+	// err records the first transport failure; the policy degrades to
+	// no-ops afterwards (a real pipeline would alert and retry).
+	err error
+}
+
+var (
+	_ sim.Policy           = (*RemotePolicy)(nil)
+	_ sim.FeedbackReceiver = (*RemotePolicy)(nil)
+)
+
+// NewRemotePolicy wraps a client as a simulator policy.
+func NewRemotePolicy(client *Client) *RemotePolicy {
+	return &RemotePolicy{client: client, name: "Megh(remote)"}
+}
+
+// Name implements sim.Policy.
+func (p *RemotePolicy) Name() string { return p.name }
+
+// Err returns the first transport error encountered, if any.
+func (p *RemotePolicy) Err() error { return p.err }
+
+// Decide implements sim.Policy by shipping the snapshot over HTTP.
+func (p *RemotePolicy) Decide(s *sim.Snapshot) []sim.Migration {
+	if p.err != nil {
+		return nil
+	}
+	req := StateRequest{Step: s.Step}
+	req.Hosts = make([]HostState, s.NumHosts())
+	for i := range req.Hosts {
+		spec := s.HostSpecs[i]
+		req.Hosts[i] = HostState{
+			MIPS: spec.MIPS, RAMMB: spec.RAMMB, BandwidthMbps: spec.BandwidthMbps,
+			Failed: len(s.HostFailed) > 0 && s.HostFailed[i],
+		}
+	}
+	req.VMs = make([]VMState, s.NumVMs())
+	for j := range req.VMs {
+		spec := s.VMSpecs[j]
+		req.VMs[j] = VMState{
+			Host: s.VMHost[j], Utilization: s.VMUtil[j],
+			MIPS: spec.MIPS, RAMMB: spec.RAMMB, BandwidthMbps: spec.BandwidthMbps,
+		}
+	}
+	resp, err := p.client.Decide(req)
+	if err != nil {
+		p.err = err
+		return nil
+	}
+	migs := make([]sim.Migration, 0, len(resp.Migrations))
+	for _, m := range resp.Migrations {
+		migs = append(migs, sim.Migration{VM: m.VM, Dest: m.Dest})
+	}
+	return migs
+}
+
+// Observe implements sim.FeedbackReceiver by forwarding the realised cost.
+func (p *RemotePolicy) Observe(fb *sim.Feedback) {
+	if p.err != nil {
+		return
+	}
+	if err := p.client.Feedback(FeedbackRequest{
+		Step:         fb.Step,
+		StepCost:     fb.StepCost,
+		EnergyCost:   fb.EnergyCost,
+		SLACost:      fb.SLACost,
+		ResourceCost: fb.ResourceCost,
+	}); err != nil {
+		p.err = err
+	}
+}

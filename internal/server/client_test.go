@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+func TestClientEndpoints(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	c := NewClient(ts.URL, nil)
+
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decide(testWorld(4, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Step != 0 {
+		t.Fatalf("decide step %d", out.Step)
+	}
+	if err := c.Feedback(FeedbackRequest{Step: 0, StepCost: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Decisions != 1 {
+		t.Fatalf("stats decisions = %d", stats.Decisions)
+	}
+}
+
+func TestClientSurfacesServerErrors(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Decide(StateRequest{}); err == nil {
+		t.Fatal("empty snapshot should surface the 400")
+	} else if !strings.Contains(err.Error(), "no hosts") {
+		t.Fatalf("error lost the server's message: %v", err)
+	}
+	if _, err := c.Checkpoint(); err == nil {
+		t.Fatal("checkpoint without a path should surface the 412")
+	}
+}
+
+func TestClientTransportFailure(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if err := c.Health(); err == nil {
+		t.Fatal("expected a transport error")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("expected a transport error")
+	}
+}
+
+// TestLoopbackSimulation drives the full simulator against the service
+// over real HTTP: the "hardware-in-the-loop" configuration. The remote
+// policy must behave like an in-process Megh — feasible migrations,
+// overload response, learner state accumulating server-side.
+func TestLoopbackSimulation(t *testing.T) {
+	const nVMs, nHosts, steps = 16, 10, 60
+	svc, ts := newTestService(t, nVMs, nHosts, "")
+
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(5)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 3)
+	simulator, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := NewRemotePolicy(NewClient(ts.URL, nil))
+	res, err := simulator.Run(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := policy.Err(); err != nil {
+		t.Fatalf("transport failure during loopback run: %v", err)
+	}
+	for _, m := range res.Steps {
+		if m.Rejected != 0 {
+			t.Fatalf("step %d: remote policy proposed %d infeasible migrations",
+				m.Step, m.Rejected)
+		}
+	}
+	svc.mu.Lock()
+	decisions := svc.decisions
+	nnz := svc.learner.QTableNNZ()
+	svc.mu.Unlock()
+	if decisions != steps {
+		t.Fatalf("service made %d decisions, want %d", decisions, steps)
+	}
+	if nnz == 0 {
+		t.Fatal("server-side learner never materialised Q-table entries")
+	}
+}
+
+func TestRemotePolicyDegradesOnDeadServer(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	ts.Close() // dead immediately
+	policy := NewRemotePolicy(NewClient(ts.URL, nil))
+
+	traces := []workload.Trace{{0.3}, {0.3}}
+	hosts, _ := sim.PlanetLabHosts(2)
+	vms, _ := sim.PlanetLabVMs(2, 1)
+	simulator, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulator.Run(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Err() == nil {
+		t.Fatal("dead server should surface a transport error")
+	}
+	if res.TotalMigrations() != 0 {
+		t.Fatal("degraded policy must no-op, not invent migrations")
+	}
+}

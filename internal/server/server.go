@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"megh/internal/core"
+	"megh/internal/sim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// NumVMs and NumHosts fix the learner's projected space; every
+	// posted snapshot must match.
+	NumVMs, NumHosts int
+	// OverloadThreshold is β; 0 means 0.70.
+	OverloadThreshold float64
+	// StepSeconds is the monitoring interval τ; 0 means 300.
+	StepSeconds float64
+	// CheckpointPath is where POST /v1/checkpoint writes the learner
+	// state (and where a fresh server restores from if the file exists).
+	CheckpointPath string
+	// Learner optionally overrides the default core configuration.
+	Learner *core.Config
+	// Seed drives the default learner configuration.
+	Seed int64
+}
+
+// Service is the HTTP scheduling service. It is safe for concurrent use;
+// a single mutex serialises learner access (decisions are sub-millisecond,
+// so the lock is never contended in practice).
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex
+	learner   *core.Megh
+	decisions int
+	lastStep  int
+}
+
+// New builds the service, restoring the learner from CheckpointPath when
+// a checkpoint exists there.
+func New(cfg Config) (*Service, error) {
+	if cfg.NumVMs <= 0 || cfg.NumHosts <= 0 {
+		return nil, fmt.Errorf("server: world size %d×%d must be positive", cfg.NumVMs, cfg.NumHosts)
+	}
+	if cfg.OverloadThreshold == 0 {
+		cfg.OverloadThreshold = 0.70
+	}
+	if cfg.OverloadThreshold < 0 || cfg.OverloadThreshold > 1 {
+		return nil, fmt.Errorf("server: overload threshold %g out of [0,1]", cfg.OverloadThreshold)
+	}
+	if cfg.StepSeconds == 0 {
+		cfg.StepSeconds = 300
+	}
+	if cfg.StepSeconds < 0 {
+		return nil, fmt.Errorf("server: negative step seconds %g", cfg.StepSeconds)
+	}
+
+	var learner *core.Megh
+	if cfg.CheckpointPath != "" {
+		if f, err := os.Open(cfg.CheckpointPath); err == nil {
+			restored, rerr := core.LoadState(f)
+			if cerr := f.Close(); cerr != nil && rerr == nil {
+				rerr = cerr
+			}
+			if rerr != nil {
+				return nil, fmt.Errorf("server: restoring %s: %w", cfg.CheckpointPath, rerr)
+			}
+			learner = restored
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("server: probing checkpoint: %w", err)
+		}
+	}
+	if learner == nil {
+		lc := core.DefaultConfig(cfg.NumVMs, cfg.NumHosts, cfg.Seed)
+		if cfg.Learner != nil {
+			lc = *cfg.Learner
+		}
+		var err error
+		learner, err = core.New(lc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Service{cfg: cfg, learner: learner}, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Service) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req StateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.VMs) != s.cfg.NumVMs || len(req.Hosts) != s.cfg.NumHosts {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("snapshot is %d×%d, service configured for %d×%d",
+				len(req.VMs), len(req.Hosts), s.cfg.NumVMs, s.cfg.NumHosts))
+		return
+	}
+	snap := req.snapshot(s.cfg.OverloadThreshold, s.cfg.StepSeconds)
+
+	s.mu.Lock()
+	migs := s.learner.Decide(snap)
+	s.decisions++
+	s.lastStep = req.Step
+	s.mu.Unlock()
+
+	resp := DecideResponse{Step: req.Step, Migrations: make([]MigrationDecision, 0, len(migs))}
+	for _, m := range migs {
+		resp.Migrations = append(resp.Migrations, MigrationDecision{VM: m.VM, Dest: m.Dest})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding feedback: %w", err))
+		return
+	}
+	if req.StepCost < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative step cost %g", req.StepCost))
+		return
+	}
+	s.mu.Lock()
+	s.learner.Observe(&sim.Feedback{
+		Step:         req.Step,
+		StepCost:     req.StepCost,
+		EnergyCost:   req.EnergyCost,
+		SLACost:      req.SLACost,
+		ResourceCost: req.ResourceCost,
+	})
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		NumVMs:      s.cfg.NumVMs,
+		NumHosts:    s.cfg.NumHosts,
+		Decisions:   s.decisions,
+		QTableNNZ:   s.learner.QTableNNZ(),
+		Temperature: s.learner.Temperature(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.CheckpointPath == "" {
+		writeError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("no checkpoint path configured"))
+		return
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.learner.SaveState(f)
+	s.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.cfg.CheckpointPath)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	info, err := os.Stat(s.cfg.CheckpointPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		Path:  s.cfg.CheckpointPath,
+		Bytes: int(info.Size()),
+	})
+}

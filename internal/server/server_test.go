@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testWorld builds a small valid snapshot: nVMs VMs spread round-robin on
+// nHosts hosts, with VM 0 optionally overloading host 0.
+func testWorld(nVMs, nHosts int, hotVM0 bool) StateRequest {
+	req := StateRequest{Step: 0}
+	for i := 0; i < nHosts; i++ {
+		req.Hosts = append(req.Hosts, HostState{
+			MIPS: 4000, RAMMB: 8192, BandwidthMbps: 1000, PowerModel: "g4",
+		})
+	}
+	for j := 0; j < nVMs; j++ {
+		util := 0.3
+		host := j % nHosts
+		if hotVM0 {
+			if j == 0 {
+				util = 1.0
+			}
+			if j == 1 {
+				host = 0 // co-locate with the hot VM so host 0 overloads
+			}
+		}
+		req.VMs = append(req.VMs, VMState{
+			Host: host, Utilization: util,
+			MIPS: 2500, RAMMB: 1024, BandwidthMbps: 100,
+		})
+	}
+	return req
+}
+
+func newTestService(t *testing.T, nVMs, nHosts int, checkpoint string) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(Config{
+		NumVMs: nVMs, NumHosts: nHosts,
+		CheckpointPath: checkpoint, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumVMs: 0, NumHosts: 2}); err == nil {
+		t.Fatal("zero VMs should error")
+	}
+	if _, err := New(Config{NumVMs: 2, NumHosts: 2, OverloadThreshold: 2}); err == nil {
+		t.Fatal("bad threshold should error")
+	}
+	if _, err := New(Config{NumVMs: 2, NumHosts: 2, StepSeconds: -1}); err == nil {
+		t.Fatal("negative τ should error")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestDecideRespondsToOverload(t *testing.T) {
+	// Host 0 holds the hot VM 0 (2500 MIPS at 100%) plus VM 1, putting it
+	// at 81% > β; the other VMs occupy hosts 2–5 too heavily to absorb
+	// VM 0, so the learner must wake the empty host 6 (overload sheds may
+	// wake sleeping hosts as a fallback).
+	_, ts := newTestService(t, 6, 7, "")
+	sawMigration := false
+	for step := 0; step < 20 && !sawMigration; step++ {
+		world := testWorld(6, 7, true)
+		world.Step = step
+		resp := postJSON(t, ts.URL+"/v1/decide", world)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("decide status %d", resp.StatusCode)
+		}
+		var out DecideResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range out.Migrations {
+			if m.VM == 0 && m.Dest != 0 {
+				sawMigration = true
+			}
+		}
+		fb := postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Step: step, StepCost: 0.5})
+		if fb.StatusCode != http.StatusNoContent {
+			t.Fatalf("feedback status %d", fb.StatusCode)
+		}
+	}
+	if !sawMigration {
+		t.Fatal("service never migrated the hot VM off its overloaded host")
+	}
+}
+
+func TestDecideRejectsMalformed(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	cases := []StateRequest{
+		{},                     // empty
+		testWorld(4, 2, false), // host count mismatch
+		testWorld(3, 3, false), // VM count mismatch
+		func() StateRequest { w := testWorld(4, 3, false); w.VMs[0].Host = 99; return w }(),
+		func() StateRequest { w := testWorld(4, 3, false); w.VMs[1].Utilization = 2; return w }(),
+		func() StateRequest { w := testWorld(4, 3, false); w.Step = -1; return w }(),
+		func() StateRequest { w := testWorld(4, 3, false); w.Hosts[0].MIPS = 0; return w }(),
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/decide", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Non-JSON body.
+	resp, err := http.Post(ts.URL+"/v1/decide", "application/json",
+		strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body status %d", resp.StatusCode)
+	}
+}
+
+func TestFeedbackRejectsNegativeCost(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	resp := postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{StepCost: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, true))
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumVMs != 4 || stats.NumHosts != 3 {
+		t.Fatalf("stats world = %d×%d", stats.NumVMs, stats.NumHosts)
+	}
+	if stats.Decisions != 1 {
+		t.Fatalf("decisions = %d, want 1", stats.Decisions)
+	}
+	if stats.Temperature <= 0 {
+		t.Fatal("temperature missing")
+	}
+}
+
+func TestCheckpointAndRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "megh.ckpt")
+	svc, ts := newTestService(t, 4, 3, path)
+
+	// Exercise the learner, then checkpoint.
+	for step := 0; step < 5; step++ {
+		world := testWorld(4, 3, true)
+		world.Step = step
+		postJSON(t, ts.URL+"/v1/decide", world)
+		postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Step: step, StepCost: 0.4})
+	}
+	resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	var ck CheckpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Path != path || ck.Bytes <= 0 {
+		t.Fatalf("checkpoint response %+v", ck)
+	}
+	svc.mu.Lock()
+	wantTemp := svc.learner.Temperature()
+	wantNNZ := svc.learner.QTableNNZ()
+	svc.mu.Unlock()
+
+	// A fresh service restores from the file.
+	restored, err := New(Config{NumVMs: 4, NumHosts: 3, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.learner.Temperature() != wantTemp {
+		t.Fatalf("restored temperature %g, want %g",
+			restored.learner.Temperature(), wantTemp)
+	}
+	if restored.learner.QTableNNZ() != wantNNZ {
+		t.Fatalf("restored Q-table %d entries, want %d",
+			restored.learner.QTableNNZ(), wantNNZ)
+	}
+}
+
+func TestCheckpointWithoutPathFails(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("status %d, want 412", resp.StatusCode)
+	}
+}
+
+func TestConcurrentDecides(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				world := testWorld(4, 3, i%2 == 0)
+				raw, _ := json.Marshal(world)
+				resp, err := http.Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					done <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- nil
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/cost"
+	"megh/internal/workload"
+)
+
+// TestCumulativeAccountingRatchets demonstrates the difference between the
+// two SLA accounting modes on the same scenario: one overloaded interval
+// followed by clean ones. Per-interval charges once; cumulative keeps
+// charging every interval after the tier is crossed (the ratchet DESIGN.md
+// §5.4 documents).
+func TestCumulativeAccountingRatchets(t *testing.T) {
+	build := func(acct cost.SLAAccounting) *Result {
+		t.Helper()
+		cfg := testConfig(t, []workload.Trace{
+			{0.95, 0.1, 0.1, 0.1, 0.1}, // overloads its host in step 0 only
+			{0.1, 0.1, 0.1, 0.1, 0.1},
+		})
+		params := cost.Default()
+		params.Accounting = acct
+		cfg.Cost = params
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(nopPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	perInterval := build(cost.SLAPerInterval)
+	cumulative := build(cost.SLACumulative)
+
+	// Step 0 overloads (util 0.95 > β), later steps are clean.
+	if perInterval.Steps[0].SLACost <= 0 {
+		t.Fatal("per-interval: violating interval should cost")
+	}
+	for _, m := range perInterval.Steps[1:] {
+		if m.SLACost != 0 {
+			t.Fatalf("per-interval: clean step %d charged %g", m.Step, m.SLACost)
+		}
+	}
+	// Cumulative: downtime fraction stays above the tier thresholds
+	// (0.8333/k per step k), so every later interval keeps charging.
+	for _, m := range cumulative.Steps {
+		if m.SLACost <= 0 {
+			t.Fatalf("cumulative: step %d should keep charging (ratchet)", m.Step)
+		}
+	}
+	if cumulative.TotalSLACost() <= perInterval.TotalSLACost() {
+		t.Fatalf("cumulative %.4f not above per-interval %.4f",
+			cumulative.TotalSLACost(), perInterval.TotalSLACost())
+	}
+}
+
+func TestAccountingValidation(t *testing.T) {
+	p := cost.Default()
+	p.Accounting = cost.SLAAccounting(9)
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown accounting should fail validation")
+	}
+	if cost.SLAPerInterval.String() != "per-interval" ||
+		cost.SLACumulative.String() != "cumulative" {
+		t.Fatal("accounting String() wrong")
+	}
+	if cost.SLAAccounting(9).String() == "" {
+		t.Fatal("unknown accounting should still render")
+	}
+	// Both defined modes must pass simulator validation.
+	for _, acct := range []cost.SLAAccounting{cost.SLAPerInterval, cost.SLACumulative} {
+		cfg := testConfig(t, []workload.Trace{{0.1}, {0.1}})
+		params := cost.Default()
+		params.Accounting = acct
+		cfg.Cost = params
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("%v: %v", acct, err)
+		}
+	}
+}
+
+// TestAccountingModesAgreeOnEnergy pins that the accounting switch only
+// affects SLA cost.
+func TestAccountingModesAgreeOnEnergy(t *testing.T) {
+	run := func(acct cost.SLAAccounting) float64 {
+		cfg := testConfig(t, []workload.Trace{{0.5, 0.5}, {0.5, 0.5}})
+		params := cost.Default()
+		params.Accounting = acct
+		cfg.Cost = params
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(nopPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalEnergyCost()
+	}
+	if a, b := run(cost.SLAPerInterval), run(cost.SLACumulative); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("energy differs across accounting modes: %g vs %g", a, b)
+	}
+}

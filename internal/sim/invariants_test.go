@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"megh/internal/workload"
+)
+
+// chaosPolicy issues random migration requests, many of them invalid, to
+// stress the engine's validation paths.
+type chaosPolicy struct {
+	rng *rand.Rand
+}
+
+func (chaosPolicy) Name() string { return "chaos" }
+
+func (c *chaosPolicy) Decide(s *Snapshot) []Migration {
+	n := c.rng.Intn(6)
+	migs := make([]Migration, 0, n)
+	for i := 0; i < n; i++ {
+		migs = append(migs, Migration{
+			VM:   c.rng.Intn(s.NumVMs()+2) - 1, // sometimes out of range
+			Dest: c.rng.Intn(s.NumHosts()+2) - 1,
+		})
+	}
+	return migs
+}
+
+// invariantProbe wraps another policy and checks structural invariants on
+// every snapshot it sees.
+type invariantProbe struct {
+	inner Policy
+	t     *testing.T
+}
+
+func (p *invariantProbe) Name() string { return p.inner.Name() }
+
+func (p *invariantProbe) Decide(s *Snapshot) []Migration {
+	t := p.t
+	// Invariant 1: placement is a bijection-compatible assignment — every
+	// VM appears on exactly one host's list, and that host matches VMHost.
+	seen := make(map[int]int, s.NumVMs())
+	for h, vms := range s.HostVMs {
+		for _, vm := range vms {
+			if prev, dup := seen[vm]; dup {
+				t.Fatalf("step %d: VM %d on hosts %d and %d", s.Step, vm, prev, h)
+			}
+			seen[vm] = h
+			if s.VMHost[vm] != h {
+				t.Fatalf("step %d: VMHost[%d] = %d but listed on %d", s.Step, vm, s.VMHost[vm], h)
+			}
+		}
+	}
+	if len(seen) != s.NumVMs() {
+		t.Fatalf("step %d: %d of %d VMs placed", s.Step, len(seen), s.NumVMs())
+	}
+	// Invariant 2: host utilization equals its VMs' demand sum.
+	for h := range s.HostVMs {
+		var mips float64
+		for _, vm := range s.HostVMs[h] {
+			mips += s.VMMIPS[vm]
+		}
+		if want := mips / s.HostSpecs[h].MIPS; math.Abs(want-s.HostUtil[h]) > 1e-9 {
+			t.Fatalf("step %d: host %d util %g, demand sum %g", s.Step, h, s.HostUtil[h], want)
+		}
+	}
+	// Invariant 3: RAM capacity is never exceeded.
+	for h := range s.HostVMs {
+		var ram float64
+		for _, vm := range s.HostVMs[h] {
+			ram += s.VMSpecs[vm].RAMMB
+		}
+		if ram > s.HostSpecs[h].RAMMB+1e-9 {
+			t.Fatalf("step %d: host %d RAM %g over capacity %g", s.Step, h, ram, s.HostSpecs[h].RAMMB)
+		}
+	}
+	return p.inner.Decide(s)
+}
+
+// TestQuickEngineInvariants drives random worlds with a chaos policy and
+// asserts the engine preserves placement, utilization, RAM, and cost
+// consistency throughout.
+func TestQuickEngineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nHosts := 3 + r.Intn(8)
+		// At most 2 VMs per host keeps any placement RAM-feasible
+		// (2 × 1740 MiB < 4096 MiB).
+		nVMs := 2 + r.Intn(2*nHosts-2)
+		hosts, err := PlanetLabHosts(nHosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms, err := PlanetLabVMs(nVMs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.DefaultPlanetLabConfig(seed)
+		cfg.Steps = 30
+		traces, err := workload.GeneratePlanetLab(cfg, nVMs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simCfg := Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: seed}
+		if r.Intn(2) == 0 {
+			simCfg.Failures = []Failure{{Host: r.Intn(nHosts), From: 5, Until: 15}}
+		}
+		s, err := New(simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := &invariantProbe{inner: &chaosPolicy{rng: r}, t: t}
+		res, err := s.Run(probe)
+		if err != nil {
+			// Random placement can legitimately fail only if RAM is
+			// insufficient, which PlanetLab fleets of this size never are.
+			t.Fatalf("run failed: %v", err)
+		}
+		// Invariant 4: cost decomposition and non-negativity.
+		for _, m := range res.Steps {
+			if m.EnergyCost < 0 || m.SLACost < 0 || m.DecideSeconds < 0 {
+				return false
+			}
+			if math.Abs(m.TotalCost()-(m.EnergyCost+m.SLACost)) > 1e-12 {
+				return false
+			}
+		}
+		// Invariant 5: downtime fractions are valid fractions.
+		for _, f := range res.VMDowntimeFrac {
+			if f < 0 || f > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

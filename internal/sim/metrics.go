@@ -1,0 +1,135 @@
+package sim
+
+// StepMetrics records everything measured in one τ-interval.
+type StepMetrics struct {
+	// Step is the 0-based interval index.
+	Step int
+	// EnergyCost and SLACost are the interval's money costs (USD).
+	EnergyCost float64
+	SLACost    float64
+	// ResourceCost is the optional memory/transfer modules' charge
+	// (0 under the paper's default CPU-only cost model).
+	ResourceCost float64
+	// Migrations is how many live migrations were executed.
+	Migrations int
+	// Rejected counts requested migrations that failed feasibility checks.
+	Rejected int
+	// ActiveHosts is the number of hosts running ≥ 1 VM after migration.
+	ActiveHosts int
+	// OverloadedHosts is the number of hosts above β after migration
+	// (excluding failed hosts, which are counted separately).
+	OverloadedHosts int
+	// FailedHosts is the number of hosts down due to injected failures.
+	FailedHosts int
+	// DecideSeconds is the wall-clock time the policy spent in Decide —
+	// the per-iteration execution time of Tables 2–3 and Figures 2d–6.
+	DecideSeconds float64
+}
+
+// TotalCost returns the interval's energy + SLA + resource cost (Eq. 6,
+// plus the optional §3.1 modules).
+func (m StepMetrics) TotalCost() float64 {
+	return m.EnergyCost + m.SLACost + m.ResourceCost
+}
+
+// Result aggregates a whole run.
+type Result struct {
+	// Policy is the policy's reported name.
+	Policy string
+	// Steps holds the per-interval metrics in order.
+	Steps []StepMetrics
+	// VMDowntimeFrac is each VM's final cumulative downtime fraction.
+	VMDowntimeFrac []float64
+}
+
+// TotalCost returns the run's total operation cost (USD), the paper's
+// primary metric.
+func (r *Result) TotalCost() float64 {
+	var s float64
+	for _, m := range r.Steps {
+		s += m.TotalCost()
+	}
+	return s
+}
+
+// TotalEnergyCost returns the run's summed energy cost.
+func (r *Result) TotalEnergyCost() float64 {
+	var s float64
+	for _, m := range r.Steps {
+		s += m.EnergyCost
+	}
+	return s
+}
+
+// TotalSLACost returns the run's summed SLA-violation cost.
+func (r *Result) TotalSLACost() float64 {
+	var s float64
+	for _, m := range r.Steps {
+		s += m.SLACost
+	}
+	return s
+}
+
+// TotalResourceCost returns the run's summed optional resource-module cost.
+func (r *Result) TotalResourceCost() float64 {
+	var s float64
+	for _, m := range r.Steps {
+		s += m.ResourceCost
+	}
+	return s
+}
+
+// TotalMigrations returns the run's total executed migrations.
+func (r *Result) TotalMigrations() int {
+	n := 0
+	for _, m := range r.Steps {
+		n += m.Migrations
+	}
+	return n
+}
+
+// MeanActiveHosts returns the time-average number of active hosts.
+func (r *Result) MeanActiveHosts() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, m := range r.Steps {
+		s += float64(m.ActiveHosts)
+	}
+	return s / float64(len(r.Steps))
+}
+
+// MeanDecideSeconds returns the average per-step policy execution time.
+func (r *Result) MeanDecideSeconds() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, m := range r.Steps {
+		s += m.DecideSeconds
+	}
+	return s / float64(len(r.Steps))
+}
+
+// PerStepCosts returns the per-interval total costs in order — the series
+// plotted in Figures 2a–5a.
+func (r *Result) PerStepCosts() []float64 {
+	out := make([]float64, len(r.Steps))
+	for i, m := range r.Steps {
+		out[i] = m.TotalCost()
+	}
+	return out
+}
+
+// CumulativeMigrations returns the running migration count per step — the
+// series of Figures 2b–5b.
+func (r *Result) CumulativeMigrations() []int {
+	out := make([]int, len(r.Steps))
+	n := 0
+	for i, m := range r.Steps {
+		n += m.Migrations
+		out[i] = n
+	}
+	return out
+}

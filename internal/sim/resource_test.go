@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/cost"
+	"megh/internal/workload"
+)
+
+func TestResourceModulesDefaultOff(t *testing.T) {
+	cfg := testConfig(t, []workload.Trace{{0.3}, {0.3}})
+	s, _ := New(cfg)
+	res, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalResourceCost() != 0 {
+		t.Fatalf("default resource cost = %g, want 0 (paper's CPU-only model)",
+			res.TotalResourceCost())
+	}
+}
+
+func TestMemoryModuleChargesActiveHosts(t *testing.T) {
+	cfg := testConfig(t, []workload.Trace{{0.3, 0.3}, {0.3, 0.3}})
+	params := cost.Default()
+	params.MemoryPricePerGBHour = 0.01
+	cfg.Cost = params
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two active hosts (round-robin) × 4096 MiB × 0.01 USD/GB-h × 2 steps
+	// of 300 s.
+	want := 2 * 2 * 0.01 * 4 * (300.0 / 3600)
+	if math.Abs(res.TotalResourceCost()-want) > 1e-12 {
+		t.Fatalf("memory module cost = %g, want %g", res.TotalResourceCost(), want)
+	}
+	if math.Abs(res.TotalCost()-(res.TotalEnergyCost()+res.TotalSLACost()+res.TotalResourceCost())) > 1e-12 {
+		t.Fatal("cost decomposition broken with resource module")
+	}
+}
+
+func TestTransferModuleChargesMigrations(t *testing.T) {
+	cfg := testConfig(t, []workload.Trace{{0.3}, {0.3}})
+	params := cost.Default()
+	params.MigrationTransferPricePerGB = 0.5
+	cfg.Cost = params
+	p := &scriptPolicy{script: map[int][]Migration{0: {{VM: 1, Dest: 0}}}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One migration of a 1024 MiB VM = 1 GB × 0.5 USD.
+	if want := 0.5; math.Abs(res.TotalResourceCost()-want) > 1e-12 {
+		t.Fatalf("transfer module cost = %g, want %g", res.TotalResourceCost(), want)
+	}
+}
+
+func TestResourceCostReachesLearnerFeedback(t *testing.T) {
+	cfg := testConfig(t, []workload.Trace{{0.3}, {0.3}})
+	params := cost.Default()
+	params.MigrationTransferPricePerGB = 0.5
+	cfg.Cost = params
+	p := &scriptPolicy{script: map[int][]Migration{0: {{VM: 1, Dest: 0}}}}
+	s, _ := New(cfg)
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	fb := p.feedback[0]
+	if fb.ResourceCost != 0.5 {
+		t.Fatalf("feedback resource cost = %g, want 0.5", fb.ResourceCost)
+	}
+	if math.Abs(fb.StepCost-(fb.EnergyCost+fb.SLACost+fb.ResourceCost)) > 1e-12 {
+		t.Fatal("feedback decomposition broken")
+	}
+}
+
+func TestCostResourceValidation(t *testing.T) {
+	p := cost.Default()
+	p.MemoryPricePerGBHour = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative memory price should fail")
+	}
+	p = cost.Default()
+	p.MigrationTransferPricePerGB = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative transfer price should fail")
+	}
+	if cost.Default().MemoryCost(-1, 10) != 0 || cost.Default().TransferCost(0) != 0 {
+		t.Fatal("degenerate module costs should be 0")
+	}
+}

@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"megh/internal/cost"
+)
+
+// Feedback is the post-step signal delivered to policies that implement
+// FeedbackReceiver. It is what lets learning policies (Megh, MadVM,
+// Q-learning) observe the realised per-stage cost of their decisions.
+type Feedback struct {
+	// Step is the interval that just completed.
+	Step int
+	// Executed lists the migrations that actually happened.
+	Executed []Migration
+	// Rejected lists requested migrations refused by feasibility checks.
+	Rejected []Migration
+	// StepCost is the interval's total cost (energy + SLA), the per-stage
+	// cost C(s_{t-1}, s_t) of Eq. 6.
+	StepCost float64
+	// EnergyCost, SLACost and ResourceCost break StepCost down.
+	EnergyCost, SLACost, ResourceCost float64
+}
+
+// FeedbackReceiver is implemented by policies that learn from realised
+// costs. Observe is called once per step, after the interval's cost is
+// known and before the next Decide.
+type FeedbackReceiver interface {
+	Observe(fb *Feedback)
+}
+
+// Simulator executes Config against one Policy per Run call. Each Run
+// starts from the same seeded initial placement, so several policies can be
+// compared on identical conditions.
+type Simulator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Simulator.
+func New(cfg Config) (*Simulator, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: norm}, nil
+}
+
+// Config returns the normalized configuration (defaults applied).
+func (s *Simulator) Config() Config { return s.cfg }
+
+// runState is the mutable world state of one Run.
+type runState struct {
+	cfg Config
+
+	vmHost  []int
+	hostVMs [][]int
+
+	vmUtil   []float64
+	vmMIPS   []float64
+	hostUtil []float64
+
+	// downtimeSec and requestedSec implement Eq. 4–5 accounting per VM;
+	// stepDowntime is the current interval's share, which drives the
+	// per-interval SLA refund.
+	downtimeSec  []float64
+	requestedSec []float64
+	stepDowntime []float64
+
+	history   [][]float64
+	vmHistory [][]float64
+
+	hostFailed []bool
+
+	snap Snapshot
+}
+
+// Run executes the full horizon with the given policy and returns the
+// collected metrics. State is rebuilt from the seed at every call.
+func (s *Simulator) Run(p Policy) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	st, err := newRunState(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Policy: p.Name(),
+		Steps:  make([]StepMetrics, 0, s.cfg.Steps),
+	}
+	receiver, _ := p.(FeedbackReceiver)
+	for t := 0; t < s.cfg.Steps; t++ {
+		metrics, fb := st.step(t, p)
+		res.Steps = append(res.Steps, metrics)
+		if receiver != nil {
+			receiver.Observe(fb)
+		}
+	}
+	res.VMDowntimeFrac = make([]float64, len(st.downtimeSec))
+	for j := range st.downtimeSec {
+		if st.requestedSec[j] > 0 {
+			res.VMDowntimeFrac[j] = st.downtimeSec[j] / st.requestedSec[j]
+		}
+	}
+	return res, nil
+}
+
+func newRunState(cfg Config) (*runState, error) {
+	st := &runState{
+		cfg:          cfg,
+		vmHost:       make([]int, len(cfg.VMs)),
+		hostVMs:      make([][]int, len(cfg.Hosts)),
+		vmUtil:       make([]float64, len(cfg.VMs)),
+		vmMIPS:       make([]float64, len(cfg.VMs)),
+		hostUtil:     make([]float64, len(cfg.Hosts)),
+		downtimeSec:  make([]float64, len(cfg.VMs)),
+		requestedSec: make([]float64, len(cfg.VMs)),
+		stepDowntime: make([]float64, len(cfg.VMs)),
+		history:      make([][]float64, len(cfg.Hosts)),
+		vmHistory:    make([][]float64, len(cfg.VMs)),
+		hostFailed:   make([]bool, len(cfg.Hosts)),
+	}
+	for i := range st.history {
+		st.history[i] = make([]float64, 0, cfg.HistoryLen)
+	}
+	for j := range st.vmHistory {
+		st.vmHistory[j] = make([]float64, 0, cfg.HistoryLen)
+	}
+	if err := st.place(); err != nil {
+		return nil, err
+	}
+	st.snap = Snapshot{
+		StepSeconds:       cfg.StepSeconds,
+		OverloadThreshold: cfg.OverloadThreshold,
+		VMHost:            st.vmHost,
+		VMUtil:            st.vmUtil,
+		VMMIPS:            st.vmMIPS,
+		VMSpecs:           cfg.VMs,
+		HostUtil:          st.hostUtil,
+		HostVMs:           st.hostVMs,
+		HostSpecs:         cfg.Hosts,
+		HostHistory:       st.history,
+		VMHistory:         st.vmHistory,
+		HostFailed:        st.hostFailed,
+		migModel:          cfg.Migration,
+	}
+	return st, nil
+}
+
+// place computes the initial assignment.
+func (st *runState) place() error {
+	cfg := st.cfg
+	hostRAM := make([]float64, len(cfg.Hosts))
+	assign := func(vm, host int) {
+		st.vmHost[vm] = host
+		st.hostVMs[host] = append(st.hostVMs[host], vm)
+		hostRAM[host] += cfg.VMs[vm].RAMMB
+	}
+	fits := func(vm, host int) bool {
+		return hostRAM[host]+cfg.VMs[vm].RAMMB <= cfg.Hosts[host].RAMMB
+	}
+	firstFit := func(vm int) error {
+		for h := range cfg.Hosts {
+			if fits(vm, h) {
+				assign(vm, h)
+				return nil
+			}
+		}
+		return fmt.Errorf("sim: VM %d (%.0f MiB) does not fit on any host", vm, cfg.VMs[vm].RAMMB)
+	}
+	switch cfg.InitialPlacement {
+	case PlacementRandom:
+		r := rand.New(rand.NewSource(cfg.Seed))
+		for vm := range cfg.VMs {
+			placed := false
+			for try := 0; try < 4*len(cfg.Hosts); try++ {
+				h := r.Intn(len(cfg.Hosts))
+				if fits(vm, h) {
+					assign(vm, h)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				if err := firstFit(vm); err != nil {
+					return err
+				}
+			}
+		}
+	case PlacementRoundRobin:
+		for vm := range cfg.VMs {
+			placed := false
+			for off := 0; off < len(cfg.Hosts); off++ {
+				h := (vm + off) % len(cfg.Hosts)
+				if fits(vm, h) {
+					assign(vm, h)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return fmt.Errorf("sim: VM %d does not fit on any host", vm)
+			}
+		}
+	case PlacementFirstFit:
+		for vm := range cfg.VMs {
+			if err := firstFit(vm); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("sim: unknown placement %v", cfg.InitialPlacement)
+	}
+	return nil
+}
+
+// step executes one τ-interval: sample utilizations, let the policy decide,
+// execute migrations, and integrate costs. Migrations take effect within
+// the interval they are ordered in (live migration completes in seconds,
+// τ is minutes), so a policy that reacts to an overload in the same step
+// prevents that interval's overload downtime — the reason reactive
+// heuristics show zero overloaded host-steps in the metrics.
+func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
+	cfg := st.cfg
+	tau := cfg.StepSeconds
+
+	// 1. Read this step's utilization samples and the failure schedule.
+	for j := range cfg.VMs {
+		u := cfg.Traces[j].At(t)
+		st.vmUtil[j] = u
+		st.vmMIPS[j] = u * cfg.VMs[j].MIPS
+		st.stepDowntime[j] = 0
+	}
+	for i := range st.hostFailed {
+		st.hostFailed[i] = false
+	}
+	for _, f := range cfg.Failures {
+		if t >= f.From && t < f.Until {
+			st.hostFailed[f.Host] = true
+		}
+	}
+	st.recomputeHostUtil()
+
+	// 2. Record the observed (pre-decision) utilization into the host and
+	// VM history windows; MMT's adaptive detectors and the correlation-
+	// based selection policies consume these.
+	for i := range st.history {
+		st.history[i] = pushWindow(st.history[i], st.hostUtil[i], cfg.HistoryLen)
+	}
+	for j := range st.vmHistory {
+		st.vmHistory[j] = pushWindow(st.vmHistory[j], st.vmUtil[j], cfg.HistoryLen)
+	}
+
+	// 3. Ask the policy, timing the call.
+	st.snap.Step = t
+	start := time.Now()
+	migrations := p.Decide(&st.snap)
+	decideSeconds := time.Since(start).Seconds()
+
+	// 4. Execute migrations with feasibility checks.
+	fb := &Feedback{Step: t}
+	var resource float64
+	migrated := make(map[int]bool, len(migrations))
+	for _, m := range migrations {
+		if m.VM < 0 || m.VM >= len(cfg.VMs) || m.Dest < 0 || m.Dest >= len(cfg.Hosts) {
+			fb.Rejected = append(fb.Rejected, m)
+			continue
+		}
+		if st.vmHost[m.VM] == m.Dest {
+			continue // stay: free no-op
+		}
+		if migrated[m.VM] || !st.snap.FitsOn(m.VM, m.Dest) {
+			fb.Rejected = append(fb.Rejected, m)
+			continue
+		}
+		migrated[m.VM] = true
+		// Live-migration downtime (Eq. 5 with the α model folded into
+		// MigrationDowntimeFactor), plus the optional transfer-volume
+		// price module.
+		migSec := st.snap.MigrationSeconds(m.VM, m.Dest)
+		st.stepDowntime[m.VM] += migSec * cfg.Cost.MigrationDowntimeFactor
+		resource += cfg.Cost.TransferCost(cfg.VMs[m.VM].RAMMB)
+		st.move(m.VM, m.Dest)
+		fb.Executed = append(fb.Executed, m)
+	}
+	if len(fb.Executed) > 0 {
+		st.recomputeHostUtil()
+	}
+
+	// 5. Overload downtime (Eq. 4): every VM spending this interval on an
+	// overloaded host accrues downtime proportional to the overload
+	// severity — a host just past β barely degrades its VMs, one at full
+	// saturation suspends them for the whole interval. VMs stranded on a
+	// failed host are fully down.
+	overloaded, failed := 0, 0
+	for i := range st.hostUtil {
+		if st.hostFailed[i] {
+			failed++
+			for _, j := range st.hostVMs[i] {
+				st.stepDowntime[j] += tau
+			}
+			continue
+		}
+		if len(st.hostVMs[i]) == 0 {
+			continue
+		}
+		if u := st.hostUtil[i]; u > cfg.OverloadThreshold {
+			overloaded++
+			severity := (u - cfg.OverloadThreshold) / (1 - cfg.OverloadThreshold)
+			if severity > 1 {
+				severity = 1
+			}
+			for _, j := range st.hostVMs[i] {
+				st.stepDowntime[j] += tau * severity
+			}
+		}
+	}
+
+	// 6. Energy cost (Eq. 2): active hosts draw table power at their
+	// (capped) utilization; empty hosts sleep and failed hosts are off.
+	var energy float64
+	for i := range st.hostUtil {
+		if len(st.hostVMs[i]) == 0 || st.hostFailed[i] {
+			continue
+		}
+		u := st.hostUtil[i]
+		if u > 1 {
+			u = 1
+		}
+		energy += cfg.Cost.EnergyCost(cfg.Hosts[i].Power.Power(u), tau)
+		resource += cfg.Cost.MemoryCost(cfg.Hosts[i].RAMMB, tau)
+	}
+
+	// 7. SLA cost (Eq. 3): tiered refund on each VM's interval revenue.
+	// Under the default per-interval accounting the refund is keyed on
+	// the interval's own downtime fraction, keeping ΔC_v(s_{t-1}, s_t) a
+	// true per-stage cost (Eq. 6); under SLACumulative it is keyed on
+	// the cumulative downtime percentage, the paper's Eq. 3 verbatim.
+	cumulative := cfg.Cost.Accounting == cost.SLACumulative
+	var sla float64
+	for j := range cfg.VMs {
+		st.requestedSec[j] += tau
+		st.downtimeSec[j] += st.stepDowntime[j]
+		var frac float64
+		if cumulative {
+			frac = st.downtimeSec[j] / st.requestedSec[j]
+		} else {
+			frac = st.stepDowntime[j] / tau
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		sla += cfg.Cost.SLACost(frac, tau)
+	}
+
+	fb.EnergyCost = energy
+	fb.SLACost = sla
+	fb.ResourceCost = resource
+	fb.StepCost = energy + sla + resource
+
+	return StepMetrics{
+		Step:            t,
+		EnergyCost:      energy,
+		SLACost:         sla,
+		ResourceCost:    resource,
+		Migrations:      len(fb.Executed),
+		Rejected:        len(fb.Rejected),
+		ActiveHosts:     st.snap.ActiveHosts(),
+		OverloadedHosts: overloaded,
+		FailedHosts:     failed,
+		DecideSeconds:   decideSeconds,
+	}, fb
+}
+
+// pushWindow appends x to a fixed-capacity trailing window, evicting the
+// oldest sample once full.
+func pushWindow(w []float64, x float64, capLen int) []float64 {
+	if len(w) == capLen {
+		copy(w, w[1:])
+		w = w[:capLen-1]
+	}
+	return append(w, x)
+}
+
+// move reassigns VM j to host dest.
+func (st *runState) move(j, dest int) {
+	src := st.vmHost[j]
+	vms := st.hostVMs[src]
+	for k, v := range vms {
+		if v == j {
+			vms[k] = vms[len(vms)-1]
+			st.hostVMs[src] = vms[:len(vms)-1]
+			break
+		}
+	}
+	st.vmHost[j] = dest
+	st.hostVMs[dest] = append(st.hostVMs[dest], j)
+}
+
+func (st *runState) recomputeHostUtil() {
+	for i := range st.hostUtil {
+		var mips float64
+		for _, j := range st.hostVMs[i] {
+			mips += st.vmMIPS[j]
+		}
+		st.hostUtil[i] = mips / st.cfg.Hosts[i].MIPS
+	}
+}

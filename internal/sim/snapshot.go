@@ -1,0 +1,113 @@
+package sim
+
+// Snapshot is the read-only view of the data center a Policy sees at one
+// decision step. All slices are owned by the simulator and reused across
+// steps for efficiency; policies must not mutate or retain them beyond the
+// Decide call (copy anything you keep).
+type Snapshot struct {
+	// Step is the 0-based step index.
+	Step int
+	// StepSeconds is τ.
+	StepSeconds float64
+	// OverloadThreshold is β.
+	OverloadThreshold float64
+
+	// VMHost[j] is the index of the host currently running VM j.
+	VMHost []int
+	// VMUtil[j] is VM j's demanded fraction of its own requested MIPS.
+	VMUtil []float64
+	// VMMIPS[j] is VM j's demanded MIPS (VMUtil[j] × spec MIPS).
+	VMMIPS []float64
+	// VMSpecs holds the static VM descriptions.
+	VMSpecs []VMSpec
+
+	// HostUtil[i] is host i's demanded-capacity fraction (may exceed 1
+	// when demand outstrips capacity).
+	HostUtil []float64
+	// HostVMs[i] lists the VMs on host i.
+	HostVMs [][]int
+	// HostSpecs holds the static host descriptions.
+	HostSpecs []HostSpec
+
+	// HostHistory[i] is host i's recent utilization window, oldest first,
+	// at most Config.HistoryLen entries including the current step.
+	HostHistory [][]float64
+	// VMHistory[j] is VM j's recent utilization window, oldest first,
+	// same length policy as HostHistory.
+	VMHistory [][]float64
+	// HostFailed[i] reports an injected outage on host i this step.
+	HostFailed []bool
+
+	// migModel optionally overrides MigrationSeconds.
+	migModel MigrationTimeModel
+}
+
+// NumVMs returns the number of VMs.
+func (s *Snapshot) NumVMs() int { return len(s.VMHost) }
+
+// NumHosts returns the number of hosts.
+func (s *Snapshot) NumHosts() int { return len(s.HostUtil) }
+
+// HostActive reports whether host i currently runs at least one VM.
+func (s *Snapshot) HostActive(i int) bool { return len(s.HostVMs[i]) > 0 }
+
+// ActiveHosts counts hosts running at least one VM.
+func (s *Snapshot) ActiveHosts() int {
+	n := 0
+	for i := range s.HostVMs {
+		if len(s.HostVMs[i]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// HostOverloaded reports whether host i's utilization exceeds β. A failed
+// host counts as overloaded so that overload-driven policies evacuate it
+// without failure-specific logic.
+func (s *Snapshot) HostOverloaded(i int) bool {
+	if len(s.HostFailed) > 0 && s.HostFailed[i] {
+		return true
+	}
+	return s.HostUtil[i] > s.OverloadThreshold
+}
+
+// FitsOn reports whether VM j could run on host i right now: enough spare
+// RAM and enough spare MIPS capacity at current demand, and the host not
+// being failed. The VM's current host always fits it (a stay is always
+// legal).
+func (s *Snapshot) FitsOn(j, i int) bool {
+	if s.VMHost[j] == i {
+		return true
+	}
+	if len(s.HostFailed) > 0 && s.HostFailed[i] {
+		return false
+	}
+	spec := s.HostSpecs[i]
+	var ram, mips float64
+	for _, other := range s.HostVMs[i] {
+		ram += s.VMSpecs[other].RAMMB
+		mips += s.VMMIPS[other]
+	}
+	return ram+s.VMSpecs[j].RAMMB <= spec.RAMMB &&
+		mips+s.VMMIPS[j] <= spec.MIPS
+}
+
+// MigrationSeconds returns the live-migration copy time for VM j moving to
+// host dest. The default model is RAM divided by the smaller of the two
+// hosts' bandwidths (paper §3.3: TM = M/B; RAM is MiB, bandwidth Mbit/s,
+// so ×8 converts); a Config.Migration model overrides it.
+func (s *Snapshot) MigrationSeconds(j, dest int) float64 {
+	if s.migModel != nil {
+		return s.migModel.MigrationSeconds(s, j, dest)
+	}
+	src := s.VMHost[j]
+	bw := s.HostSpecs[src].BandwidthMbps
+	if b := s.HostSpecs[dest].BandwidthMbps; b < bw {
+		bw = b
+	}
+	if bw <= 0 {
+		return 0
+	}
+	return s.VMSpecs[j].RAMMB * 8 / bw
+}

@@ -1,0 +1,256 @@
+// Package sim is the CloudSim-equivalent data-center simulator the
+// reproduction runs on (DESIGN.md substitution S1). It executes the
+// power-aware simulation loop the paper's experiments assume: at every
+// τ = 5 min step it reads one utilization sample per VM, lets the
+// allocation policy under test decide live migrations, executes them,
+// and integrates energy, SLA-downtime, and cost metrics.
+//
+// Policies only interact with the simulator through the read-only Snapshot
+// and the returned []Migration, so heuristics (MMT), learners (Megh,
+// MadVM, Q-learning) and trivial baselines plug in interchangeably.
+package sim
+
+import (
+	"fmt"
+
+	"megh/internal/cost"
+	"megh/internal/power"
+	"megh/internal/workload"
+)
+
+// HostSpec describes one physical machine (PM). Following paper §3.1, all
+// CPUs of a PM are modelled as a single core with their cumulative MIPS.
+type HostSpec struct {
+	// MIPS is the cumulative CPU capacity.
+	MIPS float64
+	// RAMMB is the memory capacity in MiB.
+	RAMMB float64
+	// BandwidthMbps is the network bandwidth available for migrations.
+	BandwidthMbps float64
+	// Power is the utilization→Watts model (e.g. power.HPProLiantG4()).
+	Power power.Model
+}
+
+// Validate reports the first invalid field.
+func (h HostSpec) Validate() error {
+	switch {
+	case h.MIPS <= 0:
+		return fmt.Errorf("sim: host MIPS %g must be positive", h.MIPS)
+	case h.RAMMB <= 0:
+		return fmt.Errorf("sim: host RAM %g must be positive", h.RAMMB)
+	case h.BandwidthMbps <= 0:
+		return fmt.Errorf("sim: host bandwidth %g must be positive", h.BandwidthMbps)
+	case h.Power == nil:
+		return fmt.Errorf("sim: host power model is nil")
+	}
+	return nil
+}
+
+// VMSpec describes one virtual machine's requested resources.
+type VMSpec struct {
+	// MIPS is the requested CPU capacity; the trace utilization is a
+	// fraction of this.
+	MIPS float64
+	// RAMMB is the allocated memory, which determines migration time
+	// (TM = RAM / bandwidth, paper §3.3).
+	RAMMB float64
+	// BandwidthMbps is the VM's network allocation.
+	BandwidthMbps float64
+}
+
+// Validate reports the first invalid field.
+func (v VMSpec) Validate() error {
+	switch {
+	case v.MIPS <= 0:
+		return fmt.Errorf("sim: VM MIPS %g must be positive", v.MIPS)
+	case v.RAMMB <= 0:
+		return fmt.Errorf("sim: VM RAM %g must be positive", v.RAMMB)
+	case v.BandwidthMbps < 0:
+		return fmt.Errorf("sim: VM bandwidth %g must be non-negative", v.BandwidthMbps)
+	}
+	return nil
+}
+
+// Placement selects the initial VM→host assignment strategy.
+type Placement int
+
+// Initial placement strategies.
+const (
+	// PlacementRandom spreads VMs uniformly at random across hosts with a
+	// RAM-feasibility check — the setup of the paper's MadVM comparison
+	// ("allocated uniformly at random ... so that there is no initial
+	// bias", §6.3).
+	PlacementRandom Placement = iota + 1
+	// PlacementRoundRobin deals VMs to hosts in order.
+	PlacementRoundRobin
+	// PlacementFirstFit packs each VM onto the first host with enough
+	// spare RAM, mimicking CloudSim's default simple provisioner.
+	PlacementFirstFit
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementRandom:
+		return "random"
+	case PlacementRoundRobin:
+		return "round-robin"
+	case PlacementFirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	// Hosts and VMs define the data center.
+	Hosts []HostSpec
+	VMs   []VMSpec
+	// Traces supplies one utilization trace per VM.
+	Traces []workload.Trace
+	// Steps is the horizon in τ-intervals; 0 means the longest trace.
+	Steps int
+	// StepSeconds is τ; 0 means 300 s (5 minutes, the paper's interval).
+	StepSeconds float64
+	// OverloadThreshold is β (paper: 0.70): a host above it accrues
+	// overloading time for its VMs (Eq. 4).
+	OverloadThreshold float64
+	// Cost holds the money model; zero value means cost.Default().
+	Cost cost.Params
+	// InitialPlacement defaults to PlacementRandom.
+	InitialPlacement Placement
+	// Seed drives the initial placement (and nothing else).
+	Seed int64
+	// HistoryLen is how many past host-utilization samples the Snapshot
+	// exposes to policies (MMT's detectors need ~12); 0 means 12. The
+	// same window length is kept per VM for selection policies that
+	// inspect VM behaviour (e.g. maximum-correlation selection).
+	HistoryLen int
+	// Failures injects host outages for robustness experiments: during
+	// [From, Until) the host delivers no capacity, its VMs are fully
+	// down, and it cannot receive migrations. Policies observe the
+	// failure as an overloaded host (plus Snapshot.HostFailed).
+	Failures []Failure
+	// Migration optionally replaces the default RAM/bandwidth
+	// migration-time estimate, e.g. with a topology-aware model.
+	Migration MigrationTimeModel
+}
+
+// Failure is one injected host outage.
+type Failure struct {
+	// Host is the failing host's index.
+	Host int
+	// From (inclusive) and Until (exclusive) bound the outage in steps.
+	From, Until int
+}
+
+// Validate reports out-of-range fields given the host count.
+func (f Failure) Validate(numHosts int) error {
+	switch {
+	case f.Host < 0 || f.Host >= numHosts:
+		return fmt.Errorf("sim: failure host %d out of range [0,%d)", f.Host, numHosts)
+	case f.From < 0 || f.Until <= f.From:
+		return fmt.Errorf("sim: failure window [%d,%d) invalid", f.From, f.Until)
+	}
+	return nil
+}
+
+// MigrationTimeModel estimates the live-migration copy time. The default
+// is RAM divided by the bottleneck bandwidth (paper §3.3); a
+// topology-aware model can scale it with network distance.
+type MigrationTimeModel interface {
+	// MigrationSeconds returns the copy time for moving vm to dest.
+	MigrationSeconds(s *Snapshot, vm, dest int) float64
+}
+
+// Migration asks the simulator to live-migrate VM to host Dest. A
+// migration whose Dest equals the VM's current host is a no-op and is not
+// counted or charged.
+type Migration struct {
+	VM   int
+	Dest int
+}
+
+// Policy decides live migrations each step. Implementations must treat the
+// Snapshot as read-only. Decide is timed by the simulator to produce the
+// per-step execution-time metric of Tables 2–3.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "Megh", "THR-MMT").
+	Name() string
+	// Decide returns the migrations to execute for this step.
+	Decide(s *Snapshot) []Migration
+}
+
+const (
+	defaultStepSeconds = 300.0
+	defaultHistoryLen  = 12
+	defaultOverload    = 0.70
+)
+
+// normalized returns a copy of the config with defaults applied, after
+// validation.
+func (c Config) normalized() (Config, error) {
+	if len(c.Hosts) == 0 {
+		return c, fmt.Errorf("sim: no hosts configured")
+	}
+	if len(c.VMs) == 0 {
+		return c, fmt.Errorf("sim: no VMs configured")
+	}
+	if len(c.Traces) != len(c.VMs) {
+		return c, fmt.Errorf("sim: %d traces for %d VMs", len(c.Traces), len(c.VMs))
+	}
+	for i, h := range c.Hosts {
+		if err := h.Validate(); err != nil {
+			return c, fmt.Errorf("host %d: %w", i, err)
+		}
+	}
+	for i, v := range c.VMs {
+		if err := v.Validate(); err != nil {
+			return c, fmt.Errorf("vm %d: %w", i, err)
+		}
+	}
+	if c.StepSeconds == 0 {
+		c.StepSeconds = defaultStepSeconds
+	}
+	if c.StepSeconds < 0 {
+		return c, fmt.Errorf("sim: negative StepSeconds %g", c.StepSeconds)
+	}
+	if c.OverloadThreshold == 0 {
+		c.OverloadThreshold = defaultOverload
+	}
+	if c.OverloadThreshold < 0 || c.OverloadThreshold > 1 {
+		return c, fmt.Errorf("sim: OverloadThreshold %g out of [0,1]", c.OverloadThreshold)
+	}
+	if c.Cost == (cost.Params{}) {
+		c.Cost = cost.Default()
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return c, err
+	}
+	if c.InitialPlacement == 0 {
+		c.InitialPlacement = PlacementRandom
+	}
+	if c.HistoryLen == 0 {
+		c.HistoryLen = defaultHistoryLen
+	}
+	if c.HistoryLen < 0 {
+		return c, fmt.Errorf("sim: negative HistoryLen %d", c.HistoryLen)
+	}
+	if c.Steps == 0 {
+		for _, tr := range c.Traces {
+			if tr.Len() > c.Steps {
+				c.Steps = tr.Len()
+			}
+		}
+	}
+	if c.Steps <= 0 {
+		return c, fmt.Errorf("sim: horizon resolves to %d steps", c.Steps)
+	}
+	for i, f := range c.Failures {
+		if err := f.Validate(len(c.Hosts)); err != nil {
+			return c, fmt.Errorf("failure %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseIdentityInvert(t *testing.T) {
+	d := NewDenseIdentity(4, 2)
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 0.5
+			}
+			if math.Abs(inv.Get(i, j)-want) > 1e-12 {
+				t.Fatalf("inv[%d,%d] = %g, want %g", i, j, inv.Get(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDenseInvertSingular(t *testing.T) {
+	d := NewDense(3) // all zeros
+	if _, err := d.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDenseInvertKnownMatrix(t *testing.T) {
+	// A = [[4,7],[2,6]], A⁻¹ = [[0.6,-0.7],[-0.2,0.4]]
+	d := NewDense(2)
+	d.Set(0, 0, 4)
+	d.Set(0, 1, 7)
+	d.Set(1, 0, 2)
+	d.Set(1, 1, 6)
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [2][2]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(inv.Get(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("inv[%d,%d] = %g, want %g", i, j, inv.Get(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestDenseInvertNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	d := NewDense(2)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	inv, err := d.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverse of the permutation is itself.
+	if inv.Get(0, 1) != 1 || inv.Get(1, 0) != 1 || inv.Get(0, 0) != 0 || inv.Get(1, 1) != 0 {
+		t.Fatalf("permutation inverse wrong: %+v", inv.a)
+	}
+}
+
+func TestDenseAddOuter(t *testing.T) {
+	d := NewDense(3)
+	d.AddOuter(2, []float64{1, 0, 2}, []float64{0, 3, 1})
+	if d.Get(0, 1) != 6 || d.Get(0, 2) != 2 || d.Get(2, 1) != 12 || d.Get(2, 2) != 4 {
+		t.Fatalf("AddOuter result wrong: %v", d.a)
+	}
+	if d.Get(1, 0) != 0 || d.Get(1, 1) != 0 {
+		t.Fatal("AddOuter touched rows with zero u entries")
+	}
+}
+
+func TestDenseMulVec(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 2)
+	d.Set(1, 0, 3)
+	d.Set(1, 1, 4)
+	got := d.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+// Property: A·A⁻¹ ≈ I for random well-conditioned matrices.
+func TestQuickDenseInvertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 6
+		d := NewDenseIdentity(n, float64(n)) // diagonally dominant start
+		for k := 0; k < 12; k++ {
+			d.Add(r.Intn(n), r.Intn(n), r.Float64()*2-1)
+		}
+		inv, err := d.Invert()
+		if err != nil {
+			return true // singular draw: skip
+		}
+		for i := 0; i < n; i++ {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				x[j] = inv.Get(j, i)
+			}
+			col := d.MulVec(x)
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if j == i {
+					want = 1
+				}
+				if math.Abs(col[j]-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

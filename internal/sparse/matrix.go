@@ -1,0 +1,289 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a square sparse matrix stored as a dictionary of keys with both
+// row-major and column-major indexes, plus an *implicit* scaled identity: a
+// fresh Matrix of dimension d with initial diagonal value c behaves exactly
+// like c·I, but stores nothing until entries are written.
+//
+// This mirrors the B = (1/δ)·I initialisation of Megh (Algorithm 1, line 2):
+// the matrix starts as a huge scaled identity of which only the entries
+// touched by migrations are ever materialised.
+//
+// Matrix is not safe for concurrent mutation.
+type Matrix struct {
+	dim  int
+	diag float64 // implicit value of unmaterialised diagonal entries
+	// dropTol, when positive, makes the matrix treat entries with
+	// |x| < dropTol as exact zeros. Rank-1 updates produce cascades of
+	// numerically negligible fill-in (products of already-tiny
+	// off-diagonal entries); dropping them keeps the Q-table's growth
+	// linear in the number of migrations, which is the behaviour the
+	// paper reports in Figure 7.
+	dropTol float64
+
+	rows map[int]map[int]float64
+	cols map[int]map[int]float64
+	// rowTouched marks rows whose implicit diagonal has been materialised
+	// (even if it was materialised to the same value). A row i not in this
+	// set still has the implicit entry (i,i)=diag.
+	diagDone map[int]bool
+}
+
+// NewMatrix returns a d × d matrix equal to diag·I, storing nothing yet.
+func NewMatrix(dim int, diag float64) *Matrix {
+	if dim < 0 {
+		panic(fmt.Sprintf("sparse: negative matrix dimension %d", dim))
+	}
+	return &Matrix{
+		dim:      dim,
+		diag:     diag,
+		rows:     make(map[int]map[int]float64),
+		cols:     make(map[int]map[int]float64),
+		diagDone: make(map[int]bool),
+	}
+}
+
+// Dim returns the matrix dimension.
+func (m *Matrix) Dim() int { return m.dim }
+
+// NNZ returns the number of *materialised* non-zero entries. The implicit
+// identity is excluded: this is the quantity the paper plots in Figure 7
+// (growth of the Q-table with time), which starts near zero and grows with
+// the number of executed migrations.
+func (m *Matrix) NNZ() int {
+	n := 0
+	for _, r := range m.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// Get returns entry (i,j), including the implicit diagonal.
+func (m *Matrix) Get(i, j int) float64 {
+	m.check(i, j)
+	if r, ok := m.rows[i]; ok {
+		if x, ok := r[j]; ok {
+			return x
+		}
+	}
+	if i == j && !m.diagDone[i] {
+		return m.diag
+	}
+	return 0
+}
+
+// SetDropTolerance makes the matrix discard entries with |x| < tol on
+// write. Passing 0 restores exact arithmetic. It panics on negative tol.
+func (m *Matrix) SetDropTolerance(tol float64) {
+	if tol < 0 {
+		panic(fmt.Sprintf("sparse: negative drop tolerance %g", tol))
+	}
+	m.dropTol = tol
+}
+
+// Set assigns entry (i,j). Setting an off-diagonal entry to zero (or below
+// the drop tolerance) removes it; a diagonal entry set to zero stays
+// materialised as absent (overriding the implicit identity).
+func (m *Matrix) Set(i, j int, x float64) {
+	m.check(i, j)
+	if i == j {
+		m.diagDone[i] = true
+	}
+	if x < m.dropTol && x > -m.dropTol {
+		x = 0
+	}
+	if x == 0 {
+		if r, ok := m.rows[i]; ok {
+			delete(r, j)
+			if len(r) == 0 {
+				delete(m.rows, i)
+			}
+		}
+		if c, ok := m.cols[j]; ok {
+			delete(c, i)
+			if len(c) == 0 {
+				delete(m.cols, j)
+			}
+		}
+		return
+	}
+	r, ok := m.rows[i]
+	if !ok {
+		r = make(map[int]float64)
+		m.rows[i] = r
+	}
+	r[j] = x
+	c, ok := m.cols[j]
+	if !ok {
+		c = make(map[int]float64)
+		m.cols[j] = c
+	}
+	c[i] = x
+}
+
+// Add adds x to entry (i,j), respecting the implicit diagonal.
+func (m *Matrix) Add(i, j int, x float64) {
+	m.Set(i, j, m.Get(i, j)+x)
+}
+
+// Row returns row i as a sparse vector (a copy, including the implicit
+// diagonal entry if still in effect).
+func (m *Matrix) Row(i int) *Vector {
+	m.check(i, 0)
+	v := NewVector(m.dim)
+	for j, x := range m.rows[i] {
+		v.Set(j, x)
+	}
+	if !m.diagDone[i] {
+		v.Set(i, m.diag)
+	}
+	return v
+}
+
+// Col returns column j as a sparse vector (a copy, including the implicit
+// diagonal entry if still in effect).
+func (m *Matrix) Col(j int) *Vector {
+	m.check(0, j)
+	v := NewVector(m.dim)
+	for i, x := range m.cols[j] {
+		v.Set(i, x)
+	}
+	if !m.diagDone[j] {
+		v.Set(j, m.diag)
+	}
+	return v
+}
+
+// MulVec returns M·x as a sparse vector. Cost is proportional to the support
+// of x times the density of the touched columns, plus the implicit diagonal
+// contribution (one entry per non-zero of x).
+func (m *Matrix) MulVec(x *Vector) *Vector {
+	if x.Dim() != m.dim {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch %d vs %d", m.dim, x.Dim()))
+	}
+	out := NewVector(m.dim)
+	x.Range(func(j int, xj float64) bool {
+		for i, mij := range m.cols[j] {
+			out.Add(i, mij*xj)
+		}
+		if !m.diagDone[j] {
+			out.Add(j, m.diag*xj)
+		}
+		return true
+	})
+	return out
+}
+
+// VecMul returns xᵀ·M as a sparse vector (the row-vector product).
+func (m *Matrix) VecMul(x *Vector) *Vector {
+	if x.Dim() != m.dim {
+		panic(fmt.Sprintf("sparse: VecMul dimension mismatch %d vs %d", m.dim, x.Dim()))
+	}
+	out := NewVector(m.dim)
+	x.Range(func(i int, xi float64) bool {
+		for j, mij := range m.rows[i] {
+			out.Add(j, xi*mij)
+		}
+		if !m.diagDone[i] {
+			out.Add(i, xi*m.diag)
+		}
+		return true
+	})
+	return out
+}
+
+// ErrSingularUpdate is returned by ShermanMorrison when the rank-1 update
+// would make the matrix singular (denominator too close to zero).
+var ErrSingularUpdate = fmt.Errorf("sparse: sherman-morrison denominator is numerically zero")
+
+// ShermanMorrison applies the rank-1 inverse update
+//
+//	M ← M − (M·u)(vᵀ·M) / (1 + vᵀ·M·u)
+//
+// in place, which is the Sherman–Morrison formula for maintaining M = A⁻¹
+// under A ← A + u·vᵀ (paper Eq. 11). It returns the denominator 1 + vᵀMu.
+// If the denominator is numerically zero the matrix is left unchanged and
+// ErrSingularUpdate is returned.
+//
+// Cost is O(nnz(Mu) · nnz(vᵀM)); for Megh u is a basis vector and v has two
+// non-zeros, so this is O(#migrations) amortised per step.
+func (m *Matrix) ShermanMorrison(u, v *Vector) (float64, error) {
+	mu := m.MulVec(u) // column combination: M·u
+	vm := m.VecMul(v) // row combination: vᵀ·M
+	den := 1 + vm.Dot(u)
+	if math.Abs(den) < 1e-12 {
+		return den, ErrSingularUpdate
+	}
+	inv := 1 / den
+	tol := m.dropTol
+	mu.Range(func(i int, a float64) bool {
+		ai := a * inv
+		vm.Range(func(j int, b float64) bool {
+			d := ai * b
+			// Skip numerically negligible fill-in without touching
+			// the maps at all; an existing entry this small is kept
+			// only until its next write.
+			if d < tol && d > -tol {
+				return true
+			}
+			m.Add(i, j, -d)
+			return true
+		})
+		return true
+	})
+	return den, nil
+}
+
+// Triplet is one materialised matrix entry in (row, col, value) form — the
+// storage representation described in paper §5.2.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// Triplets exports the materialised entries sorted by (row, col).
+func (m *Matrix) Triplets() []Triplet {
+	ts := make([]Triplet, 0, m.NNZ())
+	for i, r := range m.rows {
+		for j, x := range r {
+			ts = append(ts, Triplet{Row: i, Col: j, Val: x})
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].Row != ts[b].Row {
+			return ts[a].Row < ts[b].Row
+		}
+		return ts[a].Col < ts[b].Col
+	})
+	return ts
+}
+
+// Dense materialises the full matrix (including the implicit diagonal) as a
+// dense row-major [dim][dim] slice. Intended for tests on small matrices.
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.dim)
+	for i := range d {
+		d[i] = make([]float64, m.dim)
+		if !m.diagDone[i] {
+			d[i][i] = m.diag
+		}
+	}
+	for i, r := range m.rows {
+		for j, x := range r {
+			d[i][j] = x
+		}
+	}
+	return d
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.dim || j < 0 || j >= m.dim {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %d×%d matrix", i, j, m.dim, m.dim))
+	}
+}

@@ -1,0 +1,309 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixImplicitDiagonal(t *testing.T) {
+	m := NewMatrix(5, 0.2)
+	for i := 0; i < 5; i++ {
+		if got := m.Get(i, i); got != 0.2 {
+			t.Fatalf("Get(%d,%d) = %g, want implicit 0.2", i, i, got)
+		}
+	}
+	if got := m.Get(0, 1); got != 0 {
+		t.Fatalf("off-diagonal = %g, want 0", got)
+	}
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, implicit identity should not count", m.NNZ())
+	}
+}
+
+func TestMatrixSetOverridesImplicitDiagonal(t *testing.T) {
+	m := NewMatrix(4, 0.25)
+	m.Set(2, 2, 9)
+	if got := m.Get(2, 2); got != 9 {
+		t.Fatalf("Get(2,2) = %g, want 9", got)
+	}
+	m.Set(2, 2, 0)
+	if got := m.Get(2, 2); got != 0 {
+		t.Fatalf("Get(2,2) after zeroing = %g, want 0 (not implicit diag)", got)
+	}
+}
+
+func TestMatrixAddOnImplicitDiagonal(t *testing.T) {
+	m := NewMatrix(3, 0.5)
+	m.Add(1, 1, 1)
+	if got := m.Get(1, 1); got != 1.5 {
+		t.Fatalf("Add on implicit diag: Get = %g, want 1.5", got)
+	}
+}
+
+func TestMatrixRowColIncludeImplicit(t *testing.T) {
+	m := NewMatrix(3, 0.5)
+	m.Set(0, 2, 7)
+	row := m.Row(0)
+	if row.Get(0) != 0.5 || row.Get(2) != 7 {
+		t.Fatalf("Row(0) = %v, want implicit diag 0.5 and (0,2)=7", row)
+	}
+	col := m.Col(2)
+	if col.Get(2) != 0.5 || col.Get(0) != 7 {
+		t.Fatalf("Col(2) = %v, want implicit diag 0.5 and (0,2)=7", col)
+	}
+}
+
+func TestMatrixRowIsACopy(t *testing.T) {
+	m := NewMatrix(3, 1)
+	m.Set(0, 1, 4)
+	r := m.Row(0)
+	r.Set(1, 99)
+	if m.Get(0, 1) != 4 {
+		t.Fatal("mutating Row() result leaked into the matrix")
+	}
+}
+
+func TestMatrixMulVecMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const dim = 12
+	m := NewMatrix(dim, 1.0/dim)
+	for k := 0; k < 20; k++ {
+		m.Set(r.Intn(dim), r.Intn(dim), r.Float64()*2-1)
+	}
+	x := randomVector(r, dim, 5)
+	got := m.MulVec(x).Dense()
+	dm := m.Dense()
+	want := make([]float64, dim)
+	xd := x.Dense()
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			want[i] += dm[i][j] * xd[j]
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatrixVecMulMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const dim = 12
+	m := NewMatrix(dim, 0.3)
+	for k := 0; k < 20; k++ {
+		m.Set(r.Intn(dim), r.Intn(dim), r.Float64()*2-1)
+	}
+	x := randomVector(r, dim, 5)
+	got := m.VecMul(x).Dense()
+	dm := m.Dense()
+	want := make([]float64, dim)
+	xd := x.Dense()
+	for j := 0; j < dim; j++ {
+		for i := 0; i < dim; i++ {
+			want[j] += xd[i] * dm[i][j]
+		}
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("VecMul[%d] = %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestMatrixTripletsSorted(t *testing.T) {
+	m := NewMatrix(4, 1)
+	m.Set(2, 1, 3)
+	m.Set(0, 3, 1)
+	m.Set(2, 0, 2)
+	ts := m.Triplets()
+	want := []Triplet{{0, 3, 1}, {2, 0, 2}, {2, 1, 3}}
+	if len(ts) != len(want) {
+		t.Fatalf("Triplets len = %d, want %d", len(ts), len(want))
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("Triplets[%d] = %+v, want %+v", i, ts[i], want[i])
+		}
+	}
+}
+
+// denseOracle mirrors the T ← T + u·vᵀ / B = T⁻¹ evolution densely.
+type denseOracle struct {
+	T *Dense
+}
+
+func newDenseOracle(dim int, diagT float64) *denseOracle {
+	return &denseOracle{T: NewDenseIdentity(dim, diagT)}
+}
+
+func (o *denseOracle) update(u, v *Vector) {
+	o.T.AddOuter(1, u.Dense(), v.Dense())
+}
+
+func (o *denseOracle) inverse(t *testing.T) *Dense {
+	t.Helper()
+	inv, err := o.T.Invert()
+	if err != nil {
+		t.Fatalf("oracle inversion failed: %v", err)
+	}
+	return inv
+}
+
+// TestShermanMorrisonMatchesDenseInverse drives a Megh-shaped update sequence
+// (u = e_a, v = e_a − γ·e_b) through both the sparse Sherman–Morrison path
+// and a dense T accumulation + Gauss–Jordan oracle, and compares B to T⁻¹.
+func TestShermanMorrisonMatchesDenseInverse(t *testing.T) {
+	const dim = 10
+	const gamma = 0.5
+	r := rand.New(rand.NewSource(11))
+	delta := float64(dim)
+	b := NewMatrix(dim, 1/delta)
+	oracle := newDenseOracle(dim, delta)
+	for step := 0; step < 60; step++ {
+		a := r.Intn(dim)
+		nb := r.Intn(dim)
+		u := Basis(dim, a)
+		v := Basis(dim, a)
+		v.Add(nb, -gamma)
+		if _, err := b.ShermanMorrison(u, v); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		oracle.update(u, v)
+		inv := oracle.inverse(t)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				if d := math.Abs(b.Get(i, j) - inv.Get(i, j)); d > 1e-8 {
+					t.Fatalf("step %d: B[%d,%d] = %g, dense inverse = %g (|Δ| = %g)",
+						step, i, j, b.Get(i, j), inv.Get(i, j), d)
+				}
+			}
+		}
+	}
+}
+
+func TestShermanMorrisonSingularRejected(t *testing.T) {
+	// With B = I and v = -u (unit u), denominator 1 + vᵀBu = 0.
+	b := NewMatrix(3, 1)
+	u := Basis(3, 0)
+	v := Basis(3, 0)
+	v.Scale(-1)
+	_, err := b.ShermanMorrison(u, v)
+	if !errors.Is(err, ErrSingularUpdate) {
+		t.Fatalf("err = %v, want ErrSingularUpdate", err)
+	}
+	// Matrix must be unchanged.
+	if b.Get(0, 0) != 1 || b.NNZ() != 0 {
+		t.Fatal("matrix mutated by rejected singular update")
+	}
+}
+
+// Property: for random Megh-shaped updates, B·T ≈ I.
+func TestQuickShermanMorrisonInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const dim = 8
+		const gamma = 0.5
+		b := NewMatrix(dim, 1.0/dim)
+		tm := NewDenseIdentity(dim, float64(dim))
+		for step := 0; step < 25; step++ {
+			a, nb := r.Intn(dim), r.Intn(dim)
+			u := Basis(dim, a)
+			v := Basis(dim, a)
+			v.Add(nb, -gamma)
+			if _, err := b.ShermanMorrison(u, v); err != nil {
+				return true // singular update legitimately skipped
+			}
+			tm.AddOuter(1, u.Dense(), v.Dense())
+		}
+		// Check B·T ≈ I.
+		for i := 0; i < dim; i++ {
+			col := make([]float64, dim)
+			for k := 0; k < dim; k++ {
+				col[k] = tm.Get(k, i)
+			}
+			bt := make([]float64, dim)
+			for r2 := 0; r2 < dim; r2++ {
+				var s float64
+				for k := 0; k < dim; k++ {
+					s += b.Get(r2, k) * col[k]
+				}
+				bt[r2] = s
+			}
+			for r2 := 0; r2 < dim; r2++ {
+				want := 0.0
+				if r2 == i {
+					want = 1.0
+				}
+				if math.Abs(bt[r2]-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(3, 1)
+	cases := []func(){
+		func() { m.Get(3, 0) },
+		func() { m.Set(0, -1, 1) },
+		func() { m.Row(5) },
+		func() { m.Col(-2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNNZCountsMaterializedOnly(t *testing.T) {
+	m := NewMatrix(100, 0.01)
+	if m.NNZ() != 0 {
+		t.Fatalf("fresh NNZ = %d", m.NNZ())
+	}
+	m.Set(1, 2, 5)
+	m.Set(3, 3, 7)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	m.Set(1, 2, 0)
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ after delete = %d, want 1", m.NNZ())
+	}
+}
+
+func BenchmarkShermanMorrisonMeghShape(b *testing.B) {
+	const dim = 1 << 16
+	m := NewMatrix(dim, 1.0/float64(dim))
+	// The drop tolerance Megh configures in production: without it the
+	// fill-in cascade makes each update progressively slower (that
+	// contrast is measured by BenchmarkAblationDropTolerance* at the
+	// repository root).
+	m.SetDropTolerance(1e-9 / float64(dim))
+	r := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, nb := r.Intn(dim), r.Intn(dim)
+		u := Basis(dim, a)
+		v := Basis(dim, a)
+		v.Add(nb, -0.5)
+		if _, err := m.ShermanMorrison(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sparse
+
+import "fmt"
+
+// VectorState is the serializable image of a Vector (index/value pairs).
+type VectorState struct {
+	Dim   int
+	Index []int
+	Value []float64
+}
+
+// State exports the vector for persistence, indices sorted.
+func (v *Vector) State() VectorState {
+	idx := v.Indices()
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = v.Get(j)
+	}
+	return VectorState{Dim: v.dim, Index: idx, Value: vals}
+}
+
+// VectorFromState reconstructs a Vector. It rejects malformed states.
+func VectorFromState(st VectorState) (*Vector, error) {
+	if st.Dim < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d in vector state", st.Dim)
+	}
+	if len(st.Index) != len(st.Value) {
+		return nil, fmt.Errorf("sparse: vector state has %d indices but %d values",
+			len(st.Index), len(st.Value))
+	}
+	v := NewVector(st.Dim)
+	for i, j := range st.Index {
+		if j < 0 || j >= st.Dim {
+			return nil, fmt.Errorf("sparse: vector state index %d out of range [0,%d)", j, st.Dim)
+		}
+		v.Set(j, st.Value[i])
+	}
+	return v, nil
+}
+
+// MatrixState is the serializable image of a Matrix: the materialised
+// triplets plus the bookkeeping needed to reconstruct the implicit
+// scaled-identity exactly (which rows' implicit diagonal has been
+// overridden, even when overridden to zero).
+type MatrixState struct {
+	Dim            int
+	Diag           float64
+	DropTol        float64
+	Triplets       []Triplet
+	OverriddenDiag []int
+}
+
+// State exports the matrix for persistence.
+func (m *Matrix) State() MatrixState {
+	over := make([]int, 0, len(m.diagDone))
+	for i := range m.diagDone {
+		over = append(over, i)
+	}
+	return MatrixState{
+		Dim:            m.dim,
+		Diag:           m.diag,
+		DropTol:        m.dropTol,
+		Triplets:       m.Triplets(),
+		OverriddenDiag: over,
+	}
+}
+
+// MatrixFromState reconstructs a Matrix. It rejects malformed states.
+func MatrixFromState(st MatrixState) (*Matrix, error) {
+	if st.Dim < 0 {
+		return nil, fmt.Errorf("sparse: negative dimension %d in matrix state", st.Dim)
+	}
+	if st.DropTol < 0 {
+		return nil, fmt.Errorf("sparse: negative drop tolerance %g in matrix state", st.DropTol)
+	}
+	m := NewMatrix(st.Dim, st.Diag)
+	for _, i := range st.OverriddenDiag {
+		if i < 0 || i >= st.Dim {
+			return nil, fmt.Errorf("sparse: overridden diagonal %d out of range [0,%d)", i, st.Dim)
+		}
+		m.diagDone[i] = true
+	}
+	for _, t := range st.Triplets {
+		if t.Row < 0 || t.Row >= st.Dim || t.Col < 0 || t.Col >= st.Dim {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of range for dim %d",
+				t.Row, t.Col, st.Dim)
+		}
+		m.Set(t.Row, t.Col, t.Val)
+	}
+	// Apply the tolerance only after restoring, so stored entries that
+	// are individually below a later-raised tolerance still round-trip.
+	m.dropTol = st.DropTol
+	return m, nil
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorStateRoundTrip(t *testing.T) {
+	v := NewVector(10)
+	v.Set(3, 1.5)
+	v.Set(7, -2)
+	st := v.State()
+	back, err := VectorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != 10 || back.Get(3) != 1.5 || back.Get(7) != -2 || back.NNZ() != 2 {
+		t.Fatalf("round-trip lost data: %v", back)
+	}
+}
+
+func TestVectorFromStateRejectsMalformed(t *testing.T) {
+	cases := []VectorState{
+		{Dim: -1},
+		{Dim: 3, Index: []int{0, 1}, Value: []float64{1}},
+		{Dim: 3, Index: []int{5}, Value: []float64{1}},
+		{Dim: 3, Index: []int{-1}, Value: []float64{1}},
+	}
+	for i, st := range cases {
+		if _, err := VectorFromState(st); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixStateRoundTripPreservesImplicitDiag(t *testing.T) {
+	m := NewMatrix(6, 0.25)
+	m.Set(1, 2, 3)
+	m.Set(4, 4, 0) // override implicit diagonal with zero
+	m.Set(2, 2, 9) // override with a value
+	st := m.State()
+	back, err := MatrixFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Get(1, 2) != 3 {
+		t.Fatal("off-diagonal lost")
+	}
+	if back.Get(2, 2) != 9 {
+		t.Fatal("materialised diagonal lost")
+	}
+	if back.Get(4, 4) != 0 {
+		t.Fatal("zero-overridden diagonal resurrected as implicit 0.25")
+	}
+	if back.Get(0, 0) != 0.25 {
+		t.Fatal("untouched implicit diagonal lost")
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ %d != %d", back.NNZ(), m.NNZ())
+	}
+}
+
+func TestMatrixFromStateRejectsMalformed(t *testing.T) {
+	cases := []MatrixState{
+		{Dim: -1},
+		{Dim: 2, DropTol: -1},
+		{Dim: 2, Triplets: []Triplet{{Row: 2, Col: 0, Val: 1}}},
+		{Dim: 2, OverriddenDiag: []int{5}},
+	}
+	for i, st := range cases {
+		if _, err := MatrixFromState(st); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: matrix round-trips exactly after random Sherman–Morrison
+// update streams (the persistence path used by the Megh learner).
+func TestQuickMatrixStateRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const dim = 12
+		m := NewMatrix(dim, 1.0/dim)
+		m.SetDropTolerance(1e-12)
+		for step := 0; step < 20; step++ {
+			a, nb := r.Intn(dim), r.Intn(dim)
+			u := Basis(dim, a)
+			v := Basis(dim, a)
+			v.Add(nb, -0.5)
+			if _, err := m.ShermanMorrison(u, v); err != nil {
+				continue
+			}
+		}
+		back, err := MatrixFromState(m.State())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				if m.Get(i, j) != back.Get(i, j) {
+					return false
+				}
+			}
+		}
+		return back.NNZ() == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

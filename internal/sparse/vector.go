@@ -1,0 +1,187 @@
+// Package sparse provides the sparse linear-algebra primitives used by the
+// Megh learner: sparse vectors, a dictionary-of-keys matrix with an implicit
+// scaled-identity initialisation, and an incremental Sherman–Morrison rank-1
+// inverse update.
+//
+// The package exists because Megh (Algorithm 1 of the paper) must maintain
+// B = T⁻¹ for a d × d operator where d = N·M can reach hundreds of thousands,
+// while only O(#migrations) entries ever deviate from the initial (1/δ)·I.
+// Storing only the deviations keeps every per-step operation proportional to
+// the number of migrations rather than to d² (paper §5.2).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse real vector of a fixed dimension. Only non-zero entries
+// are stored. The zero value is not usable; construct with NewVector.
+type Vector struct {
+	dim int
+	nz  map[int]float64
+}
+
+// NewVector returns a zero vector of the given dimension.
+// It panics if dim is negative.
+func NewVector(dim int) *Vector {
+	if dim < 0 {
+		panic(fmt.Sprintf("sparse: negative vector dimension %d", dim))
+	}
+	return &Vector{dim: dim, nz: make(map[int]float64)}
+}
+
+// Basis returns the standard basis vector e_i of the given dimension.
+func Basis(dim, i int) *Vector {
+	v := NewVector(dim)
+	v.Set(i, 1)
+	return v
+}
+
+// Dim returns the dimension of the vector.
+func (v *Vector) Dim() int { return v.dim }
+
+// NNZ returns the number of stored non-zero entries.
+func (v *Vector) NNZ() int { return len(v.nz) }
+
+// Get returns the i-th entry. It panics if i is out of range.
+func (v *Vector) Get(i int) float64 {
+	v.check(i)
+	return v.nz[i]
+}
+
+// Set assigns the i-th entry. Setting an entry to exactly zero removes it
+// from the underlying storage.
+func (v *Vector) Set(i int, x float64) {
+	v.check(i)
+	if x == 0 {
+		delete(v.nz, i)
+		return
+	}
+	v.nz[i] = x
+}
+
+// Add adds x to the i-th entry.
+func (v *Vector) Add(i int, x float64) {
+	v.check(i)
+	nx := v.nz[i] + x
+	if nx == 0 {
+		delete(v.nz, i)
+		return
+	}
+	v.nz[i] = nx
+}
+
+// Scale multiplies every entry by a. Scaling by zero clears the vector.
+func (v *Vector) Scale(a float64) {
+	if a == 0 {
+		v.nz = make(map[int]float64)
+		return
+	}
+	for i := range v.nz {
+		v.nz[i] *= a
+	}
+}
+
+// AXPY computes v ← v + a·u. It panics if dimensions differ.
+func (v *Vector) AXPY(a float64, u *Vector) {
+	if v.dim != u.dim {
+		panic(fmt.Sprintf("sparse: AXPY dimension mismatch %d vs %d", v.dim, u.dim))
+	}
+	if a == 0 {
+		return
+	}
+	for i, x := range u.nz {
+		v.Add(i, a*x)
+	}
+}
+
+// Dot returns the inner product ⟨v,u⟩. It panics if dimensions differ.
+func (v *Vector) Dot(u *Vector) float64 {
+	if v.dim != u.dim {
+		panic(fmt.Sprintf("sparse: Dot dimension mismatch %d vs %d", v.dim, u.dim))
+	}
+	// Iterate over the smaller support.
+	a, b := v, u
+	if len(b.nz) < len(a.nz) {
+		a, b = b, a
+	}
+	var s float64
+	for i, x := range a.nz {
+		s += x * b.nz[i]
+	}
+	return s
+}
+
+// Range calls f for every stored non-zero entry in unspecified order. If f
+// returns false, iteration stops. f must not mutate the vector.
+func (v *Vector) Range(f func(i int, x float64) bool) {
+	for i, x := range v.nz {
+		if !f(i, x) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{dim: v.dim, nz: make(map[int]float64, len(v.nz))}
+	for i, x := range v.nz {
+		c.nz[i] = x
+	}
+	return c
+}
+
+// Dense materialises the vector as a dense slice of length Dim().
+func (v *Vector) Dense() []float64 {
+	d := make([]float64, v.dim)
+	for i, x := range v.nz {
+		d[i] = x
+	}
+	return d
+}
+
+// Indices returns the sorted indices of the non-zero entries.
+func (v *Vector) Indices() []int {
+	idx := make([]int, 0, len(v.nz))
+	for i := range v.nz {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// MaxAbs returns the largest absolute entry value, or 0 for a zero vector.
+func (v *Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v.nz {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders the non-zero entries in index order, for debugging.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for n, i := range v.Indices() {
+		if n > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%g", i, v.nz[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.dim {
+		panic(fmt.Sprintf("sparse: index %d out of range [0,%d)", i, v.dim))
+	}
+}

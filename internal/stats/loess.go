@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData is returned by the regression helpers when the sample
+// is too small or degenerate to fit a line.
+var ErrInsufficientData = errors.New("stats: insufficient or degenerate data for regression")
+
+// Tricube is the tricube kernel (1−|u|³)³ for |u| ≤ 1, else 0 — the classic
+// Loess distance weight.
+func Tricube(u float64) float64 {
+	u = math.Abs(u)
+	if u >= 1 {
+		return 0
+	}
+	c := 1 - u*u*u
+	return c * c * c
+}
+
+// Bisquare is Tukey's biweight (1−u²)² for |u| ≤ 1, else 0 — the robustness
+// weight used in the LRR (robust local regression) detector.
+func Bisquare(u float64) float64 {
+	u = math.Abs(u)
+	if u >= 1 {
+		return 0
+	}
+	c := 1 - u*u
+	return c * c
+}
+
+// WeightedLinearFit fits y ≈ a + b·x by weighted least squares and returns
+// the intercept a and slope b. It returns ErrInsufficientData when fewer
+// than two points carry positive weight or the weighted x-variance vanishes.
+func WeightedLinearFit(xs, ys, ws []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) != len(ws) {
+		return 0, 0, errors.New("stats: WeightedLinearFit length mismatch")
+	}
+	var sw, swx, swy, swxx, swxy float64
+	positive := 0
+	for i := range xs {
+		w := ws[i]
+		if w <= 0 {
+			continue
+		}
+		positive++
+		sw += w
+		swx += w * xs[i]
+		swy += w * ys[i]
+		swxx += w * xs[i] * xs[i]
+		swxy += w * xs[i] * ys[i]
+	}
+	if positive < 2 || sw == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	den := sw*swxx - swx*swx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, ErrInsufficientData
+	}
+	b = (sw*swxy - swx*swy) / den
+	a = (swy - b*swx) / sw
+	return a, b, nil
+}
+
+// LoessPredict fits a degree-1 Loess local regression to the history ys
+// (indexed 0..n−1, the last element most recent) with tricube weights
+// anchored at the most recent point, and extrapolates `ahead` steps past the
+// end. This is the predictor behind the LR-MMT overload detector
+// (Beloglazov & Buyya 2012, "local regression" method).
+func LoessPredict(ys []float64, ahead float64) (float64, error) {
+	n := len(ys)
+	if n < 3 {
+		return 0, ErrInsufficientData
+	}
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	span := float64(n) // bandwidth: the full window
+	for i := range ys {
+		xs[i] = float64(i)
+		ws[i] = Tricube(float64(n-1-i) / span)
+	}
+	a, b, err := WeightedLinearFit(xs, ys, ws)
+	if err != nil {
+		return 0, err
+	}
+	return a + b*(float64(n-1)+ahead), nil
+}
+
+// RobustLoessPredict is LoessPredict hardened with Tukey bisquare robustness
+// iterations (the LRR-MMT predictor): after each fit, residual-based
+// bisquare weights down-weight outliers and the fit is repeated.
+func RobustLoessPredict(ys []float64, ahead float64, iterations int) (float64, error) {
+	n := len(ys)
+	if n < 3 {
+		return 0, ErrInsufficientData
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	xs := make([]float64, n)
+	base := make([]float64, n)
+	span := float64(n)
+	for i := range ys {
+		xs[i] = float64(i)
+		base[i] = Tricube(float64(n-1-i) / span)
+	}
+	ws := append([]float64(nil), base...)
+	var a, b float64
+	for it := 0; it < iterations; it++ {
+		var err error
+		a, b, err = WeightedLinearFit(xs, ys, ws)
+		if err != nil {
+			return 0, err
+		}
+		if it == iterations-1 {
+			break
+		}
+		// Bisquare robustness weights from residuals.
+		res := make([]float64, n)
+		for i := range ys {
+			res[i] = math.Abs(ys[i] - (a + b*xs[i]))
+		}
+		s := Median(res)
+		if s == 0 {
+			break // perfect fit; no outliers to down-weight
+		}
+		for i := range ws {
+			ws[i] = base[i] * Bisquare(res[i]/(6*s))
+		}
+	}
+	return a + b*(float64(n-1)+ahead), nil
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTricubeShape(t *testing.T) {
+	if Tricube(0) != 1 {
+		t.Fatalf("Tricube(0) = %g, want 1", Tricube(0))
+	}
+	if Tricube(1) != 0 || Tricube(-1) != 0 || Tricube(2) != 0 {
+		t.Fatal("Tricube should vanish for |u| ≥ 1")
+	}
+	if !(Tricube(0.2) > Tricube(0.8)) {
+		t.Fatal("Tricube should decrease with |u|")
+	}
+}
+
+func TestBisquareShape(t *testing.T) {
+	if Bisquare(0) != 1 {
+		t.Fatalf("Bisquare(0) = %g, want 1", Bisquare(0))
+	}
+	if Bisquare(1) != 0 || Bisquare(-1.5) != 0 {
+		t.Fatal("Bisquare should vanish for |u| ≥ 1")
+	}
+}
+
+func TestWeightedLinearFitExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	ws := []float64{1, 1, 1, 1}
+	a, b, err := WeightedLinearFit(xs, ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-12) || !almostEqual(b, 2, 1e-12) {
+		t.Fatalf("fit = (%g, %g), want (1, 2)", a, b)
+	}
+}
+
+func TestWeightedLinearFitIgnoresZeroWeight(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 100} // outlier at the end
+	ws := []float64{1, 1, 1, 0}
+	a, b, err := WeightedLinearFit(xs, ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-9) || !almostEqual(b, 2, 1e-9) {
+		t.Fatalf("fit = (%g, %g), want (1, 2) with outlier zero-weighted", a, b)
+	}
+}
+
+func TestWeightedLinearFitErrors(t *testing.T) {
+	if _, _, err := WeightedLinearFit([]float64{1}, []float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("single point: err = %v", err)
+	}
+	// Same x twice: degenerate.
+	if _, _, err := WeightedLinearFit([]float64{2, 2}, []float64{1, 3}, []float64{1, 1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("degenerate x: err = %v", err)
+	}
+	if _, _, err := WeightedLinearFit([]float64{1, 2}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestLoessPredictLinearTrend(t *testing.T) {
+	ys := make([]float64, 10)
+	for i := range ys {
+		ys[i] = 0.1 * float64(i)
+	}
+	got, err := LoessPredict(ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1.0, 1e-9) {
+		t.Fatalf("LoessPredict = %g, want 1.0 (extrapolated line)", got)
+	}
+}
+
+func TestLoessPredictTooShort(t *testing.T) {
+	if _, err := LoessPredict([]float64{1, 2}, 1); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestLoessPredictWeightsRecent(t *testing.T) {
+	// History: long flat stretch then a recent ramp. The anchored tricube
+	// weights must make the prediction follow the recent ramp rather than
+	// the stale flat average.
+	ys := []float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.3, 0.4, 0.5, 0.6}
+	got, err := LoessPredict(ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.55 {
+		t.Fatalf("LoessPredict = %g, want > 0.55 (should track the recent ramp)", got)
+	}
+}
+
+func TestRobustLoessDownweightsOutlier(t *testing.T) {
+	// A clean rising line with one huge spike in the middle. The robust
+	// prediction must stay closer to the clean extrapolation than the
+	// non-robust one.
+	ys := []float64{0.10, 0.12, 0.14, 0.16, 0.95, 0.20, 0.22, 0.24, 0.26, 0.28}
+	clean := 0.30
+	plain, err := LoessPredict(ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := RobustLoessPredict(ys, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust-clean) >= math.Abs(plain-clean) {
+		t.Fatalf("robust |Δ| = %g not better than plain |Δ| = %g",
+			math.Abs(robust-clean), math.Abs(plain-clean))
+	}
+}
+
+func TestRobustLoessPerfectFitShortCircuits(t *testing.T) {
+	ys := []float64{1, 2, 3, 4, 5}
+	got, err := RobustLoessPredict(ys, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 6, 1e-9) {
+		t.Fatalf("RobustLoessPredict = %g, want 6", got)
+	}
+}
+
+func TestRobustLoessTooShort(t *testing.T) {
+	if _, err := RobustLoessPredict([]float64{1, 2}, 1, 3); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+// Property: on noiseless lines, both predictors recover the line exactly.
+func TestQuickLoessExactOnLines(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		a := r.Float64()*4 - 2
+		b := r.Float64()*2 - 1
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = a + b*float64(i)
+		}
+		want := a + b*float64(n)
+		p1, err1 := LoessPredict(ys, 1)
+		p2, err2 := RobustLoessPredict(ys, 1, 3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p1, want, 1e-6) && almostEqual(p2, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

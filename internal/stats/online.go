@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// Online accumulates count, mean and variance in one pass using Welford's
+// algorithm — used by the experiment harness to summarise long per-step
+// series without retaining them.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running population variance (0 for < 2 samples).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.Inf(1)
+	}
+	return o.min
+}
+
+// Max returns the largest observation (−Inf when empty).
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.Inf(-1)
+	}
+	return o.max
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples, or 0 when either is degenerate (constant or too
+// short). It backs the Maximum-Correlation VM selection policy.
+func Correlation(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Autocorrelation returns the lag-k autocorrelation of xs, or 0 when the
+// series is too short or constant. Used to characterise trace burstiness.
+func Autocorrelation(xs []float64, lag int) float64 {
+	if lag <= 0 || len(xs) <= lag {
+		return 0
+	}
+	return Correlation(xs[:len(xs)-lag], xs[lag:])
+}
+
+// RollingMean returns the trailing window-mean series of xs: out[i] is the
+// mean of xs[max(0,i-window+1)..i]. It panics when window < 1.
+func RollingMean(xs []float64, window int) []float64 {
+	if window < 1 {
+		panic("stats: RollingMean window must be ≥ 1")
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// ConvergenceStep estimates when a per-step cost series converges: the
+// first step from which the trailing window-mean stays within tol
+// (relative) of the series' final window-mean forever after. Returns
+// len(xs) when the series never settles. This implements the paper's
+// "takes around k time-steps before converging" readings of Figures 2–5.
+func ConvergenceStep(xs []float64, window int, tol float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	roll := RollingMean(xs, window)
+	final := roll[len(roll)-1]
+	if final == 0 {
+		return 0
+	}
+	for start := 0; start < len(roll); start++ {
+		ok := true
+		for i := start; i < len(roll); i++ {
+			if math.Abs(roll[i]-final) > tol*math.Abs(final) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	return len(xs)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 5
+		o.Add(xs[i])
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("Mean = %g, want %g", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("Variance = %g, want %g", o.Variance(), Variance(xs))
+	}
+	if !almostEqual(o.StdDev(), StdDev(xs), 1e-9) {
+		t.Fatalf("StdDev = %g, want %g", o.StdDev(), StdDev(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Fatal("Min/Max mismatch")
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.N() != 0 {
+		t.Fatal("empty accumulator should be zero")
+	}
+	if !math.IsInf(o.Min(), 1) || !math.IsInf(o.Max(), -1) {
+		t.Fatal("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestOnlineSingle(t *testing.T) {
+	var o Online
+	o.Add(7)
+	if o.Mean() != 7 || o.Variance() != 0 || o.Min() != 7 || o.Max() != 7 {
+		t.Fatal("single-sample accumulator wrong")
+	}
+}
+
+func TestCorrelationKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Correlation(xs, xs); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("self correlation = %g", got)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if got := Correlation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("anti correlation = %g", got)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if Correlation([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("length mismatch should yield 0")
+	}
+	if Correlation([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant series should yield 0")
+	}
+	if Correlation([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("too-short series should yield 0")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly persistent series has high lag-1 autocorrelation.
+	xs := make([]float64, 500)
+	r := rand.New(rand.NewSource(2))
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.95*xs[i-1] + 0.05*r.NormFloat64()
+	}
+	if got := Autocorrelation(xs, 1); got < 0.8 {
+		t.Fatalf("lag-1 autocorrelation = %g, want ≥ 0.8", got)
+	}
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, len(xs)) != 0 {
+		t.Fatal("degenerate lags should yield 0")
+	}
+}
+
+func TestRollingMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := RollingMean(xs, 2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("RollingMean[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Window larger than series = prefix means.
+	got = RollingMean(xs, 10)
+	if !almostEqual(got[3], 2.5, 1e-12) {
+		t.Fatalf("prefix mean = %g, want 2.5", got[3])
+	}
+}
+
+func TestRollingMeanPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for window 0")
+		}
+	}()
+	RollingMean([]float64{1}, 0)
+}
+
+func TestConvergenceStep(t *testing.T) {
+	// High transient for 50 steps, then settles at 1.
+	xs := make([]float64, 200)
+	for i := range xs {
+		if i < 50 {
+			xs[i] = 10
+		} else {
+			xs[i] = 1
+		}
+	}
+	got := ConvergenceStep(xs, 10, 0.05)
+	if got < 50 || got > 70 {
+		t.Fatalf("ConvergenceStep = %d, want shortly after the transient (50–70)", got)
+	}
+	if ConvergenceStep(nil, 5, 0.1) != 0 {
+		t.Fatal("empty series should converge at 0")
+	}
+	flat := []float64{2, 2, 2, 2}
+	if ConvergenceStep(flat, 2, 0.01) != 0 {
+		t.Fatal("flat series should converge immediately")
+	}
+}
+
+func TestConvergenceStepNeverSettles(t *testing.T) {
+	// Oscillation whose rolling mean keeps swinging beyond tolerance.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(2 * (i % 2))
+	}
+	// The last sample is trivially within tolerance of itself, so a
+	// non-settling series converges no earlier than its final step.
+	if got := ConvergenceStep(xs, 1, 0.01); got < len(xs)-1 {
+		t.Fatalf("ConvergenceStep = %d, want ≥ %d for a non-settling series", got, len(xs)-1)
+	}
+}
+
+// Property: Online mean/variance equal batch mean/variance for any sample.
+func TestQuickOnlineEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			o.Add(xs[i])
+		}
+		return almostEqual(o.Mean(), Mean(xs), 1e-8) &&
+			almostEqual(o.Variance(), Variance(xs), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: correlation is symmetric and bounded in [−1, 1].
+func TestQuickCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		c1 := Correlation(xs, ys)
+		c2 := Correlation(ys, xs)
+		return almostEqual(c1, c2, 1e-12) && c1 >= -1-1e-12 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

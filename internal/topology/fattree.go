@@ -1,0 +1,141 @@
+// Package topology implements the data-center network topologies the
+// paper's §7 names as future work ("to leverage knowledge of the network
+// topology like fat-trees"): a k-ary fat-tree host layout with hop-count
+// distances, and a migration-time model that scales the paper's RAM/B
+// estimate with network distance. Plugging topology.MigrationModel into
+// sim.Config.Migration makes every policy's migration downtime
+// topology-aware without any algorithmic change — exactly the modularity
+// §3.1 claims for the cost model.
+package topology
+
+import (
+	"fmt"
+
+	"megh/internal/sim"
+)
+
+// FatTree is a k-ary fat-tree (Leiserson): k pods, each with (k/2)² hosts
+// hanging off k/2 edge switches; (k/2)² core switches connect the pods.
+// Hosts are indexed 0..k³/4−1 in pod-major, edge-major order.
+type FatTree struct {
+	k int
+}
+
+// NewFatTree builds a k-ary fat-tree. k must be even and ≥ 2.
+func NewFatTree(k int) (*FatTree, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d must be even and ≥ 2", k)
+	}
+	return &FatTree{k: k}, nil
+}
+
+// FatTreeFor returns the smallest fat-tree with at least n hosts.
+func FatTreeFor(n int) (*FatTree, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: host count %d must be positive", n)
+	}
+	for k := 2; ; k += 2 {
+		t := &FatTree{k: k}
+		if t.Hosts() >= n {
+			return t, nil
+		}
+	}
+}
+
+// K returns the switch arity.
+func (t *FatTree) K() int { return t.k }
+
+// Hosts returns the number of host ports, k³/4.
+func (t *FatTree) Hosts() int { return t.k * t.k * t.k / 4 }
+
+// hostsPerEdge and hostsPerPod describe the layout.
+func (t *FatTree) hostsPerEdge() int { return t.k / 2 }
+func (t *FatTree) hostsPerPod() int  { return t.k * t.k / 4 }
+
+// Pod returns the pod index of a host.
+func (t *FatTree) Pod(host int) int {
+	t.check(host)
+	return host / t.hostsPerPod()
+}
+
+// Edge returns the global edge-switch index of a host.
+func (t *FatTree) Edge(host int) int {
+	t.check(host)
+	return host / t.hostsPerEdge()
+}
+
+// Hops returns the switch-hop count of the shortest path between two
+// hosts: 0 to itself, 2 under the same edge switch, 4 within a pod, 6
+// across pods (up to the core and back down).
+func (t *FatTree) Hops(a, b int) int {
+	t.check(a)
+	t.check(b)
+	switch {
+	case a == b:
+		return 0
+	case t.Edge(a) == t.Edge(b):
+		return 2
+	case t.Pod(a) == t.Pod(b):
+		return 4
+	default:
+		return 6
+	}
+}
+
+func (t *FatTree) check(host int) {
+	if host < 0 || host >= t.Hosts() {
+		panic(fmt.Sprintf("topology: host %d out of range [0,%d)", host, t.Hosts()))
+	}
+}
+
+// MigrationModel scales the default RAM/bottleneck-bandwidth migration
+// time by the fat-tree path length: crossing more switch tiers shares more
+// oversubscribed links, so copies take longer. Seconds are multiplied by
+// 1 + HopFactor·(hops/2 − 1) for hops ≥ 2 (same-edge migrations keep the
+// base time).
+type MigrationModel struct {
+	// Tree is the topology; hosts beyond Tree.Hosts() are mapped onto it
+	// modulo its size (so a 800-host cluster can reuse a 512-port tree in
+	// experiments without failing hard — exact studies should size the
+	// tree with FatTreeFor).
+	Tree *FatTree
+	// HopFactor is the per-tier slowdown (default 0.5 when zero).
+	HopFactor float64
+}
+
+var _ sim.MigrationTimeModel = (*MigrationModel)(nil)
+
+// NewMigrationModel builds a topology-aware migration-time model for a
+// cluster of numHosts hosts.
+func NewMigrationModel(numHosts int, hopFactor float64) (*MigrationModel, error) {
+	if hopFactor < 0 {
+		return nil, fmt.Errorf("topology: negative hop factor %g", hopFactor)
+	}
+	tree, err := FatTreeFor(numHosts)
+	if err != nil {
+		return nil, err
+	}
+	if hopFactor == 0 {
+		hopFactor = 0.5
+	}
+	return &MigrationModel{Tree: tree, HopFactor: hopFactor}, nil
+}
+
+// MigrationSeconds implements sim.MigrationTimeModel.
+func (m *MigrationModel) MigrationSeconds(s *sim.Snapshot, vm, dest int) float64 {
+	src := s.VMHost[vm]
+	bw := s.HostSpecs[src].BandwidthMbps
+	if b := s.HostSpecs[dest].BandwidthMbps; b < bw {
+		bw = b
+	}
+	if bw <= 0 {
+		return 0
+	}
+	base := s.VMSpecs[vm].RAMMB * 8 / bw
+	n := m.Tree.Hosts()
+	hops := m.Tree.Hops(src%n, dest%n)
+	if hops <= 2 {
+		return base
+	}
+	return base * (1 + m.HopFactor*(float64(hops)/2-1))
+}

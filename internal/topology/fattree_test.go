@@ -1,0 +1,235 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+func TestNewFatTreeValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		if _, err := NewFatTree(k); err == nil {
+			t.Errorf("k = %d should be rejected", k)
+		}
+	}
+	ft, err := NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.K() != 4 {
+		t.Fatal("K mismatch")
+	}
+}
+
+func TestFatTreeHostCounts(t *testing.T) {
+	cases := map[int]int{2: 2, 4: 16, 6: 54, 8: 128, 48: 27648}
+	for k, want := range cases {
+		ft, err := NewFatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ft.Hosts(); got != want {
+			t.Errorf("k=%d: Hosts = %d, want %d (k³/4)", k, got, want)
+		}
+	}
+}
+
+func TestFatTreeFor(t *testing.T) {
+	ft, err := FatTreeFor(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Hosts() < 100 {
+		t.Fatalf("FatTreeFor(100) has %d hosts", ft.Hosts())
+	}
+	// Must be minimal: the next smaller even arity cannot fit 100.
+	smaller, _ := NewFatTree(ft.K() - 2)
+	if smaller.Hosts() >= 100 {
+		t.Fatalf("FatTreeFor not minimal: k=%d already fits", ft.K()-2)
+	}
+	if _, err := FatTreeFor(0); err == nil {
+		t.Fatal("FatTreeFor(0) should error")
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	ft, err := NewFatTree(4) // 16 hosts, 4 pods of 4, edges of 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 2},  // same edge switch (hosts 0,1)
+		{0, 2, 4},  // same pod (hosts 0..3), different edge
+		{0, 4, 6},  // different pod
+		{5, 4, 2},  // same edge in pod 1
+		{15, 0, 6}, // far corners
+	}
+	for _, c := range cases {
+		if got := ft.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFatTreePodEdge(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	if ft.Pod(0) != 0 || ft.Pod(4) != 1 || ft.Pod(15) != 3 {
+		t.Fatal("Pod mapping wrong")
+	}
+	if ft.Edge(0) != ft.Edge(1) || ft.Edge(1) == ft.Edge(2) {
+		t.Fatal("Edge mapping wrong")
+	}
+}
+
+func TestFatTreeBoundsPanic(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range host")
+		}
+	}()
+	ft.Hops(0, 16)
+}
+
+// Property: Hops is a symmetric pseudo-metric taking values {0,2,4,6}.
+func TestQuickHopsMetric(t *testing.T) {
+	ft, _ := NewFatTree(8) // 128 hosts
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := r.Intn(128), r.Intn(128)
+		h := ft.Hops(a, b)
+		if h != ft.Hops(b, a) {
+			return false
+		}
+		if a == b {
+			return h == 0
+		}
+		return h == 2 || h == 4 || h == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildTopoSnapshot(t *testing.T, nHosts int) *sim.Snapshot {
+	t.Helper()
+	lin, err := power.NewLinear("test", 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]sim.HostSpec, nHosts)
+	for i := range hosts {
+		hosts[i] = sim.HostSpec{MIPS: 4000, RAMMB: 8192, BandwidthMbps: 1000, Power: lin}
+	}
+	vms := []sim.VMSpec{{MIPS: 1000, RAMMB: 1000, BandwidthMbps: 100}}
+	traces := []workload.Trace{{0.5}}
+	var snap *sim.Snapshot
+	s, err := sim.New(sim.Config{
+		Hosts: hosts, VMs: vms, Traces: traces, Steps: 1,
+		InitialPlacement: sim.PlacementRoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(&grab{&snap}); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+type grab struct{ out **sim.Snapshot }
+
+func (grab) Name() string { return "grab" }
+func (g *grab) Decide(s *sim.Snapshot) []sim.Migration {
+	c := *s
+	c.VMHost = append([]int(nil), s.VMHost...)
+	*g.out = &c
+	return nil
+}
+
+func TestMigrationModelScalesWithDistance(t *testing.T) {
+	snap := buildTopoSnapshot(t, 16)
+	m, err := NewMigrationModel(16, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VM 0 on host 0 (round-robin). Base time: 1000 MiB × 8 / 1000 Mbps = 8 s.
+	base := 8.0
+	if got := m.MigrationSeconds(snap, 0, 1); math.Abs(got-base) > 1e-9 {
+		t.Fatalf("same-edge migration = %g, want base %g", got, base)
+	}
+	if got := m.MigrationSeconds(snap, 0, 2); math.Abs(got-base*1.5) > 1e-9 {
+		t.Fatalf("same-pod migration = %g, want %g", got, base*1.5)
+	}
+	if got := m.MigrationSeconds(snap, 0, 15); math.Abs(got-base*2) > 1e-9 {
+		t.Fatalf("cross-pod migration = %g, want %g", got, base*2)
+	}
+}
+
+func TestNewMigrationModelValidation(t *testing.T) {
+	if _, err := NewMigrationModel(16, -1); err == nil {
+		t.Fatal("negative hop factor should error")
+	}
+	m, err := NewMigrationModel(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HopFactor != 0.5 {
+		t.Fatalf("default hop factor = %g, want 0.5", m.HopFactor)
+	}
+}
+
+// TestTopologyAwareSimulationEndToEnd plugs the model into a full run and
+// verifies topology-scaled downtime shows up in the SLA accounting.
+func TestTopologyAwareSimulationEndToEnd(t *testing.T) {
+	lin, _ := power.NewLinear("test", 100, 200)
+	hosts := make([]sim.HostSpec, 16)
+	for i := range hosts {
+		hosts[i] = sim.HostSpec{MIPS: 4000, RAMMB: 8192, BandwidthMbps: 1000, Power: lin}
+	}
+	vms := []sim.VMSpec{{MIPS: 1000, RAMMB: 1000, BandwidthMbps: 100}}
+	model, err := NewMigrationModel(16, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dest int) float64 {
+		s, err := sim.New(sim.Config{
+			Hosts: hosts, VMs: vms,
+			Traces:           []workload.Trace{{0.5}},
+			Steps:            1,
+			InitialPlacement: sim.PlacementRoundRobin,
+			Migration:        model,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(&scripted{dest: dest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.VMDowntimeFrac[0]
+	}
+	near := run(1) // same edge
+	far := run(15) // cross-pod
+	if !(far > near && near > 0) {
+		t.Fatalf("downtime near = %g, far = %g; want 0 < near < far", near, far)
+	}
+}
+
+type scripted struct{ dest int }
+
+func (scripted) Name() string { return "scripted" }
+func (p *scripted) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.Step == 0 {
+		return []sim.Migration{{VM: 0, Dest: p.dest}}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"io/fs"
+	"math"
+	"sort"
+)
+
+// ReadTraceDir loads every regular file in fsys (sorted by name) as a
+// CloudSim PlanetLab-format trace — the path for plugging the original
+// PlanetLab trace files into the simulator in place of the synthetic
+// generators. Subdirectories are ignored; any unparsable file aborts with
+// an error naming it.
+func ReadTraceDir(fsys fs.FS) ([]Trace, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, fmt.Errorf("workload: listing trace directory: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload: trace directory holds no files")
+	}
+	traces := make([]Trace, 0, len(names))
+	for _, name := range names {
+		f, err := fsys.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("workload: opening %s: %w", name, err)
+		}
+		tr, err := ReadTrace(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", name, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("workload: closing %s: %w", name, closeErr)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// Resample stretches or shrinks a trace to n samples by nearest-neighbour
+// index mapping — used to fit real trace files of one resolution onto a
+// simulation horizon of another.
+func Resample(tr Trace, n int) (Trace, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative resample length %d", n)
+	}
+	if n == 0 || tr.Len() == 0 {
+		return Trace{}, nil
+	}
+	out := make(Trace, n)
+	for i := range out {
+		src := i * tr.Len() / n
+		out[i] = tr[src]
+	}
+	return out, nil
+}
+
+// Stats summarises one trace for workload characterisation reports.
+type Stats struct {
+	Len                 int
+	Mean, Std, Min, Max float64
+	// Lag1 is the lag-1 autocorrelation (burst persistence).
+	Lag1 float64
+	// BusyFrac is the fraction of samples above 50 % utilization.
+	BusyFrac float64
+}
+
+// Analyze computes Stats for a trace.
+func Analyze(tr Trace) Stats {
+	st := Stats{Len: tr.Len(), Min: 1, Max: 0}
+	if tr.Len() == 0 {
+		st.Min = 0
+		return st
+	}
+	var sum float64
+	busy := 0
+	for _, u := range tr {
+		sum += u
+		if u < st.Min {
+			st.Min = u
+		}
+		if u > st.Max {
+			st.Max = u
+		}
+		if u > 0.5 {
+			busy++
+		}
+	}
+	st.Mean = sum / float64(tr.Len())
+	st.BusyFrac = float64(busy) / float64(tr.Len())
+	var varSum, lagNum, lagDen float64
+	for i, u := range tr {
+		d := u - st.Mean
+		varSum += d * d
+		if i > 0 {
+			lagNum += (tr[i] - st.Mean) * (tr[i-1] - st.Mean)
+		}
+	}
+	st.Std = math.Sqrt(varSum / float64(tr.Len()))
+	lagDen = varSum
+	if lagDen > 0 {
+		st.Lag1 = lagNum / lagDen
+	}
+	return st
+}

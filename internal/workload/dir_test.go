@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/fstest"
+)
+
+func TestReadTraceDir(t *testing.T) {
+	fsys := fstest.MapFS{
+		"b.txt": {Data: []byte("50\n60\n")},
+		"a.txt": {Data: []byte("10\n20\n")},
+	}
+	traces, err := ReadTraceDir(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	// Sorted by name: a.txt first.
+	if traces[0][0] != 0.10 || traces[1][0] != 0.50 {
+		t.Fatalf("ordering wrong: %v", traces)
+	}
+}
+
+func TestReadTraceDirErrors(t *testing.T) {
+	if _, err := ReadTraceDir(fstest.MapFS{}); err == nil {
+		t.Fatal("empty directory should error")
+	}
+	bad := fstest.MapFS{"x.txt": {Data: []byte("not a number\n")}}
+	if _, err := ReadTraceDir(bad); err == nil {
+		t.Fatal("unparsable file should error")
+	}
+}
+
+// TestReadTraceDirRealFilesystem exercises the os.DirFS path the tracegen
+// round-trip uses.
+func TestReadTraceDirRealFilesystem(t *testing.T) {
+	dir := t.TempDir()
+	tr := Trace{0.1, 0.5, 0.9}
+	f, err := os.Create(filepath.Join(dir, "vm0.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := ReadTraceDir(os.DirFS(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Len() != 3 {
+		t.Fatalf("round-trip failed: %v", traces)
+	}
+	for i := range tr {
+		if math.Abs(traces[0][i]-tr[i]) > 0.005 {
+			t.Fatalf("sample %d: %g vs %g", i, traces[0][i], tr[i])
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := Trace{0.0, 0.2, 0.4, 0.6}
+	up, err := Resample(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Len() != 8 || up[0] != 0.0 || up[7] != 0.6 {
+		t.Fatalf("upsample wrong: %v", up)
+	}
+	down, err := Resample(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Len() != 2 || down[0] != 0.0 || down[1] != 0.4 {
+		t.Fatalf("downsample wrong: %v", down)
+	}
+	if _, err := Resample(tr, -1); err == nil {
+		t.Fatal("negative length should error")
+	}
+	empty, err := Resample(Trace{}, 5)
+	if err != nil || empty.Len() != 0 {
+		t.Fatal("empty trace should resample to empty")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := Trace{0.1, 0.9, 0.1, 0.9}
+	st := Analyze(tr)
+	if st.Len != 4 {
+		t.Fatalf("Len = %d", st.Len)
+	}
+	if math.Abs(st.Mean-0.5) > 1e-12 {
+		t.Fatalf("Mean = %g", st.Mean)
+	}
+	if st.Min != 0.1 || st.Max != 0.9 {
+		t.Fatalf("Min/Max = %g/%g", st.Min, st.Max)
+	}
+	if math.Abs(st.Std-0.4) > 1e-12 {
+		t.Fatalf("Std = %g, want 0.4", st.Std)
+	}
+	if st.BusyFrac != 0.5 {
+		t.Fatalf("BusyFrac = %g", st.BusyFrac)
+	}
+	if st.Lag1 >= 0 {
+		t.Fatalf("alternating series should anticorrelate, Lag1 = %g", st.Lag1)
+	}
+	zero := Analyze(Trace{})
+	if zero.Len != 0 || zero.Mean != 0 {
+		t.Fatal("empty Analyze should be zero")
+	}
+}
+
+func TestAnalyzePersistentSeries(t *testing.T) {
+	tr := make(Trace, 200)
+	for i := 1; i < len(tr); i++ {
+		tr[i] = Clamp01(0.9*tr[i-1] + 0.05)
+	}
+	if st := Analyze(tr); st.Lag1 < 0.5 {
+		t.Fatalf("persistent series Lag1 = %g, want ≥ 0.5", st.Lag1)
+	}
+}

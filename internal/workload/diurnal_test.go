@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/stats"
+)
+
+func TestDiurnalValidation(t *testing.T) {
+	mutations := []func(*DiurnalConfig){
+		func(c *DiurnalConfig) { c.Steps = -1 },
+		func(c *DiurnalConfig) { c.BaseMean = 1.5 },
+		func(c *DiurnalConfig) { c.Amplitude = -0.1 },
+		func(c *DiurnalConfig) { c.NoiseStd = -1 },
+		func(c *DiurnalConfig) { c.PeriodSteps = -2 },
+		func(c *DiurnalConfig) { c.BurstProb = 2 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultDiurnalConfig(1)
+		mutate(&cfg)
+		if _, err := GenerateDiurnal(cfg, 1); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := GenerateDiurnal(DefaultDiurnalConfig(1), -1); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestDiurnalBoundsAndLength(t *testing.T) {
+	cfg := DefaultDiurnalConfig(2)
+	cfg.Steps = 600
+	traces, err := GenerateDiurnal(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Len() != 600 {
+			t.Fatalf("trace length %d", tr.Len())
+		}
+		for _, u := range tr {
+			if u < 0 || u > 1 {
+				t.Fatalf("sample %g out of bounds", u)
+			}
+		}
+	}
+}
+
+// TestDiurnalPeriodicity checks the defining property: strong positive
+// autocorrelation at the period lag, much stronger than at the half-period
+// (where the sinusoid anti-correlates).
+func TestDiurnalPeriodicity(t *testing.T) {
+	cfg := DefaultDiurnalConfig(3)
+	cfg.Steps = 4 * StepsPerDay
+	traces, err := GenerateDiurnal(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atPeriod, atHalf float64
+	for _, tr := range traces {
+		atPeriod += stats.Autocorrelation(tr, StepsPerDay)
+		atHalf += stats.Autocorrelation(tr, StepsPerDay/2)
+	}
+	atPeriod /= float64(len(traces))
+	atHalf /= float64(len(traces))
+	if atPeriod < 0.5 {
+		t.Fatalf("period-lag autocorrelation %.3f, want ≥ 0.5", atPeriod)
+	}
+	if atHalf > atPeriod-0.5 {
+		t.Fatalf("half-period autocorrelation %.3f not clearly below period's %.3f",
+			atHalf, atPeriod)
+	}
+}
+
+func TestDiurnalMeanLevel(t *testing.T) {
+	cfg := DefaultDiurnalConfig(4)
+	cfg.Steps = 2 * StepsPerDay
+	traces, err := GenerateDiurnal(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for _, tr := range traces {
+		all = append(all, tr...)
+	}
+	if m := stats.Mean(all); math.Abs(m-cfg.BaseMean) > 0.08 {
+		t.Fatalf("population mean %.3f, want ≈ %.2f", m, cfg.BaseMean)
+	}
+}
+
+func TestDiurnalBursts(t *testing.T) {
+	cfg := DefaultDiurnalConfig(5)
+	cfg.Steps = 2 * StepsPerDay
+	cfg.BurstProb = 0.02
+	traces, err := GenerateDiurnal(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturated := 0
+	for _, tr := range traces {
+		for _, u := range tr {
+			if u > 0.85 {
+				saturated++
+			}
+		}
+	}
+	if saturated == 0 {
+		t.Fatal("BurstProb > 0 produced no saturation samples")
+	}
+	// Without bursts the default config should rarely saturate.
+	cfg.BurstProb = 0
+	traces, err = GenerateDiurnal(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 0
+	for _, tr := range traces {
+		for _, u := range tr {
+			if u > 0.85 {
+				base++
+			}
+		}
+	}
+	if base >= saturated {
+		t.Fatalf("bursts (%d saturated) indistinguishable from baseline (%d)", saturated, base)
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	a, err := GenerateDiurnal(DefaultDiurnalConfig(7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDiurnal(DefaultDiurnalConfig(7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different diurnal traces")
+			}
+		}
+	}
+}

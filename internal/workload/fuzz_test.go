@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace ensures the trace parser never panics and that everything
+// it accepts round-trips through WriteTrace/ReadTrace within quantisation.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("10\n20\n30\n")
+	f.Add("")
+	f.Add("100\n0\n")
+	f.Add(" 55 \n\n 7\n")
+	f.Add("101\n")
+	f.Add("-1\n")
+	f.Add("nonsense")
+	f.Add("9999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, u := range tr {
+			if u < 0 || u > 1 {
+				t.Fatalf("accepted out-of-range sample %g from %q", u, input)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("re-encoding accepted trace failed: %v", err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing our own encoding failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed length %d → %d", len(tr), len(back))
+		}
+		for i := range tr {
+			d := back[i] - tr[i]
+			if d < -0.005-1e-12 || d > 0.005+1e-12 {
+				t.Fatalf("round trip drifted at %d: %g → %g", i, tr[i], back[i])
+			}
+		}
+	})
+}

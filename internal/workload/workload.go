@@ -1,0 +1,126 @@
+// Package workload provides the CPU-utilization traces that drive the
+// simulator. The paper evaluates on PlanetLab (CoMoN) and Google Cluster
+// traces; since the original files are external data, this package supplies
+// (a) synthetic generators statistically matched to the trace properties
+// the paper publishes in §6.2, and (b) a loader/writer for the CloudSim
+// PlanetLab trace-file format so the real files can be dropped in.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Trace is a fixed-length sequence of CPU-utilization samples in [0,1],
+// one per simulator step (τ = 5 minutes in all paper experiments). The
+// sample is the fraction of the VM's *requested* MIPS that the workload
+// demands at that step.
+type Trace []float64
+
+// At returns the utilization at step t. Steps beyond the end of the trace
+// wrap around, matching CloudSim's behaviour of replaying traces that are
+// shorter than the simulation; an empty trace reads as always idle.
+func (tr Trace) At(t int) float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	return tr[t%len(tr)]
+}
+
+// Len returns the number of samples in the trace.
+func (tr Trace) Len() int { return len(tr) }
+
+// Mean returns the average utilization of the trace (0 for an empty trace).
+func (tr Trace) Mean() float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	var s float64
+	for _, u := range tr {
+		s += u
+	}
+	return s / float64(len(tr))
+}
+
+// Clamp01 bounds a sample into [0,1].
+func Clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// StepsPerDay is the number of τ = 5 min samples in one day.
+const StepsPerDay = 24 * 60 / 5 // 288
+
+// SevenDays is the PlanetLab experiment horizon (7 days of 5-minute steps).
+const SevenDays = 7 * StepsPerDay // 2016
+
+// ThreeDays is the MadVM-comparison horizon (3 days of 5-minute steps).
+const ThreeDays = 3 * StepsPerDay // 864
+
+// ReadTrace parses a CloudSim PlanetLab-format trace: one integer
+// utilization percentage (0–100) per line. Blank lines are skipped.
+// Out-of-range or non-numeric lines are an error.
+func ReadTrace(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	var tr Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if v < 0 || v > 100 {
+			return nil, fmt.Errorf("workload: line %d: utilization %d out of [0,100]", line, v)
+		}
+		tr = append(tr, float64(v)/100)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return tr, nil
+}
+
+// WriteTrace emits the trace in CloudSim PlanetLab format (one integer
+// percentage per line, rounded to the nearest percent).
+func WriteTrace(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, u := range tr {
+		pct := int(Clamp01(u)*100 + 0.5)
+		if _, err := fmt.Fprintln(bw, pct); err != nil {
+			return fmt.Errorf("workload: writing trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flushing trace: %w", err)
+	}
+	return nil
+}
+
+// gaussClamped draws N(mean, std) clamped into [lo, hi].
+func gaussClamped(r *rand.Rand, mean, std, lo, hi float64) float64 {
+	v := mean + std*r.NormFloat64()
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

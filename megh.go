@@ -1,0 +1,95 @@
+// Package megh is a from-scratch Go reproduction of
+//
+//	Basu, Wang, Hong, Chen, Bressan:
+//	"Learn-as-you-go with Megh: Efficient Live Migration of Virtual
+//	Machines", ICDCS 2017,
+//
+// comprising the Megh online reinforcement-learning migration scheduler
+// (sparse-projected least-squares policy iteration with Sherman–Morrison
+// incremental inverses and Boltzmann exploration), a CloudSim-equivalent
+// power-aware data-center simulator, the MMT heuristic baselines
+// (THR/IQR/MAD/LR/LRR), the MadVM and Q-learning learning baselines,
+// PlanetLab-like and Google-Cluster-like workload generators, and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+//	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 100, VMs: 132,
+//		Steps: 288, Seed: 1}
+//	cfg, _ := setup.Build()
+//	sim, _ := megh.NewSimulator(cfg)
+//	learner, _ := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+//	result, _ := sim.Run(learner)
+//	fmt.Printf("total cost: %.2f USD over %d migrations\n",
+//		result.TotalCost(), result.TotalMigrations())
+//
+// The package is a facade: implementations live in internal/ packages
+// (internal/core holds the learner, internal/sim the simulator, and so
+// on); everything a downstream user needs is re-exported here.
+package megh
+
+import (
+	"megh/internal/core"
+	"megh/internal/mdp"
+	"megh/internal/sim"
+)
+
+// Core simulator vocabulary, re-exported.
+type (
+	// Policy decides live migrations each simulation step.
+	Policy = sim.Policy
+	// Migration is one live-migration request (VM → destination host).
+	Migration = sim.Migration
+	// Snapshot is the read-only data-center view a Policy receives.
+	Snapshot = sim.Snapshot
+	// Result aggregates a simulation run's metrics.
+	Result = sim.Result
+	// StepMetrics holds one interval's measurements.
+	StepMetrics = sim.StepMetrics
+	// Feedback carries the realised per-stage cost to learning policies.
+	Feedback = sim.Feedback
+	// FeedbackReceiver marks policies that learn from realised costs.
+	FeedbackReceiver = sim.FeedbackReceiver
+	// HostSpec describes a physical machine.
+	HostSpec = sim.HostSpec
+	// VMSpec describes a virtual machine's requested resources.
+	VMSpec = sim.VMSpec
+	// SimConfig assembles a simulation run.
+	SimConfig = sim.Config
+	// Simulator executes a SimConfig against policies.
+	Simulator = sim.Simulator
+	// Placement selects the initial VM→host strategy.
+	Placement = sim.Placement
+)
+
+// Initial placement strategies, re-exported.
+const (
+	PlacementRandom     = sim.PlacementRandom
+	PlacementRoundRobin = sim.PlacementRoundRobin
+	PlacementFirstFit   = sim.PlacementFirstFit
+)
+
+// NewSimulator validates a configuration and returns a Simulator. Each
+// Run(policy) call replays the identical world, so policies can be
+// compared on equal footing.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// Megh learner, re-exported from internal/core.
+type (
+	// Learner is the Megh reinforcement-learning policy (Algorithm 1–2).
+	Learner = core.Megh
+	// Config parameterises the Megh learner.
+	Config = core.Config
+	// Action is a (VM, destination host) pair in the learner's basis.
+	Action = mdp.Action
+)
+
+// New constructs a Megh learner.
+func New(cfg Config) (*Learner, error) { return core.New(cfg) }
+
+// DefaultConfig returns the paper's §6.1 hyper-parameters (γ = 0.5,
+// Temp₀ = 3, ε = 0.01, 2 % migration cap) for an N-VM, M-host data center.
+func DefaultConfig(numVMs, numHosts int, seed int64) Config {
+	return core.DefaultConfig(numVMs, numHosts, seed)
+}

@@ -1,0 +1,151 @@
+package megh_test
+
+import (
+	"math"
+	"testing"
+
+	"megh"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow
+// end-to-end through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 20, VMs: 26, Steps: 72, Seed: 1}
+	cfg, err := setup.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := megh.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(learner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "Megh" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+	if res.TotalCost() <= 0 || math.IsNaN(res.TotalCost()) {
+		t.Fatalf("bad total cost %g", res.TotalCost())
+	}
+	if len(res.Steps) != setup.Steps {
+		t.Fatalf("steps recorded %d, want %d", len(res.Steps), setup.Steps)
+	}
+}
+
+func TestPublicAPIBaselineConstructors(t *testing.T) {
+	ctors := map[string]func() (megh.Policy, error){
+		"THR-MMT": func() (megh.Policy, error) { return megh.NewTHRMMT() },
+		"IQR-MMT": func() (megh.Policy, error) { return megh.NewIQRMMT() },
+		"MAD-MMT": func() (megh.Policy, error) { return megh.NewMADMMT() },
+		"LR-MMT":  func() (megh.Policy, error) { return megh.NewLRMMT() },
+		"LRR-MMT": func() (megh.Policy, error) { return megh.NewLRRMMT() },
+		"MadVM":   func() (megh.Policy, error) { return megh.NewMadVM(5, megh.DefaultMadVMConfig(1)) },
+		"Q-learning": func() (megh.Policy, error) {
+			return megh.NewQLearning(5, megh.DefaultQLearningConfig(1))
+		},
+	}
+	for want, mk := range ctors {
+		p, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("constructor for %q built %q", want, p.Name())
+		}
+	}
+}
+
+func TestPublicAPIPaperSetups(t *testing.T) {
+	if s := megh.PaperPlanetLab(1); s.Hosts != 800 || s.VMs != 1052 {
+		t.Fatalf("PaperPlanetLab = %+v", s)
+	}
+	if s := megh.PaperGoogle(1); s.Hosts != 500 || s.VMs != 2000 {
+		t.Fatalf("PaperGoogle = %+v", s)
+	}
+	if s := megh.PaperMadVMSubset(megh.Google, 1); s.Hosts != 100 || s.VMs != 150 {
+		t.Fatalf("PaperMadVMSubset = %+v", s)
+	}
+	if len(megh.PolicyNames()) < 6 {
+		t.Fatal("policy registry too small")
+	}
+}
+
+func TestPublicAPITraceGenerators(t *testing.T) {
+	pl, err := megh.GeneratePlanetLabTraces(megh.DefaultPlanetLabTraceConfig(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 3 {
+		t.Fatalf("got %d PlanetLab traces", len(pl))
+	}
+	g, tasks, err := megh.GenerateGoogleTraces(megh.DefaultGoogleTraceConfig(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 3 || len(tasks) == 0 {
+		t.Fatalf("Google generation incomplete: %d traces, %d tasks", len(g), len(tasks))
+	}
+}
+
+func TestPublicAPIFleetAndPower(t *testing.T) {
+	hosts, err := megh.PlanetLabHosts(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms, err := megh.PlanetLabVMs(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 || len(vms) != 6 {
+		t.Fatal("fleet sizes wrong")
+	}
+	if megh.HPProLiantG4().Power(0) != 86 || megh.HPProLiantG5().Power(1) != 135 {
+		t.Fatal("Table-1 power endpoints wrong")
+	}
+	if _, err := megh.GoogleHosts(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := megh.GoogleVMs(3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRunPolicyAndTable(t *testing.T) {
+	setup := megh.Setup{Dataset: megh.Google, Hosts: 10, VMs: 14, Steps: 48, Seed: 2}
+	res, err := megh.RunPolicy(setup, "Megh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost() <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	rows, err := megh.RunTable(setup, []string{"Megh", "THR-MMT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+}
+
+func TestPublicAPILearnerIntrospection(t *testing.T) {
+	learner, err := megh.New(megh.DefaultConfig(4, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learner.QTableNNZ() != 0 {
+		t.Fatal("fresh learner has non-empty Q-table")
+	}
+	if learner.Temperature() != 3 {
+		t.Fatalf("initial temperature %g, want 3", learner.Temperature())
+	}
+	if q := learner.Q(megh.Action{VM: 1, Host: 2}); q != 0 {
+		t.Fatalf("fresh Q = %g", q)
+	}
+}
