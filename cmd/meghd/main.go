@@ -14,15 +14,26 @@
 //	POST /v1/feedback   {"step":0,"step_cost":0.61}       → 204
 //	GET  /v1/stats      → learner internals (Q-table size, temperature, …)
 //	POST /v1/checkpoint → writes the state file
+//	GET  /metrics       → Prometheus text format (request counters, decide
+//	                      latency histogram, learner gauges)
 //	GET  /healthz       → "ok"
+//
+// Lifecycle: SIGINT/SIGTERM drains in-flight requests (up to
+// -drain-timeout) and writes a final checkpoint before exiting; with
+// -checkpoint-every > 0 the state is also persisted periodically, so a
+// crash loses at most one period of learning.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"megh/internal/server"
@@ -43,7 +54,11 @@ func run() error {
 		overload   = flag.Float64("overload", 0.70, "overload threshold β")
 		step       = flag.Float64("step", 300, "monitoring interval τ in seconds")
 		checkpoint = flag.String("checkpoint", "", "learner state file (restored on start if present)")
-		seed       = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute,
+			"periodic checkpoint interval; 0 disables (needs -checkpoint)")
+		drain = flag.Duration("drain-timeout", 10*time.Second,
+			"how long to wait for in-flight requests on shutdown")
+		seed = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
 	)
 	flag.Parse()
 
@@ -68,5 +83,60 @@ func run() error {
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic checkpoints bound how much learning a crash can lose.
+	if *checkpoint != "" && *ckptEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if resp, err := svc.Checkpoint(); err != nil {
+						log.Printf("meghd: periodic checkpoint failed: %v", err)
+					} else {
+						log.Printf("meghd: checkpointed %d bytes to %s", resp.Bytes, resp.Path)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// persist the learner one last time so no learning is lost.
+	log.Printf("meghd: shutting down (draining up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	if *checkpoint != "" {
+		if resp, err := svc.Checkpoint(); err != nil {
+			log.Printf("meghd: final checkpoint failed: %v", err)
+			if shutdownErr == nil {
+				shutdownErr = err
+			}
+		} else {
+			log.Printf("meghd: final checkpoint: %d bytes to %s", resp.Bytes, resp.Path)
+		}
+	}
+	return shutdownErr
 }

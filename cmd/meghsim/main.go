@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"megh/internal/experiments"
+	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/topology"
 )
@@ -65,6 +66,7 @@ func run() error {
 		list    = flag.Bool("list", false, "list registered policies and exit")
 		fatTree = flag.Bool("fattree", false, "scale migration times with a fat-tree topology")
 		failAt  = flag.String("fail", "", "inject outages, e.g. \"0:96:192,7:100:150\" (host:from:until)")
+		metrics = flag.String("metrics", "", "dump an end-of-run Prometheus metrics snapshot to this file (\"-\" = stderr)")
 	)
 	flag.Parse()
 
@@ -82,8 +84,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
 	var mutate func(*sim.Config)
-	if *fatTree || len(failures) > 0 {
+	if *fatTree || len(failures) > 0 || reg != nil {
 		var model sim.MigrationTimeModel
 		if *fatTree {
 			m, err := topology.NewMigrationModel(*hosts, 0.5)
@@ -97,6 +103,7 @@ func run() error {
 				c.Migration = model
 			}
 			c.Failures = failures
+			c.Metrics = reg
 		}
 	}
 	var res *sim.Result
@@ -109,10 +116,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if reg != nil {
+			if m, ok := p.(interface{ Instrument(*obs.Registry) }); ok {
+				m.Instrument(reg)
+			}
+		}
 		res, err = experiments.RunCustom(setup, p, mutate)
 	}
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		if err := dumpMetrics(reg, *metrics); err != nil {
+			return err
+		}
 	}
 	if *csv {
 		return experiments.WriteSeriesCSV(os.Stdout,
@@ -123,4 +140,21 @@ func run() error {
 		fmt.Sprintf("%s on %s (%d hosts, %d VMs, %d steps, seed %d)",
 			*policy, *dataset, *hosts, *vms, *steps, *seed),
 		[]experiments.TableRow{row})
+}
+
+// dumpMetrics writes the registry snapshot to dest ("-" = stderr, so it
+// composes with -csv on stdout).
+func dumpMetrics(reg *obs.Registry, dest string) error {
+	if dest == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	werr := reg.WritePrometheus(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"megh/internal/mdp"
+	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/sparse"
 )
@@ -116,6 +118,10 @@ type Megh struct {
 	// nnzHistory records b.NNZ() after each Decide — Figure 7's series.
 	nnzHistory []int
 
+	// metrics, when non-nil, mirrors the learner internals into an obs
+	// registry (Instrument).
+	metrics *meghMetrics
+
 	// scratch state for per-step feasibility tracking and sampling,
 	// reused across steps to avoid per-decision allocation. hostRAM and
 	// hostMIPS hold each host's aggregate committed RAM and demanded
@@ -161,6 +167,39 @@ func New(cfg Config) (*Megh, error) {
 // Name implements sim.Policy.
 func (m *Megh) Name() string { return "Megh" }
 
+// Config returns the learner's configuration (useful to validate that a
+// restored checkpoint matches the world it is asked to schedule).
+func (m *Megh) Config() Config { return m.cfg }
+
+// meghMetrics caches the learner's obs instruments.
+type meghMetrics struct {
+	decideSeconds *obs.Histogram
+	qtableNNZ     *obs.Gauge
+	temperature   *obs.Gauge
+	rejected      *obs.Counter
+}
+
+// Instrument mirrors the learner's internals into reg after every Decide:
+// per-Decide wall time, Q-table NNZ (Figure 7's metric), the Boltzmann
+// temperature, and the count of proposed actions the environment rejected.
+// A nil registry disables instrumentation.
+func (m *Megh) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		m.metrics = nil
+		return
+	}
+	m.metrics = &meghMetrics{
+		decideSeconds: reg.Histogram("megh_decide_seconds",
+			"Wall-clock time of one Megh.Decide call.", nil),
+		qtableNNZ: reg.Gauge("megh_qtable_nnz",
+			"Materialised entries in the Q-table operator B (Figure 7).", nil),
+		temperature: reg.Gauge("megh_temperature",
+			"Current Boltzmann exploration temperature.", nil),
+		rejected: reg.Counter("megh_actions_rejected_total",
+			"Proposed migrations rejected by the environment and dropped from the LSPI update.", nil),
+	}
+}
+
 // Temperature returns the current Boltzmann temperature.
 func (m *Megh) Temperature() float64 { return m.temp }
 
@@ -177,10 +216,36 @@ func (m *Megh) Q(a mdp.Action) float64 {
 }
 
 // Observe implements sim.FeedbackReceiver: it records the realised
-// per-stage cost C_{t+1} of Eq. 6 for the actions chosen at step t.
+// per-stage cost C_{t+1} of Eq. 6 for the actions chosen at step t, and
+// reconciles the pending LSPI actions with what actually executed — a
+// migration the environment rejected never changed the configuration, so
+// learning it as an executed transition would credit the interval's cost to
+// a state-action pair that was never visited.
 func (m *Megh) Observe(fb *sim.Feedback) {
 	m.stepCost = fb.StepCost
 	m.haveCost = true
+	if len(fb.Rejected) == 0 || len(m.pending) == 0 {
+		return
+	}
+	rejected := make(map[int]bool, len(fb.Rejected))
+	for _, mig := range fb.Rejected {
+		if mig.VM >= 0 && mig.VM < m.cfg.NumVMs && mig.Dest >= 0 && mig.Dest < m.cfg.NumHosts {
+			rejected[mig.VM*m.cfg.NumHosts+mig.Dest] = true
+		}
+	}
+	kept := m.pending[:0]
+	dropped := 0
+	for _, a := range m.pending {
+		if rejected[a] {
+			dropped++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	m.pending = kept
+	if m.metrics != nil && dropped > 0 {
+		m.metrics.rejected.Add(int64(dropped))
+	}
 }
 
 // Decide implements sim.Policy. Each call performs one iteration of
@@ -191,6 +256,14 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	if s.NumVMs() != m.cfg.NumVMs || s.NumHosts() != m.cfg.NumHosts {
 		panic(fmt.Sprintf("core: snapshot %d×%d does not match Megh config %d×%d",
 			s.NumVMs(), s.NumHosts(), m.cfg.NumVMs, m.cfg.NumHosts))
+	}
+	if m.metrics != nil {
+		start := time.Now()
+		defer func() {
+			m.metrics.decideSeconds.Observe(time.Since(start).Seconds())
+			m.metrics.qtableNNZ.Set(float64(m.b.NNZ()))
+			m.metrics.temperature.Set(m.temp)
+		}()
 	}
 	// Temperature decay (Algorithm 2 line 2).
 	m.temp *= math.Exp(-m.cfg.Epsilon)
@@ -417,11 +490,18 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 	return k, base + k
 }
 
-// fits checks whether VM j can move to host k: RAM capacity, the overload
-// threshold β after placement (a policy must not manufacture overloads),
-// and — for consolidation/exploration moves — that the destination is
-// already active. Aggregates include this step's earlier choices.
+// fits checks whether VM j can move to host k: the host not being failed,
+// RAM capacity, the overload threshold β after placement (a policy must not
+// manufacture overloads), and — for consolidation/exploration moves — that
+// the destination is already active. Aggregates include this step's earlier
+// choices.
 func (m *Megh) fits(s *sim.Snapshot, j, k int, activeOnly bool) bool {
+	// A failed host delivers no capacity; proposing it burns the per-step
+	// migration budget on a guaranteed rejection and feeds the LSPI update
+	// an action that never executed.
+	if len(s.HostFailed) > 0 && s.HostFailed[k] {
+		return false
+	}
 	if activeOnly && !m.hostActive[k] {
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"megh/internal/mdp"
+	"megh/internal/obs"
 	"megh/internal/power"
 	"megh/internal/sim"
 	"megh/internal/sparse"
@@ -471,5 +472,148 @@ func BenchmarkMeghDecide(b *testing.B) {
 		if _, err := s.Run(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestFitsExcludesFailedHosts is the regression test for the failed-host
+// destination bug: fits must never admit a failed host, in any mode, even
+// when capacity-wise it is the best destination.
+func TestFitsExcludesFailedHosts(t *testing.T) {
+	m, err := New(DefaultConfig(2, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tinySnapshot(t, 2, 3)
+	snap.HostFailed = []bool{false, true, false}
+	m.refreshHostAggregates(snap)
+	if m.fits(snap, 0, 1, true) {
+		t.Fatal("fits admitted a failed host (activeOnly=true)")
+	}
+	if m.fits(snap, 0, 1, false) {
+		t.Fatal("fits admitted a failed host (activeOnly=false)")
+	}
+	// Healthy hosts remain admissible under the same aggregates.
+	if !m.fits(snap, 0, 0, true) {
+		t.Fatal("fits rejected a healthy active host")
+	}
+}
+
+// TestSampleDestinationAvoidsFailedHost plants Q values that make the
+// failed host the greedy choice; the sampler must still never pick it.
+func TestSampleDestinationAvoidsFailedHost(t *testing.T) {
+	m, err := New(DefaultConfig(2, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.temp = 1e-9 // exploitation limit: always take the min-Q destination
+	// VM 0 lives on host 0; host 1 (failed) gets the lowest cost.
+	m.theta.Set(mdp.Action{VM: 0, Host: 0}.Index(3), 5)
+	m.theta.Set(mdp.Action{VM: 0, Host: 1}.Index(3), -10)
+	m.theta.Set(mdp.Action{VM: 0, Host: 2}.Index(3), 1)
+	snap := tinySnapshot(t, 2, 3)
+	snap.HostFailed = []bool{false, true, false}
+	m.refreshHostAggregates(snap)
+	for trial := 0; trial < 50; trial++ {
+		if dest, _ := m.sampleDestination(snap, candidate{vm: 0, overload: true}); dest == 1 {
+			t.Fatalf("trial %d: sampler chose the failed host", trial)
+		}
+	}
+}
+
+// TestMeghDoesNotProposeFailedHostsEndToEnd drives Megh through a run with
+// a long outage on a capacious host; with the fits guard every proposal
+// stays feasible (pre-fix, proposals into the failed host were rejected by
+// the simulator and silently burned the migration budget).
+func TestMeghDoesNotProposeFailedHostsEndToEnd(t *testing.T) {
+	const nVMs, nHosts, steps = 12, 6, 80
+	traces, err := workload.GeneratePlanetLab(func() workload.PlanetLabConfig {
+		c := workload.DefaultPlanetLabConfig(4)
+		c.Steps = steps
+		return c
+	}(), nVMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, _ := sim.PlanetLabHosts(nHosts)
+	vms, _ := sim.PlanetLabVMs(nVMs, 2)
+	s, err := sim.New(sim.Config{
+		Hosts: hosts, VMs: vms, Traces: traces, Seed: 3,
+		Failures: []sim.Failure{{Host: 1, From: 10, Until: 70}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(nVMs, nHosts, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range res.Steps {
+		if sm.Rejected != 0 {
+			t.Fatalf("step %d: %d proposals rejected (failed-host destinations?)",
+				sm.Step, sm.Rejected)
+		}
+	}
+}
+
+// TestObserveReconcilesRejectedActions is the regression test for the
+// pending/feedback reconciliation: a rejected migration must be dropped
+// from the pending LSPI actions and receive no share of the interval cost.
+func TestObserveReconcilesRejectedActions(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aKept := mdp.Action{VM: 0, Host: 1}.Index(2)     // executed migration
+	aRejected := mdp.Action{VM: 1, Host: 0}.Index(2) // rejected migration
+	m.pending = []int{aKept, aRejected}
+	m.Observe(&sim.Feedback{
+		Step:     0,
+		StepCost: 5,
+		Executed: []sim.Migration{{VM: 0, Dest: 1}},
+		Rejected: []sim.Migration{{VM: 1, Dest: 0}},
+	})
+	if len(m.pending) != 1 || m.pending[0] != aKept {
+		t.Fatalf("pending after reconcile = %v, want [%d]", m.pending, aKept)
+	}
+	// The next Decide completes the update: the full cost goes to the
+	// surviving action, none to the rejected one.
+	m.Decide(tinySnapshot(t, 2, 2))
+	if got := m.z.Get(aRejected); got != 0 {
+		t.Fatalf("rejected action accrued cost z=%g, want 0", got)
+	}
+	if got := m.z.Get(aKept); got != 5 {
+		t.Fatalf("executed action accrued z=%g, want the full cost 5", got)
+	}
+}
+
+// TestInstrumentMirrorsLearnerInternals checks the obs wiring: after a
+// Decide, the gauges track NNZ and temperature and the decide histogram has
+// one observation; after a rejection-bearing Observe the counter moves.
+func TestInstrumentMirrorsLearnerInternals(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+	snap := tinySnapshot(t, 2, 2)
+	m.Decide(snap)
+	if got := reg.Histogram("megh_decide_seconds", "", nil).Count(); got != 1 {
+		t.Fatalf("decide histogram count = %d, want 1", got)
+	}
+	if got := reg.Gauge("megh_temperature", "", nil).Value(); got != m.Temperature() {
+		t.Fatalf("temperature gauge = %g, want %g", got, m.Temperature())
+	}
+	if got := reg.Gauge("megh_qtable_nnz", "", nil).Value(); got != float64(m.QTableNNZ()) {
+		t.Fatalf("nnz gauge = %g, want %d", got, m.QTableNNZ())
+	}
+	m.pending = []int{mdp.Action{VM: 1, Host: 0}.Index(2)}
+	m.Observe(&sim.Feedback{StepCost: 1, Rejected: []sim.Migration{{VM: 1, Dest: 0}}})
+	if got := reg.Counter("megh_actions_rejected_total", "", nil).Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
 	}
 }

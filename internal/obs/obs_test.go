@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // counters never go down
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("in_flight", "gauge", nil)
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestGetOrCreateReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "", Labels{"route": "/x"})
+	b := r.Counter("c", "", Labels{"route": "/x"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("c", "", Labels{"route": "/y"})
+	if a == other {
+		t.Fatal("different labels must return distinct counters")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHistogramObserveAndExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat_seconds", "latency", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum = %g, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("b", "", []float64{1, 2}, nil)
+	h.Observe(1) // exactly on a bound → counted in le="1"
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `b_bucket{le="1"} 1`) {
+		t.Fatalf("le bound must be inclusive:\n%s", sb.String())
+	}
+}
+
+// TestExportIsWellFormed checks every sample line against the exposition
+// grammar (metric name, optional label block, one value).
+func TestExportIsWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help text", Labels{"route": "/v1/decide"}).Inc()
+	r.Gauge("b", "with \"quotes\" and \\slashes\\", Labels{"k": "va\"lue\n2"}).Set(2.5)
+	r.Histogram("c_seconds", "latency", nil).Observe(0.01)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	line := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+	for _, l := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("malformed sample line %q", l)
+		}
+	}
+}
+
+func TestExportDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "", nil).Inc()
+	r.Counter("a_total", "", nil).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Index(out, "a_total") > strings.Index(out, "z_total") {
+		t.Fatalf("families must be name-sorted:\n%s", out)
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines; run under
+// -race this is the package's thread-safety regression test.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "", Labels{"g": string(rune('a' + g%4))}).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h_seconds", "", nil).Observe(float64(i) * 1e-5)
+				if i%50 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("c_total", "", Labels{"g": l}).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+	if got := r.Histogram("h_seconds", "", nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}

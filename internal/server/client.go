@@ -5,15 +5,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
+	"time"
 
+	"megh/internal/obs"
 	"megh/internal/sim"
 )
 
-// Client is the typed HTTP client for a meghd service.
+const (
+	// defaultMaxAttempts bounds each request to 1 try + 2 retries.
+	defaultMaxAttempts = 3
+	// defaultRetryBaseDelay is the first backoff step; it doubles per
+	// retry with up to 50% additive jitter.
+	defaultRetryBaseDelay = 50 * time.Millisecond
+)
+
+// Client is the typed HTTP client for a meghd service. Transient failures
+// (transport errors and 5xx responses) are retried with exponential backoff
+// and jitter before an error is surfaced, so a single dropped connection
+// does not poison a long-running caller.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	maxAttempts int
+	baseDelay   time.Duration
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// retries, when instrumented, counts retry attempts (not first tries).
+	retries *obs.Counter
 }
 
 // NewClient builds a client for the service at baseURL (no trailing
@@ -22,7 +46,84 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, hc: httpClient}
+	return &Client{
+		base:        baseURL,
+		hc:          httpClient,
+		maxAttempts: defaultMaxAttempts,
+		baseDelay:   defaultRetryBaseDelay,
+		jitter:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SetRetryPolicy overrides the retry budget: maxAttempts total tries per
+// request (minimum 1) and the base backoff delay. Zero values keep the
+// defaults.
+func (c *Client) SetRetryPolicy(maxAttempts int, baseDelay time.Duration) {
+	if maxAttempts >= 1 {
+		c.maxAttempts = maxAttempts
+	}
+	if baseDelay > 0 {
+		c.baseDelay = baseDelay
+	}
+}
+
+// Instrument registers the client's retry counter on reg
+// (megh_client_retries_total).
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		c.retries = nil
+		return
+	}
+	c.retries = reg.Counter("megh_client_retries_total",
+		"HTTP request retries after transient transport or 5xx failures.", nil)
+}
+
+// backoff returns the sleep before retry number attempt (1-based):
+// baseDelay·2^(attempt−1) plus up to 50% jitter, so synchronized clients
+// do not retry in lockstep.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseDelay << (attempt - 1)
+	c.jitterMu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
+	c.jitterMu.Unlock()
+	return d + j
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying: the
+// server-side 5xx family. 4xx responses are deterministic rejections of
+// the request itself and are surfaced immediately.
+func retryableStatus(code int) bool { return code >= 500 }
+
+// do issues the request up to maxAttempts times. Only the final failure is
+// returned; transient errors before that sleep through the backoff and try
+// again.
+func (c *Client) do(issue func() (*http.Response, error), path string, out any) error {
+	var lastErr error
+	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
+		if attempt > 1 {
+			if c.retries != nil {
+				c.retries.Inc()
+			}
+			time.Sleep(c.backoff(attempt - 1))
+		}
+		resp, err := issue()
+		if err != nil {
+			lastErr = fmt.Errorf("server: %s: %w", path, err)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Errorf("server: %s: HTTP %d", path, resp.StatusCode)
+			if e := decodeErrorBody(resp); e != "" {
+				lastErr = fmt.Errorf("server: %s: %s (HTTP %d)", path, e, resp.StatusCode)
+			}
+			resp.Body.Close()
+			continue
+		}
+		err = c.finish(path, resp, out)
+		resp.Body.Close()
+		return err
+	}
+	return lastErr
 }
 
 func (c *Client) post(path string, body, out any) error {
@@ -30,28 +131,30 @@ func (c *Client) post(path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("server: encoding %s request: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return fmt.Errorf("server: POST %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	return c.finish(path, resp, out)
+	return c.do(func() (*http.Response, error) {
+		return c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	}, path, out)
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return fmt.Errorf("server: GET %s: %w", path, err)
+	return c.do(func() (*http.Response, error) {
+		return c.hc.Get(c.base + path)
+	}, path, out)
+}
+
+// decodeErrorBody extracts the JSON error message, if any.
+func decodeErrorBody(resp *http.Response) string {
+	var e errorResponse
+	if json.NewDecoder(resp.Body).Decode(&e) == nil {
+		return e.Error
 	}
-	defer resp.Body.Close()
-	return c.finish(path, resp, out)
+	return ""
 }
 
 func (c *Client) finish(path string, resp *http.Response, out any) error {
 	if resp.StatusCode >= 400 {
-		var e errorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		if e := decodeErrorBody(resp); e != "" {
+			return fmt.Errorf("server: %s: %s (HTTP %d)", path, e, resp.StatusCode)
 		}
 		return fmt.Errorf("server: %s: HTTP %d", path, resp.StatusCode)
 	}
@@ -112,8 +215,10 @@ type RemotePolicy struct {
 	client *Client
 	// name reported to the simulator.
 	name string
-	// err records the first transport failure; the policy degrades to
-	// no-ops afterwards (a real pipeline would alert and retry).
+	// err records the first post-retry failure; the policy degrades to
+	// no-ops afterwards. Because the client retries transient errors with
+	// backoff before surfacing them, a single dropped connection no longer
+	// latches the policy into permanent no-op.
 	err error
 }
 
@@ -130,7 +235,7 @@ func NewRemotePolicy(client *Client) *RemotePolicy {
 // Name implements sim.Policy.
 func (p *RemotePolicy) Name() string { return p.name }
 
-// Err returns the first transport error encountered, if any.
+// Err returns the first exhausted-retries transport error, if any.
 func (p *RemotePolicy) Err() error { return p.err }
 
 // Decide implements sim.Policy by shipping the snapshot over HTTP.

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/workload"
 )
@@ -127,5 +131,136 @@ func TestRemotePolicyDegradesOnDeadServer(t *testing.T) {
 	}
 	if res.TotalMigrations() != 0 {
 		t.Fatal("degraded policy must no-op, not invent migrations")
+	}
+}
+
+// TestClientRetriesTransientServerErrors is the regression test for the
+// first-error poisoning bug: a 503 blip must be retried with backoff, not
+// surfaced, and the retry counter must record the attempts.
+func TestClientRetriesTransientServerErrors(t *testing.T) {
+	svc, err := New(Config{NumVMs: 4, NumHosts: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := svc.Handler()
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "temporarily unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c := NewClient(flaky.URL, nil)
+	c.SetRetryPolicy(3, time.Millisecond)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	if _, err := c.Decide(testWorld(4, 3, false)); err != nil {
+		t.Fatalf("two 503s within the retry budget must not surface: %v", err)
+	}
+	if got := reg.Counter("megh_client_retries_total", "", nil).Value(); got != 2 {
+		t.Fatalf("retry counter = %d, want 2", got)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", calls.Load())
+	}
+}
+
+// TestClientDoesNotRetryClientErrors: 4xx responses are deterministic
+// request rejections — retrying them would only triple the latency.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+	c.SetRetryPolicy(3, time.Millisecond)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("400 must surface an error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retries on 4xx)", calls.Load())
+	}
+	if got := reg.Counter("megh_client_retries_total", "", nil).Value(); got != 0 {
+		t.Fatalf("retry counter = %d, want 0", got)
+	}
+}
+
+// TestClientExhaustsRetriesThenFails: with every attempt failing, the error
+// surfaces only after the full budget is spent.
+func TestClientExhaustsRetriesThenFails(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+	c.SetRetryPolicy(3, time.Millisecond)
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("exhausted retries must surface an error")
+	} else if !strings.Contains(err.Error(), "502") {
+		t.Fatalf("error should carry the final status: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want the full budget of 3", calls.Load())
+	}
+}
+
+// TestRemotePolicySurvivesTransientBlip is the poisoning regression at the
+// policy level: a single 503 mid-run must not latch RemotePolicy into
+// permanent no-op — pre-fix, the rest of the run silently returned nil.
+func TestRemotePolicySurvivesTransientBlip(t *testing.T) {
+	svc, err := New(Config{NumVMs: 4, NumHosts: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := svc.Handler()
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 2 { // blip on the second request only
+			http.Error(w, "blip", http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c := NewClient(flaky.URL, nil)
+	c.SetRetryPolicy(3, time.Millisecond)
+	policy := NewRemotePolicy(c)
+
+	traces := make([]workload.Trace, 4)
+	for i := range traces {
+		tr := make(workload.Trace, 10)
+		for k := range tr {
+			tr[k] = 0.3
+		}
+		traces[i] = tr
+	}
+	hosts, _ := sim.PlanetLabHosts(3)
+	vms, _ := sim.PlanetLabVMs(4, 1)
+	simulator, err := sim.New(sim.Config{Hosts: hosts, VMs: vms, Traces: traces, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulator.Run(policy); err != nil {
+		t.Fatal(err)
+	}
+	if err := policy.Err(); err != nil {
+		t.Fatalf("policy poisoned by a transient blip: %v", err)
+	}
+	svc.mu.Lock()
+	decisions := svc.decisions
+	svc.mu.Unlock()
+	if decisions != 10 {
+		t.Fatalf("service made %d decisions, want all 10 (policy went no-op mid-run)", decisions)
 	}
 }

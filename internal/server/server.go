@@ -2,12 +2,16 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"megh/internal/core"
+	"megh/internal/obs"
 	"megh/internal/sim"
 )
 
@@ -34,6 +38,7 @@ type Config struct {
 // so the lock is never contended in practice).
 type Service struct {
 	cfg Config
+	reg *obs.Registry
 
 	mu        sync.Mutex
 	learner   *core.Megh
@@ -42,7 +47,9 @@ type Service struct {
 }
 
 // New builds the service, restoring the learner from CheckpointPath when
-// a checkpoint exists there.
+// a checkpoint exists there. A checkpoint whose world size differs from
+// the configuration is refused with an error rather than restored (a stale
+// file would otherwise panic the decide path on the first snapshot).
 func New(cfg Config) (*Service, error) {
 	if cfg.NumVMs <= 0 || cfg.NumHosts <= 0 {
 		return nil, fmt.Errorf("server: world size %d×%d must be positive", cfg.NumVMs, cfg.NumHosts)
@@ -70,6 +77,11 @@ func New(cfg Config) (*Service, error) {
 			if rerr != nil {
 				return nil, fmt.Errorf("server: restoring %s: %w", cfg.CheckpointPath, rerr)
 			}
+			if lc := restored.Config(); lc.NumVMs != cfg.NumVMs || lc.NumHosts != cfg.NumHosts {
+				return nil, fmt.Errorf(
+					"server: checkpoint %s holds a %d×%d learner but the service is configured for %d×%d; move or delete the stale checkpoint",
+					cfg.CheckpointPath, lc.NumVMs, lc.NumHosts, cfg.NumVMs, cfg.NumHosts)
+			}
 			learner = restored
 		} else if !os.IsNotExist(err) {
 			return nil, fmt.Errorf("server: probing checkpoint: %w", err)
@@ -86,21 +98,86 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
-	return &Service{cfg: cfg, learner: learner}, nil
+	reg := obs.NewRegistry()
+	learner.Instrument(reg)
+	return &Service{cfg: cfg, reg: reg, learner: learner}, nil
 }
 
-// Handler returns the service's HTTP routes.
+// Metrics returns the service's metrics registry, so callers (meghd, the
+// HTTP client) can register their own instruments alongside the service's.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the service's HTTP routes, each wrapped in the metrics
+// middleware (request/error counters, in-flight gauge, latency histogram)
+// and a panic guard that converts handler panics into HTTP 500s.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/decide", s.handleDecide)
-	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
-	})
+	mux.HandleFunc("POST /v1/decide", s.instrument("/v1/decide", s.handleDecide))
+	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz",
+		func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok"))
+		}))
 	return mux
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route with the standard HTTP metrics and a panic
+// guard. A panicking handler (e.g. a learner fed a state it cannot accept)
+// answers 500 with a JSON error instead of killing the connection.
+func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("megh_http_requests_total",
+		"HTTP requests served, by route.", obs.Labels{"route": route})
+	errs := s.reg.Counter("megh_http_errors_total",
+		"HTTP responses with status >= 400, by route.", obs.Labels{"route": route})
+	lat := s.reg.Histogram("megh_http_request_seconds",
+		"HTTP request latency in seconds, by route.", obs.Labels{"route": route})
+	inFlight := s.reg.Gauge("megh_http_in_flight",
+		"Requests currently being served.", nil)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Inc()
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				sw.status = http.StatusInternalServerError
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("internal error: %v", p))
+				}
+			}
+			inFlight.Add(-1)
+			lat.Observe(time.Since(start).Seconds())
+			if sw.status >= 400 {
+				errs.Inc()
+			}
+		}()
+		h(sw, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -179,18 +256,28 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Service) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+// errNoCheckpointPath distinguishes "not configured" from I/O failures.
+var errNoCheckpointPath = errors.New("no checkpoint path configured")
+
+// Checkpoint persists the learner state atomically: the state is written
+// to a uniquely named temp file in the destination directory and renamed
+// over CheckpointPath. Unique temp names make concurrent checkpoints safe —
+// each writer completes its own file and the last rename wins with a fully
+// written image (the old shared ".tmp" name let two writers interleave and
+// persist a corrupt file).
+func (s *Service) Checkpoint() (CheckpointResponse, error) {
 	if s.cfg.CheckpointPath == "" {
-		writeError(w, http.StatusPreconditionFailed,
-			fmt.Errorf("no checkpoint path configured"))
-		return
+		return CheckpointResponse{}, errNoCheckpointPath
 	}
-	tmp := s.cfg.CheckpointPath + ".tmp"
-	f, err := os.Create(tmp)
+	dir, base := filepath.Split(s.cfg.CheckpointPath)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return CheckpointResponse{}, err
 	}
+	tmp := f.Name()
 	s.mu.Lock()
 	err = s.learner.SaveState(f)
 	s.mu.Unlock()
@@ -202,16 +289,23 @@ func (s *Service) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	}
 	if err != nil {
 		_ = os.Remove(tmp)
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return CheckpointResponse{}, err
 	}
 	info, err := os.Stat(s.cfg.CheckpointPath)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return CheckpointResponse{}, err
 	}
-	writeJSON(w, http.StatusOK, CheckpointResponse{
-		Path:  s.cfg.CheckpointPath,
-		Bytes: int(info.Size()),
-	})
+	return CheckpointResponse{Path: s.cfg.CheckpointPath, Bytes: int(info.Size())}, nil
+}
+
+func (s *Service) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	resp, err := s.Checkpoint()
+	switch {
+	case errors.Is(err, errNoCheckpointPath):
+		writeError(w, http.StatusPreconditionFailed, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
 }

@@ -3,11 +3,17 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+
+	"megh/internal/core"
+	"megh/internal/obs"
 )
 
 // testWorld builds a small valid snapshot: nVMs VMs spread round-robin on
@@ -259,5 +265,163 @@ func TestConcurrentDecides(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStaleCheckpointRefusedAtStartup is the regression test for the
+// dimension-validation bug: restoring a checkpoint from a different world
+// size must fail at New time with a clean error, not panic the decide path
+// on the first snapshot.
+func TestStaleCheckpointRefusedAtStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "megh.ckpt")
+	_, ts := newTestService(t, 4, 3, path)
+	resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	// A service for a different world must refuse the stale file.
+	_, err := New(Config{NumVMs: 5, NumHosts: 4, CheckpointPath: path})
+	if err == nil {
+		t.Fatal("stale 4×3 checkpoint restored into a 5×4 service")
+	}
+	if !strings.Contains(err.Error(), "4×3") || !strings.Contains(err.Error(), "5×4") {
+		t.Fatalf("error should name both world sizes, got: %v", err)
+	}
+}
+
+// TestLearnerPanicBecomesHTTP500 is the regression test for the panic
+// guard: a learner panic inside a handler must answer 500 with a JSON
+// error body instead of killing the connection.
+func TestLearnerPanicBecomesHTTP500(t *testing.T) {
+	svc, ts := newTestService(t, 4, 3, "")
+	// Simulate a corrupted restore: a learner whose world disagrees with
+	// the service configuration.
+	bad, err := core.New(core.DefaultConfig(3, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	svc.learner = bad
+	svc.mu.Unlock()
+
+	resp := postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, false))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("500 body is not the JSON error envelope: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("500 body carries no error message")
+	}
+	// The error counter must have recorded it.
+	if got := svc.Metrics().Counter("megh_http_errors_total", "",
+		obs.Labels{"route": "/v1/decide"}).Value(); got != 1 {
+		t.Fatalf("error counter = %d, want 1", got)
+	}
+}
+
+// TestConcurrentCheckpointsDoNotCorrupt is the regression test for the
+// checkpoint temp-file race: concurrent writers must each complete a
+// private temp file, leaving a fully written checkpoint whichever rename
+// lands last.
+func TestConcurrentCheckpointsDoNotCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "megh.ckpt")
+	svc, ts := newTestService(t, 4, 3, path)
+	for step := 0; step < 3; step++ {
+		world := testWorld(4, 3, true)
+		world.Step = step
+		postJSON(t, ts.URL+"/v1/decide", world)
+		postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Step: step, StepCost: 0.4})
+	}
+	const writers = 8
+	done := make(chan int, writers)
+	for g := 0; g < writers; g++ {
+		go func() {
+			resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+			done <- resp.StatusCode
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("concurrent checkpoint status %d", code)
+		}
+	}
+	// The surviving file must decode as a complete learner image.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := core.LoadState(f); err != nil {
+		t.Fatalf("checkpoint corrupted by concurrent writers: %v", err)
+	}
+	// No stray temp files may remain.
+	leftovers, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("stray temp files left behind: %v", leftovers)
+	}
+	_ = svc
+}
+
+// TestMetricsEndpoint asserts the operational surface: /metrics serves
+// valid Prometheus text including the decide-latency histogram, per-route
+// request counters, and the learner gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, true))
+	postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Step: 0, StepCost: 0.4})
+	postJSON(t, ts.URL+"/v1/decide", StateRequest{}) // one 400 for the error counter
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE megh_http_requests_total counter",
+		`megh_http_requests_total{route="/v1/decide"} 2`,
+		`megh_http_requests_total{route="/v1/feedback"} 1`,
+		`megh_http_errors_total{route="/v1/decide"} 1`,
+		"# TYPE megh_http_request_seconds histogram",
+		`megh_http_request_seconds_bucket{route="/v1/decide",le="+Inf"} 2`,
+		`megh_http_request_seconds_count{route="/v1/decide"} 2`,
+		"# TYPE megh_decide_seconds histogram",
+		"megh_decide_seconds_count 1",
+		"# TYPE megh_qtable_nnz gauge",
+		"# TYPE megh_temperature gauge",
+		"megh_http_in_flight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every sample line must match the exposition grammar.
+	line := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+	for _, l := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("malformed metrics line %q", l)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full /metrics body:\n%s", body)
 	}
 }

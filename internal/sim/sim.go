@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"megh/internal/cost"
+	"megh/internal/obs"
 )
 
 // Feedback is the post-step signal delivered to policies that implement
@@ -91,10 +92,12 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 		Policy: p.Name(),
 		Steps:  make([]StepMetrics, 0, s.cfg.Steps),
 	}
+	obsFeed := newObsFeed(s.cfg.Metrics, p.Name())
 	receiver, _ := p.(FeedbackReceiver)
 	for t := 0; t < s.cfg.Steps; t++ {
 		metrics, fb := st.step(t, p)
 		res.Steps = append(res.Steps, metrics)
+		obsFeed.record(metrics)
 		if receiver != nil {
 			receiver.Observe(fb)
 		}
@@ -373,6 +376,55 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		FailedHosts:     failed,
 		DecideSeconds:   decideSeconds,
 	}, fb
+}
+
+// obsFeed mirrors per-step metrics into an obs registry, labelled by
+// policy name. A nil registry yields a nil feed whose record is a no-op,
+// keeping the hot loop branch-cheap for unmetered runs.
+type obsFeed struct {
+	decideSeconds   *obs.Histogram
+	steps           *obs.Counter
+	migrations      *obs.Counter
+	rejections      *obs.Counter
+	overloadedSteps *obs.Counter
+	failedSteps     *obs.Counter
+	activeHosts     *obs.Gauge
+}
+
+func newObsFeed(reg *obs.Registry, policy string) *obsFeed {
+	if reg == nil {
+		return nil
+	}
+	l := obs.Labels{"policy": policy}
+	return &obsFeed{
+		decideSeconds: reg.Histogram("sim_decide_seconds",
+			"Wall-clock time the policy spent in Decide, per step.", l),
+		steps: reg.Counter("sim_steps_total",
+			"Simulated τ-intervals executed.", l),
+		migrations: reg.Counter("sim_migrations_total",
+			"Live migrations executed.", l),
+		rejections: reg.Counter("sim_rejections_total",
+			"Requested migrations refused by feasibility checks.", l),
+		overloadedSteps: reg.Counter("sim_overloaded_host_steps_total",
+			"Host-steps spent above the overload threshold β.", l),
+		failedSteps: reg.Counter("sim_failed_host_steps_total",
+			"Host-steps spent in an injected outage.", l),
+		activeHosts: reg.Gauge("sim_active_hosts",
+			"Hosts running at least one VM after the step's migrations.", l),
+	}
+}
+
+func (f *obsFeed) record(m StepMetrics) {
+	if f == nil {
+		return
+	}
+	f.decideSeconds.Observe(m.DecideSeconds)
+	f.steps.Inc()
+	f.migrations.Add(int64(m.Migrations))
+	f.rejections.Add(int64(m.Rejected))
+	f.overloadedSteps.Add(int64(m.OverloadedHosts))
+	f.failedSteps.Add(int64(m.FailedHosts))
+	f.activeHosts.Set(float64(m.ActiveHosts))
 }
 
 // pushWindow appends x to a fixed-capacity trailing window, evicting the

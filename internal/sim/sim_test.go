@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"megh/internal/cost"
+	"megh/internal/obs"
 	"megh/internal/power"
 	"megh/internal/workload"
 )
@@ -599,5 +600,65 @@ func TestPlacementString(t *testing.T) {
 	}
 	if Placement(99).String() == "" {
 		t.Fatal("unknown placement should still render")
+	}
+}
+
+// TestMetricsFeed checks the obs wiring: a metered run lands per-step
+// decide latencies, migration/rejection counts, and overload host-steps in
+// the registry, labelled by policy name.
+func TestMetricsFeed(t *testing.T) {
+	traces := []workload.Trace{{0.9, 0.9, 0.9}, {0.9, 0.9, 0.9}}
+	cfg := testConfig(t, traces)
+	cfg.InitialPlacement = PlacementFirstFit // both hot VMs on host 0 → overload
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: move VM 1 to host 1 (executed) and propose an out-of-range
+	// destination (rejected).
+	p := &scriptPolicy{script: map[int][]Migration{
+		0: {{VM: 1, Dest: 1}, {VM: 0, Dest: 99}},
+	}}
+	res, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := obs.Labels{"policy": "script"}
+	if got := reg.Counter("sim_steps_total", "", l).Value(); got != 3 {
+		t.Fatalf("sim_steps_total = %d, want 3", got)
+	}
+	if got := reg.Histogram("sim_decide_seconds", "", l).Count(); got != 3 {
+		t.Fatalf("sim_decide_seconds count = %d, want 3", got)
+	}
+	if got := reg.Counter("sim_migrations_total", "", l).Value(); got != int64(res.TotalMigrations()) {
+		t.Fatalf("sim_migrations_total = %d, want %d", got, res.TotalMigrations())
+	}
+	if got := reg.Counter("sim_rejections_total", "", l).Value(); got != 1 {
+		t.Fatalf("sim_rejections_total = %d, want 1", got)
+	}
+	var wantOverloaded int64
+	for _, m := range res.Steps {
+		wantOverloaded += int64(m.OverloadedHosts)
+	}
+	if wantOverloaded == 0 {
+		t.Fatal("scenario never overloaded a host; test world broken")
+	}
+	if got := reg.Counter("sim_overloaded_host_steps_total", "", l).Value(); got != wantOverloaded {
+		t.Fatalf("sim_overloaded_host_steps_total = %d, want %d", got, wantOverloaded)
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if got := reg.Gauge("sim_active_hosts", "", l).Value(); got != float64(last.ActiveHosts) {
+		t.Fatalf("sim_active_hosts = %g, want %d", got, last.ActiveHosts)
+	}
+	// An unmetered run must keep working (nil feed).
+	cfg.Metrics = nil
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(nopPolicy{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"megh/internal/cost"
+	"megh/internal/obs"
 	"megh/internal/power"
 	"megh/internal/workload"
 )
@@ -135,6 +136,10 @@ type Config struct {
 	// Migration optionally replaces the default RAM/bandwidth
 	// migration-time estimate, e.g. with a topology-aware model.
 	Migration MigrationTimeModel
+	// Metrics optionally receives per-step instrumentation (decide
+	// latency, migration/rejection counts, overload counts), labelled by
+	// policy name so several Run calls on one registry stay separable.
+	Metrics *obs.Registry
 }
 
 // Failure is one injected host outage.
