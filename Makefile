@@ -1,16 +1,29 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet
+.PHONY: verify check build test race vet fmt-check bench-trace
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Full gate: vet plus the whole suite under the race detector.
-check:
-	$(GO) vet ./...
-	$(GO) test -race ./...
+# Full gate: formatting, vet, the whole suite under the race detector,
+# and a short run of the trace-overhead benchmark (compare the disabled
+# sub-benchmark against no-tracer: they must match in ns/op and allocs/op).
+check: fmt-check vet race bench-trace
+
+# gofmt -l lists files needing reformatting; any output fails the gate.
+fmt-check:
+	@unformatted="$$($(GOFMT) -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Short-mode trace-overhead benchmark (also asserts the decide path
+# builds and runs; full numbers need a longer -benchtime).
+bench-trace:
+	$(GO) test -run=- -bench=BenchmarkDecide -benchtime=100x ./internal/core/
 
 build:
 	$(GO) build ./...

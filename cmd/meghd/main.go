@@ -10,13 +10,19 @@
 //
 // API:
 //
-//	POST /v1/decide     {"step":0,"hosts":[…],"vms":[…]} → {"migrations":[…]}
-//	POST /v1/feedback   {"step":0,"step_cost":0.61}       → 204
-//	GET  /v1/stats      → learner internals (Q-table size, temperature, …)
-//	POST /v1/checkpoint → writes the state file
-//	GET  /metrics       → Prometheus text format (request counters, decide
-//	                      latency histogram, learner gauges)
-//	GET  /healthz       → "ok"
+//	POST /v1/decide      {"step":0,"hosts":[…],"vms":[…]} → {"migrations":[…]}
+//	POST /v1/feedback    {"step":0,"step_cost":0.61}       → 204
+//	GET  /v1/stats       → learner internals (Q-table size, temperature, …)
+//	GET  /v1/trace/tail  → newest buffered trace events (with -trace)
+//	POST /v1/checkpoint  → writes the state file
+//	GET  /metrics        → Prometheus text format (request counters, decide
+//	                       latency histogram, learner gauges)
+//	GET  /healthz        → "ok"
+//	GET  /debug/pprof/*  → live CPU/heap/goroutine profiles
+//
+// Observability: -trace FILE appends one JSONL event per decision and per
+// feedback post (analyse with meghtrace); -log-level picks the stderr log
+// verbosity.
 //
 // Lifecycle: SIGINT/SIGTERM drains in-flight requests (up to
 // -drain-timeout) and writes a final checkpoint before exiting; with
@@ -29,7 +35,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"megh/internal/server"
+	"megh/internal/trace"
 )
 
 func main() {
@@ -58,13 +64,47 @@ func run() error {
 			"periodic checkpoint interval; 0 disables (needs -checkpoint)")
 		drain = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to wait for in-flight requests on shutdown")
-		seed = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
+		seed      = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
+		traceOut  = flag.String("trace", "", "append structured trace events (JSONL) to this file")
+		traceRing = flag.Int("trace-ring", trace.DefaultRingSize,
+			"trace events retained in memory for GET /v1/trace/tail")
+		traceTimings = flag.Bool("trace-timings", false,
+			"record wall-clock span timings in trace events (nondeterministic)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	level, err := trace.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := trace.NewLogger(os.Stderr, level)
 
 	if *vms <= 0 || *hosts <= 0 {
 		return fmt.Errorf("-vms and -hosts are required and must be positive")
 	}
+
+	// The tracer is on by default with only the in-memory ring (feeding
+	// GET /v1/trace/tail); -trace adds the JSONL file sink and
+	// -trace-ring 0 without -trace turns tracing off entirely.
+	var tracer *trace.Tracer
+	if *traceOut != "" || *traceRing > 0 {
+		tracer, err = trace.New(trace.Options{
+			Path: *traceOut, RingSize: *traceRing, Timings: *traceTimings})
+		if err != nil {
+			return fmt.Errorf("opening trace sink: %w", err)
+		}
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil {
+				logger.Errorf("closing trace sink: %v", cerr)
+			}
+		}()
+		if *traceOut != "" {
+			logger.Infof("tracing decisions to %s (ring=%d, timings=%t)",
+				*traceOut, *traceRing, *traceTimings)
+		}
+	}
+
 	svc, err := server.New(server.Config{
 		NumVMs:            *vms,
 		NumHosts:          *hosts,
@@ -72,11 +112,12 @@ func run() error {
 		StepSeconds:       *step,
 		CheckpointPath:    *checkpoint,
 		Seed:              *seed,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return err
 	}
-	log.Printf("meghd: serving %d VMs × %d hosts on %s (β=%.2f, τ=%.0fs, checkpoint=%q)",
+	logger.Infof("serving %d VMs × %d hosts on %s (β=%.2f, τ=%.0fs, checkpoint=%q)",
 		*vms, *hosts, *listen, *overload, *step, *checkpoint)
 	srv := &http.Server{
 		Addr:              *listen,
@@ -98,9 +139,9 @@ func run() error {
 					return
 				case <-ticker.C:
 					if resp, err := svc.Checkpoint(); err != nil {
-						log.Printf("meghd: periodic checkpoint failed: %v", err)
+						logger.Warnf("periodic checkpoint failed: %v", err)
 					} else {
-						log.Printf("meghd: checkpointed %d bytes to %s", resp.Bytes, resp.Path)
+						logger.Debugf("checkpointed %d bytes to %s", resp.Bytes, resp.Path)
 					}
 				}
 			}
@@ -124,18 +165,18 @@ func run() error {
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// persist the learner one last time so no learning is lost.
-	log.Printf("meghd: shutting down (draining up to %s)", *drain)
+	logger.Infof("shutting down (draining up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
 	if *checkpoint != "" {
 		if resp, err := svc.Checkpoint(); err != nil {
-			log.Printf("meghd: final checkpoint failed: %v", err)
+			logger.Errorf("final checkpoint failed: %v", err)
 			if shutdownErr == nil {
 				shutdownErr = err
 			}
 		} else {
-			log.Printf("meghd: final checkpoint: %d bytes to %s", resp.Bytes, resp.Path)
+			logger.Infof("final checkpoint: %d bytes to %s", resp.Bytes, resp.Path)
 		}
 	}
 	return shutdownErr

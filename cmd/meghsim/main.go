@@ -4,7 +4,13 @@
 // Usage:
 //
 //	meghsim -dataset planetlab -policy Megh -hosts 100 -vms 132 \
-//	        -steps 288 -seed 1 [-csv]
+//	        -steps 288 -seed 1 [-csv] [-trace run.jsonl] [-metrics]
+//
+// Observability: -trace FILE writes one structured JSONL event per step
+// (and per Megh decision) for offline analysis with meghtrace; two runs
+// with the same seed produce byte-identical trace files unless
+// -trace-timings adds wall-clock spans. -metrics dumps an end-of-run
+// Prometheus snapshot to stdout and -metrics-out FILE writes it to a file.
 //
 // Registered policies: THR-MMT, IQR-MMT, MAD-MMT, LR-MMT, LRR-MMT, Megh,
 // MadVM, Q-learning.
@@ -21,6 +27,7 @@ import (
 	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/topology"
+	"megh/internal/trace"
 )
 
 // parseFailures parses "host:from:until[,host:from:until…]".
@@ -56,17 +63,23 @@ func main() {
 
 func run() error {
 	var (
-		dataset = flag.String("dataset", "planetlab", "workload: planetlab or google")
-		policy  = flag.String("policy", "Megh", "policy name (see -list)")
-		hosts   = flag.Int("hosts", 100, "number of physical machines (M)")
-		vms     = flag.Int("vms", 132, "number of virtual machines (N)")
-		steps   = flag.Int("steps", 288, "horizon in 5-minute steps (288 = 1 day)")
-		seed    = flag.Int64("seed", 1, "seed for traces, specs and placement")
-		csv     = flag.Bool("csv", false, "emit the per-step series as CSV instead of a summary")
-		list    = flag.Bool("list", false, "list registered policies and exit")
-		fatTree = flag.Bool("fattree", false, "scale migration times with a fat-tree topology")
-		failAt  = flag.String("fail", "", "inject outages, e.g. \"0:96:192,7:100:150\" (host:from:until)")
-		metrics = flag.String("metrics", "", "dump an end-of-run Prometheus metrics snapshot to this file (\"-\" = stderr)")
+		dataset    = flag.String("dataset", "planetlab", "workload: planetlab or google")
+		policy     = flag.String("policy", "Megh", "policy name (see -list)")
+		hosts      = flag.Int("hosts", 100, "number of physical machines (M)")
+		vms        = flag.Int("vms", 132, "number of virtual machines (N)")
+		steps      = flag.Int("steps", 288, "horizon in 5-minute steps (288 = 1 day)")
+		seed       = flag.Int64("seed", 1, "seed for traces, specs, placement and policy exploration")
+		csv        = flag.Bool("csv", false, "emit the per-step series as CSV instead of a summary")
+		list       = flag.Bool("list", false, "list registered policies and exit")
+		fatTree    = flag.Bool("fattree", false, "scale migration times with a fat-tree topology")
+		failAt     = flag.String("fail", "", "inject outages, e.g. \"0:96:192,7:100:150\" (host:from:until)")
+		metrics    = flag.Bool("metrics", false, "dump an end-of-run Prometheus metrics snapshot to stdout")
+		metricsOut = flag.String("metrics-out", "",
+			"write the end-of-run Prometheus metrics snapshot to this file")
+		traceOut = flag.String("trace", "",
+			"write one structured JSONL trace event per step to this file (analyse with meghtrace)")
+		traceTimings = flag.Bool("trace-timings", false,
+			"record wall-clock span timings in trace events (makes traces nondeterministic)")
 	)
 	flag.Parse()
 
@@ -85,11 +98,23 @@ func run() error {
 		return err
 	}
 	var reg *obs.Registry
-	if *metrics != "" {
+	if *metrics || *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer, err = trace.New(trace.Options{Path: *traceOut, Timings: *traceTimings})
+		if err != nil {
+			return fmt.Errorf("opening trace sink: %w", err)
+		}
+		defer func() {
+			if tracer != nil {
+				_ = tracer.Close()
+			}
+		}()
+	}
 	var mutate func(*sim.Config)
-	if *fatTree || len(failures) > 0 || reg != nil {
+	if *fatTree || len(failures) > 0 || reg != nil || tracer != nil {
 		var model sim.MigrationTimeModel
 		if *fatTree {
 			m, err := topology.NewMigrationModel(*hosts, 0.5)
@@ -104,6 +129,7 @@ func run() error {
 			}
 			c.Failures = failures
 			c.Metrics = reg
+			c.Tracer = tracer
 		}
 	}
 	var res *sim.Result
@@ -112,7 +138,7 @@ func run() error {
 		res, err = experiments.RunPolicy(setup, *policy)
 	} else {
 		var p sim.Policy
-		p, err = experiments.NewPolicy(*policy, setup.VMs, setup.Hosts, setup.Seed+101)
+		p, err = experiments.NewPolicy(*policy, setup.VMs, setup.Hosts, setup.PolicySeed())
 		if err != nil {
 			return err
 		}
@@ -121,13 +147,32 @@ func run() error {
 				m.Instrument(reg)
 			}
 		}
+		if tracer != nil {
+			if tr, ok := p.(interface{ Trace(*trace.Tracer) }); ok {
+				tr.Trace(tracer)
+			}
+		}
 		res, err = experiments.RunCustom(setup, p, mutate)
 	}
 	if err != nil {
 		return err
 	}
-	if reg != nil {
-		if err := dumpMetrics(reg, *metrics); err != nil {
+	if tracer != nil {
+		// Close (flushing) before reporting, so a crash in reporting still
+		// leaves a complete trace file on disk.
+		cerr := tracer.Close()
+		tracer = nil
+		if cerr != nil {
+			return fmt.Errorf("closing trace sink: %w", cerr)
+		}
+	}
+	if *metricsOut != "" {
+		if err := dumpMetricsFile(reg, *metricsOut); err != nil {
+			return err
+		}
+	}
+	if *metrics {
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			return err
 		}
 	}
@@ -142,12 +187,8 @@ func run() error {
 		[]experiments.TableRow{row})
 }
 
-// dumpMetrics writes the registry snapshot to dest ("-" = stderr, so it
-// composes with -csv on stdout).
-func dumpMetrics(reg *obs.Registry, dest string) error {
-	if dest == "-" {
-		return reg.WritePrometheus(os.Stderr)
-	}
+// dumpMetricsFile writes the registry snapshot to a file.
+func dumpMetricsFile(reg *obs.Registry, dest string) error {
 	f, err := os.Create(dest)
 	if err != nil {
 		return err

@@ -1,0 +1,175 @@
+// Command meghtrace analyses the structured JSONL traces written by
+// meghsim -trace, meghd -trace, or any sim.Config with a Tracer.
+//
+// Usage:
+//
+//	meghtrace summary run.jsonl
+//	meghtrace diff a.jsonl b.jsonl
+//
+// summary prints event counts, the cost decomposition, migration-cause and
+// rejection breakdowns, host wake/sleep transitions, the learner's final
+// state, and — when the trace was recorded with timings — per-phase decide
+// latency percentiles (p50/p90/p99/max).
+//
+// diff compares two traces step by step, ignoring wall-clock timing
+// fields, and reports every divergence (different chosen action, executed
+// migration, cost, digest, …). It exits 0 and prints "zero divergence"
+// when the runs match, and exits 1 otherwise — the reproducibility check
+// behind "two same-seed runs are byte-identical".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"megh/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "meghtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: meghtrace summary FILE | meghtrace diff FILE_A FILE_B")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:])
+	case "diff":
+		return runDiff(args[1:])
+	case "-h", "-help", "--help", "help":
+		fmt.Println(usage().Error())
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q; %v", args[0], usage())
+	}
+}
+
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	events, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(events)
+
+	fmt.Printf("trace: %s\n", fs.Arg(0))
+	fmt.Printf("events: %d (%d decide, %d step), steps %d..%d\n",
+		s.Events, s.DecideEvents, s.StepEvents, s.FirstStep, s.LastStep)
+	fmt.Printf("cost: total %.4f (energy %.4f, sla %.4f, resource %.4f)\n",
+		s.TotalCost, s.EnergyCost, s.SLACost, s.ResourceCost)
+
+	fmt.Printf("migrations: %d executed, %d rejected, %d stay decisions\n",
+		s.Executed, s.Rejected, s.StayChosen)
+	printBreakdown("  executed by cause", s.MigrationsByCause)
+	printBreakdown("  rejected by reason", s.RejectedByReason)
+	printBreakdown("  candidates by reason", s.CandidatesByReason)
+
+	fmt.Printf("hosts: %d woken, %d slept\n", s.WokenHosts, s.SleptHosts)
+	if s.DecideEvents > 0 {
+		fmt.Printf("learner: final Q-table nnz %d, final temperature %.4f\n",
+			s.FinalQTableNNZ, s.FinalTemperature)
+	}
+
+	if s.DecideTotal.Count > 0 || len(s.Spans) > 0 {
+		fmt.Println("decide latency (recorded with timings):")
+		fmt.Printf("  %-10s %8s %10s %10s %10s %10s\n",
+			"phase", "count", "p50", "p90", "p99", "max")
+		for _, sp := range s.Spans {
+			printSpanStat(sp)
+		}
+		if s.DecideTotal.Count > 0 {
+			printSpanStat(s.DecideTotal)
+		}
+	} else {
+		fmt.Println("decide latency: not recorded (rerun with -trace-timings)")
+	}
+	return nil
+}
+
+func printSpanStat(sp trace.SpanStat) {
+	fmt.Printf("  %-10s %8d %10s %10s %10s %10s\n", sp.Name, sp.Count,
+		fmtNanos(sp.P50), fmtNanos(sp.P90), fmtNanos(sp.P99), fmtNanos(sp.Max))
+}
+
+func fmtNanos(n int64) string {
+	return time.Duration(n).Round(time.Microsecond / 10).String()
+}
+
+// printBreakdown prints a count map in deterministic (sorted) order.
+func printBreakdown(title string, m map[string]int) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s:", title)
+	for _, k := range keys {
+		fmt.Printf(" %s=%d", k, m[k])
+	}
+	fmt.Println()
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	maxDiv := fs.Int("max", 20, "stop after this many divergences (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return usage()
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	a, err := trace.ReadFile(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := trace.ReadFile(pathB)
+	if err != nil {
+		return err
+	}
+	res := trace.Diff(a, b, *maxDiv)
+	fmt.Printf("a: %s (%d events)\nb: %s (%d events)\n",
+		pathA, res.EventsA, pathB, res.EventsB)
+	if res.Identical() {
+		fmt.Printf("zero divergence across %d compared events\n", res.Compared)
+		return nil
+	}
+	if res.MissingInA > 0 || res.MissingInB > 0 {
+		fmt.Printf("missing events: %d only in b, %d only in a\n",
+			res.MissingInA, res.MissingInB)
+	}
+	if len(res.Divergences) > 0 {
+		fmt.Printf("first divergence at step %d\n", res.FirstStep())
+		for _, d := range res.Divergences {
+			fmt.Printf("  step %-6d %-7s %-22s a=%s  b=%s\n",
+				d.Step, d.Kind, d.Field, d.A, d.B)
+		}
+		if res.Truncated {
+			fmt.Printf("  … truncated after %d divergences (-max to raise)\n",
+				len(res.Divergences))
+		}
+	}
+	os.Exit(1)
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/sparse"
+	"megh/internal/trace"
 )
 
 // Config parameterises a Megh learner. The defaults mirror §6.1.
@@ -122,6 +123,16 @@ type Megh struct {
 	// registry (Instrument).
 	metrics *meghMetrics
 
+	// tracer, when non-nil, receives one structured event per Decide
+	// (Trace). spans points at spanScratch while a timed Decide is in
+	// flight and is nil otherwise; traceCands and traceEv are reused
+	// across steps so the enabled path allocates only inside the tracer.
+	tracer      *trace.Tracer
+	spans       *trace.SpanRecorder
+	spanScratch trace.SpanRecorder
+	traceCands  []trace.Candidate
+	traceEv     trace.Event
+
 	// scratch state for per-step feasibility tracking and sampling,
 	// reused across steps to avoid per-decision allocation. hostRAM and
 	// hostMIPS hold each host's aggregate committed RAM and demanded
@@ -200,6 +211,16 @@ func (m *Megh) Instrument(reg *obs.Registry) {
 	}
 }
 
+// Trace attaches a decision tracer: every Decide then emits one
+// structured event (state digest, candidates considered with their
+// Q-value context, chosen actions, and — when the tracer records
+// timings — a span breakdown of the decide path). A nil tracer disables
+// tracing; the disabled path performs a single pointer test and
+// allocates nothing. Tracing never touches the exploration RNG, so a
+// traced and an untraced run with the same seed make identical
+// decisions.
+func (m *Megh) Trace(t *trace.Tracer) { m.tracer = t }
+
 // Temperature returns the current Boltzmann temperature.
 func (m *Megh) Temperature() float64 { return m.temp }
 
@@ -265,6 +286,14 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 			m.metrics.temperature.Set(m.temp)
 		}()
 	}
+	m.spans = nil
+	if m.tracer != nil {
+		m.traceCands = m.traceCands[:0]
+		if m.tracer.Timings() {
+			m.spans = &m.spanScratch
+			m.spans.Reset()
+		}
+	}
 	// Temperature decay (Algorithm 2 line 2).
 	m.temp *= math.Exp(-m.cfg.Epsilon)
 	if m.temp < 1e-9 {
@@ -287,6 +316,7 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 			m.update(a, next, share)
 		}
 	}
+	m.spans.Mark("update")
 	m.haveCost = false
 	if len(actions) > 0 {
 		m.pending = actions
@@ -297,6 +327,19 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	// implicit self-transitions, v = (1−γ)·φ_a).
 
 	m.nnzHistory = append(m.nnzHistory, m.b.NNZ())
+	if m.tracer != nil {
+		m.traceEv = trace.Event{
+			Kind:        trace.KindDecide,
+			Step:        s.Step,
+			Digest:      trace.DigestString(trace.Digest64(s.Step, s.VMHost, s.HostFailed)),
+			Policy:      m.Name(),
+			Temperature: m.temp,
+			QTableNNZ:   m.b.NNZ(),
+			Candidates:  m.traceCands,
+			Spans:       m.spans.Spans(),
+		}
+		m.tracer.Emit(&m.traceEv)
+	}
 	return migrations
 }
 
@@ -328,13 +371,17 @@ func (m *Megh) update(a, b int, c float64) {
 }
 
 // candidate pairs a VM with the reason it is being decided this step; the
-// reason constrains its destination set.
+// reason constrains its destination set (and labels the trace event).
 type candidate struct {
 	vm int
-	// overload marks a VM shed from an overloaded host; only those may
-	// wake a sleeping destination (and only when no active host fits).
-	overload bool
+	// reason is one of trace.ReasonOverload, trace.ReasonUnderload,
+	// trace.ReasonExploration. An overload shed (and only it) may wake a
+	// sleeping destination, and only when no active host fits.
+	reason string
 }
+
+// overload reports whether the candidate was shed from an overloaded host.
+func (c candidate) overload() bool { return c.reason == trace.ReasonOverload }
 
 // selectActions picks this step's candidate VMs and samples one action per
 // candidate from the Boltzmann distribution over the learned Q row.
@@ -345,7 +392,9 @@ func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.M
 	}
 	m.refreshHostAggregates(s)
 	candidates := m.candidates(s, maxMig)
+	m.spans.Mark("project")
 	if len(candidates) == 0 {
+		m.spans.Mark("sample")
 		return nil, nil
 	}
 
@@ -361,6 +410,7 @@ func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.M
 			migBudget--
 		}
 	}
+	m.spans.Mark("sample")
 	return actions, migrations
 }
 
@@ -385,10 +435,10 @@ func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
 func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 	seen := make(map[int]bool)
 	var out []candidate
-	add := func(j int, overload bool) {
+	add := func(j int, reason string) {
 		if !seen[j] && len(out) < cap_ {
 			seen[j] = true
-			out = append(out, candidate{vm: j, overload: overload})
+			out = append(out, candidate{vm: j, reason: reason})
 		}
 	}
 	// Overloaded hosts: shed pressure, one decision per host per step so
@@ -405,7 +455,7 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 				heaviest, demand = j, s.VMMIPS[j]
 			}
 		}
-		add(heaviest, true)
+		add(heaviest, trace.ReasonOverload)
 	}
 	// Most underloaded active host below the threshold: consolidation
 	// (may only target already-active hosts — never wake a machine to
@@ -420,13 +470,13 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 	}
 	if minHost >= 0 {
 		for _, j := range s.HostVMs[minHost] {
-			add(j, false)
+			add(j, trace.ReasonUnderload)
 		}
 	}
 	// An occasional exploration draw keeps the learner sampling the rest
 	// of the space.
 	if m.rng.Float64() < m.cfg.ExplorationRate && len(out) < cap_ {
-		add(m.rng.Intn(s.NumVMs()), false)
+		add(m.rng.Intn(s.NumVMs()), trace.ReasonExploration)
 	}
 	return out
 }
@@ -460,7 +510,7 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 		}
 	}
 	collect(true)
-	if c.overload && len(feasible) <= 1 { // only the stay option found
+	if c.overload() && len(feasible) <= 1 { // only the stay option found
 		feasible = feasible[:0]
 		qs = qs[:0]
 		minQ = math.Inf(1)
@@ -468,26 +518,44 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 	}
 	m.feasibleScratch = feasible
 	m.qScratch = qs
-	if len(feasible) == 0 {
-		return cur, base + cur
-	}
-	// Boltzmann weights; the minimum-Q action always has weight 1, so the
-	// total never underflows.
-	var total float64
-	for i, q := range qs {
-		w := math.Exp(-(q - minQ) / m.temp)
-		qs[i] = w
-		total += w
-	}
-	r := m.rng.Float64() * total
-	for i, w := range qs {
-		r -= w
-		if r <= 0 {
-			return feasible[i], base + feasible[i]
+	chosen := cur
+	if len(feasible) > 0 {
+		// Boltzmann weights; the minimum-Q action always has weight 1, so
+		// the total never underflows.
+		var total float64
+		for i, q := range qs {
+			w := math.Exp(-(q - minQ) / m.temp)
+			qs[i] = w
+			total += w
+		}
+		r := m.rng.Float64() * total
+		chosen = feasible[len(feasible)-1]
+		for i, w := range qs {
+			r -= w
+			if r <= 0 {
+				chosen = feasible[i]
+				break
+			}
 		}
 	}
-	k := feasible[len(feasible)-1]
-	return k, base + k
+	if m.tracer != nil {
+		stayQ := m.theta.Get(base + cur)
+		bestQ := minQ
+		if len(feasible) == 0 {
+			bestQ = stayQ
+		}
+		m.traceCands = append(m.traceCands, trace.Candidate{
+			VM:       j,
+			Reason:   c.reason,
+			From:     cur,
+			Dest:     chosen,
+			Feasible: len(feasible),
+			QChosen:  m.theta.Get(base + chosen),
+			QBest:    bestQ,
+			QStay:    stayQ,
+		})
+	}
+	return chosen, base + chosen
 }
 
 // fits checks whether VM j can move to host k: the host not being failed,

@@ -11,6 +11,7 @@ import (
 	"megh/internal/power"
 	"megh/internal/sim"
 	"megh/internal/sparse"
+	"megh/internal/trace"
 	"megh/internal/workload"
 )
 
@@ -167,7 +168,7 @@ func TestTemperatureDecay(t *testing.T) {
 
 // tinySnapshot builds a minimal world through the simulator to get a
 // consistent snapshot: nVMs VMs at low load on nHosts hosts.
-func tinySnapshot(t *testing.T, nVMs, nHosts int) *sim.Snapshot {
+func tinySnapshot(t testing.TB, nVMs, nHosts int) *sim.Snapshot {
 	t.Helper()
 	var snap *sim.Snapshot
 	cfg := tinyConfig(t, nVMs, nHosts, 0.1)
@@ -206,7 +207,7 @@ func (g *snapGrabber) Decide(s *sim.Snapshot) []sim.Migration {
 	return nil
 }
 
-func tinyConfig(t *testing.T, nVMs, nHosts int, util float64) sim.Config {
+func tinyConfig(t testing.TB, nVMs, nHosts int, util float64) sim.Config {
 	t.Helper()
 	lin, err := power.NewLinear("test", 100, 200)
 	if err != nil {
@@ -423,7 +424,7 @@ func TestSampleDestinationOverloadMayWakeSleepingHostAsFallback(t *testing.T) {
 	m.refreshHostAggregates(snap)
 	sawSleeping := false
 	for trial := 0; trial < 100; trial++ {
-		dest, _ := m.sampleDestination(snap, candidate{vm: 0, overload: true})
+		dest, _ := m.sampleDestination(snap, candidate{vm: 0, reason: trace.ReasonOverload})
 		if dest == 2 {
 			sawSleeping = true
 		}
@@ -514,7 +515,7 @@ func TestSampleDestinationAvoidsFailedHost(t *testing.T) {
 	snap.HostFailed = []bool{false, true, false}
 	m.refreshHostAggregates(snap)
 	for trial := 0; trial < 50; trial++ {
-		if dest, _ := m.sampleDestination(snap, candidate{vm: 0, overload: true}); dest == 1 {
+		if dest, _ := m.sampleDestination(snap, candidate{vm: 0, reason: trace.ReasonOverload}); dest == 1 {
 			t.Fatalf("trial %d: sampler chose the failed host", trial)
 		}
 	}

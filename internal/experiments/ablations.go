@@ -33,7 +33,7 @@ func RunCustom(setup Setup, p sim.Policy, mutate func(*sim.Config)) (*sim.Result
 func MigrationCapSweep(setup Setup, fractions []float64) ([]TableRow, error) {
 	rows := make([]TableRow, 0, len(fractions))
 	for _, f := range fractions {
-		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.Seed+101)
+		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.PolicySeed())
 		mc.MaxMigrationsFrac = f
 		learner, err := core.New(mc)
 		if err != nil {
@@ -54,7 +54,7 @@ func MigrationCapSweep(setup Setup, fractions []float64) ([]TableRow, error) {
 func ExplorationSweep(setup Setup, rates []float64) ([]TableRow, error) {
 	rows := make([]TableRow, 0, len(rates))
 	for _, r := range rates {
-		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.Seed+101)
+		mc := core.DefaultConfig(setup.VMs, setup.Hosts, setup.PolicySeed())
 		mc.ExplorationRate = r
 		learner, err := core.New(mc)
 		if err != nil {
@@ -81,7 +81,7 @@ func AccountingComparison(setup Setup, policies []string) ([]TableRow, error) {
 	rows := make([]TableRow, 0, len(policies)*len(modes))
 	for _, mode := range modes {
 		for _, name := range policies {
-			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.PolicySeed())
 			if err != nil {
 				return nil, err
 			}
@@ -117,7 +117,7 @@ func SelectionComparison(setup Setup) ([]TableRow, error) {
 			return nil, err
 		}
 		p, err := consolidation.NewMMT(thr, consolidation.Config{
-			Selection: sel, Seed: setup.Seed + 101,
+			Selection: sel, Seed: setup.PolicySeed(),
 		})
 		if err != nil {
 			return nil, err
@@ -144,7 +144,7 @@ func TopologyComparison(setup Setup, policies []string, hopFactor float64) ([]Ta
 	rows := make([]TableRow, 0, 2*len(policies))
 	for _, withTopo := range []bool{false, true} {
 		for _, name := range policies {
-			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+			p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.PolicySeed())
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +184,7 @@ func FailureRecovery(setup Setup, policies []string, failures []sim.Failure) ([]
 	}
 	rows := make([]TableRow, 0, len(policies))
 	for _, name := range policies {
-		p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.Seed+101)
+		p, err := NewPolicy(name, setup.VMs, setup.Hosts, setup.PolicySeed())
 		if err != nil {
 			return nil, err
 		}

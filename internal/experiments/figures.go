@@ -168,7 +168,7 @@ func RunScalability(ds Dataset, policy string, sizes []int, reps, steps int, see
 					Dataset: ds, Hosts: m, VMs: n, Steps: steps,
 					Seed: seed + int64(rep)*1009 + int64(m)*31 + int64(n),
 				}
-				p, err := NewPolicy(policy, setup.VMs, setup.Hosts, setup.Seed+101)
+				p, err := NewPolicy(policy, setup.VMs, setup.Hosts, setup.PolicySeed())
 				if err != nil {
 					return nil, err
 				}

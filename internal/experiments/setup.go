@@ -67,6 +67,13 @@ func PaperMadVMSubset(ds Dataset, seed int64) Setup {
 	}
 }
 
+// PolicySeed derives the seed for the policy under test from the setup's
+// base seed, via the simulator's sub-stream scheme (sim.Seeds). One base
+// seed thus pins traces, specs, placement and policy exploration at once.
+func (s Setup) PolicySeed() int64 {
+	return sim.Seeds{Base: s.Seed}.Policy()
+}
+
 // Scaled shrinks a setup by an integer factor for fast benchmarks; steps
 // are shrunk too but kept ≥ 36 (3 hours) so the dynamics still show.
 func (s Setup) Scaled(factor int) Setup {

@@ -32,7 +32,7 @@ func RunPolicy(setup Setup, policy string) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := NewPolicy(policy, setup.VMs, setup.Hosts, setup.Seed+101)
+	p, err := NewPolicy(policy, setup.VMs, setup.Hosts, setup.PolicySeed())
 	if err != nil {
 		return nil, err
 	}

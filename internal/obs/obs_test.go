@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"net/http/httptest"
 	"regexp"
 	"strings"
@@ -184,5 +185,82 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if got := r.Histogram("h_seconds", "", nil).Count(); got != 8*500 {
 		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+// TestHistogramBucketBoundaries sweeps values below, exactly on, and just
+// above every bucket bound and checks the exported cumulative counts.
+// Bounds are inclusive (le semantics): a value exactly on a bound lands in
+// that bucket, a value infinitesimally above spills to the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.5, 1, 2.5}
+	h := r.HistogramBuckets("sweep", "", bounds, nil)
+
+	observations := []float64{
+		0.4,                    // strictly inside bucket 0
+		0.5,                    // exactly on bound 0 → bucket 0 (inclusive)
+		math.Nextafter(0.5, 1), // just above bound 0 → bucket 1
+		1,                      // exactly on bound 1
+		2.5,                    // exactly on the last finite bound
+		math.Nextafter(2.5, 3), // just above the last bound → +Inf only
+		1e9,                    // far overflow → +Inf only
+	}
+	for _, v := range observations {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative per-le expectations for the observations above.
+	for _, want := range []string{
+		`sweep_bucket{le="0.5"} 2`,
+		`sweep_bucket{le="1"} 4`,
+		`sweep_bucket{le="2.5"} 5`,
+		`sweep_bucket{le="+Inf"} 7`,
+		`sweep_count 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if got, want := h.Count(), int64(7); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+}
+
+// TestGaugeAddConcurrentSum drives Gauge.Add (a float CAS loop) from many
+// writers with exactly representable deltas; the final value must be the
+// exact sum — a lost CAS update would show up as a shortfall. Run with
+// -race this doubles as the gauge's data-race regression test.
+func TestGaugeAddConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cas", "", nil)
+	const (
+		writers = 16
+		perG    = 2000
+		delta   = 0.25 // exactly representable in binary
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if w%2 == 0 {
+					g.Add(delta)
+				} else {
+					g.Add(2 * delta)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := float64(writers/2)*perG*delta + float64(writers/2)*perG*2*delta
+	if got := g.Value(); got != want {
+		t.Fatalf("concurrent Add lost updates: got %g, want %g", got, want)
 	}
 }

@@ -7,14 +7,18 @@
 //
 // API (JSON over HTTP):
 //
-//	POST /v1/decide     StateRequest  → DecideResponse
-//	POST /v1/feedback   FeedbackRequest → 204
-//	GET  /v1/stats      → StatsResponse
-//	POST /v1/checkpoint → CheckpointResponse (writes the state file)
-//	GET  /healthz       → 200 "ok"
+//	POST /v1/decide      StateRequest  → DecideResponse
+//	POST /v1/feedback    FeedbackRequest → 204
+//	GET  /v1/stats       → StatsResponse
+//	GET  /v1/trace/tail  → TraceTailResponse (newest buffered trace events)
+//	POST /v1/checkpoint  → CheckpointResponse (writes the state file)
+//	GET  /metrics        → Prometheus text exposition
+//	GET  /healthz        → 200 "ok"
+//	GET  /debug/pprof/*  → standard net/http/pprof profiles
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"megh/internal/power"
@@ -83,6 +87,14 @@ type StatsResponse struct {
 	Decisions   int     `json:"decisions"`
 	QTableNNZ   int     `json:"qtable_nnz"`
 	Temperature float64 `json:"temperature"`
+}
+
+// TraceTailResponse carries the newest buffered trace events, oldest
+// first. Enabled is false (and Events empty) when the service runs
+// without a tracer.
+type TraceTailResponse struct {
+	Enabled bool              `json:"enabled"`
+	Events  []json.RawMessage `json:"events,omitempty"`
 }
 
 // CheckpointResponse reports where the learner state was written.

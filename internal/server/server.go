@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"megh/internal/core"
 	"megh/internal/obs"
 	"megh/internal/sim"
+	"megh/internal/trace"
 )
 
 // Config sizes the service.
@@ -31,6 +34,10 @@ type Config struct {
 	Learner *core.Config
 	// Seed drives the default learner configuration.
 	Seed int64
+	// Tracer optionally records one structured event per decision and per
+	// feedback post. The in-memory tail is served at GET /v1/trace/tail.
+	// Nil disables tracing (the endpoint then reports enabled=false).
+	Tracer *trace.Tracer
 }
 
 // Service is the HTTP scheduling service. It is safe for concurrent use;
@@ -100,6 +107,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	reg := obs.NewRegistry()
 	learner.Instrument(reg)
+	learner.Trace(cfg.Tracer)
 	return &Service{cfg: cfg, reg: reg, learner: learner}, nil
 }
 
@@ -117,11 +125,20 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /v1/trace/tail", s.instrument("/v1/trace/tail", s.handleTraceTail))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz",
 		func(w http.ResponseWriter, _ *http.Request) {
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write([]byte("ok"))
 		}))
+	// Standard pprof endpoints for live CPU/heap/goroutine profiling.
+	// Mounted manually because the service uses its own mux rather than
+	// http.DefaultServeMux (where the pprof package self-registers).
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -240,7 +257,39 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		ResourceCost: req.ResourceCost,
 	})
 	s.mu.Unlock()
+	if s.cfg.Tracer != nil {
+		// The service never executes migrations itself, so the step event
+		// carries only the cost decomposition the caller reported.
+		s.cfg.Tracer.Emit(&trace.Event{
+			Kind:         trace.KindStep,
+			Step:         req.Step,
+			EnergyCost:   req.EnergyCost,
+			SLACost:      req.SLACost,
+			ResourceCost: req.ResourceCost,
+			StepCost:     req.StepCost,
+		})
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTraceTail serves the newest buffered trace events, oldest first.
+// ?n= bounds the count (default 100); the ring size caps what is
+// retained regardless.
+func (s *Service) handleTraceTail(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		n = v
+	}
+	resp := TraceTailResponse{Enabled: s.cfg.Tracer.Enabled()}
+	if resp.Enabled {
+		resp.Events = s.cfg.Tracer.Tail(n)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,7 @@ import (
 
 	"megh/internal/core"
 	"megh/internal/obs"
+	"megh/internal/trace"
 )
 
 // testWorld builds a small valid snapshot: nVMs VMs spread round-robin on
@@ -423,5 +424,96 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("full /metrics body:\n%s", body)
+	}
+}
+
+func TestTraceTailEndpoint(t *testing.T) {
+	tracer, err := trace.New(trace.Options{RingSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{NumVMs: 4, NumHosts: 3, Seed: 7, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	// A decide and a feedback should each leave one event in the ring.
+	resp := postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decide status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/feedback", FeedbackRequest{Step: 0, StepCost: 1.5, EnergyCost: 1, SLACost: 0.5})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("feedback status %d", resp.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/trace/tail?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var tail TraceTailResponse
+	if err := json.NewDecoder(get.Body).Decode(&tail); err != nil {
+		t.Fatal(err)
+	}
+	if !tail.Enabled {
+		t.Fatal("tail reports tracing disabled")
+	}
+	if len(tail.Events) != 2 {
+		t.Fatalf("tail holds %d events, want 2", len(tail.Events))
+	}
+	var first, second trace.Event
+	if err := json.Unmarshal(tail.Events[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tail.Events[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != trace.KindDecide || first.Policy == "" {
+		t.Fatalf("first event is not a decide event: %+v", first)
+	}
+	if second.Kind != trace.KindStep || second.StepCost != 1.5 {
+		t.Fatalf("second event is not the feedback step event: %+v", second)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/trace/tail?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad n should 400, got %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceTailDisabled(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	get, err := http.Get(ts.URL + "/v1/trace/tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var tail TraceTailResponse
+	if err := json.NewDecoder(get.Body).Decode(&tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Enabled || len(tail.Events) != 0 {
+		t.Fatalf("untraced service must report disabled: %+v", tail)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestService(t, 4, 3, "")
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
 	}
 }

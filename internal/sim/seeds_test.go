@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"megh/internal/trace"
+	"megh/internal/workload"
+)
+
+func TestSeedsSubStreams(t *testing.T) {
+	s := Seeds{Base: 42}
+	// Historical derivations are frozen: changing them would silently
+	// reshuffle every pinned experiment in EXPERIMENTS.md.
+	if s.Placement() != 42 {
+		t.Fatalf("Placement() = %d, want the base seed", s.Placement())
+	}
+	if s.Policy() != 42+101 {
+		t.Fatalf("Policy() = %d, want base+101", s.Policy())
+	}
+	if s.Stream("x") != s.Stream("x") {
+		t.Fatal("Stream is not deterministic")
+	}
+	if s.Stream("x") == s.Stream("y") {
+		t.Fatal("distinct names must yield distinct streams")
+	}
+	if s.Stream("x") == (Seeds{Base: 43}).Stream("x") {
+		t.Fatal("streams must depend on the base seed")
+	}
+	a, b := s.Rand("w"), s.Rand("w")
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("Rand on the same stream diverged")
+		}
+	}
+	if (Config{Seed: 7}).Seeds() != (Seeds{Base: 7}) {
+		t.Fatal("Config.Seeds must wrap Config.Seed")
+	}
+}
+
+// Two Runs of the same config with the same scripted policy must emit
+// byte-identical step-event streams, including rejection reasons and
+// host wake/sleep transitions.
+func TestStepTraceDeterministicAndComplete(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tracer, err := trace.New(trace.Options{W: &buf, RingSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(t, []workload.Trace{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}})
+		cfg.Tracer = tracer
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &scriptPolicy{script: map[int][]Migration{
+			0: {{VM: 0, Dest: 1}},  // executed: sleeps host 0, (VM moves 0→1)
+			1: {{VM: 9, Dest: 0}},  // rejected: VM out of range
+			2: {{VM: 0, Dest: 99}}, // rejected: host out of range
+		}}
+		if _, err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-config runs traced differently:\n%s\nvs\n%s", a, b)
+	}
+
+	events, err := trace.Read(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want one per step:\n%s", len(events), a)
+	}
+	step0 := events[0]
+	if len(step0.Executed) != 1 || step0.Executed[0].VM != 0 ||
+		step0.Executed[0].From != 0 || step0.Executed[0].Dest != 1 {
+		t.Fatalf("step 0 executed = %+v", step0.Executed)
+	}
+	if len(step0.Slept) != 1 || step0.Slept[0] != 0 {
+		t.Fatalf("moving the only VM off host 0 must record it as slept: %+v", step0)
+	}
+	if step0.StepCost == 0 || step0.ActiveHosts == 0 || step0.Digest == "" {
+		t.Fatalf("step 0 missing cost/host/digest fields: %+v", step0)
+	}
+	for i, want := range map[int]string{1: trace.RejectOutOfRange, 2: trace.RejectOutOfRange} {
+		ev := events[i]
+		if len(ev.Rejected) != 1 || ev.Rejected[0].Reason != want {
+			t.Fatalf("step %d rejected = %+v, want reason %q", i, ev.Rejected, want)
+		}
+	}
+	// VM index was invalid at step 1, so its origin is unknowable.
+	if events[1].Rejected[0].From != -1 {
+		t.Fatalf("invalid VM must record From=-1: %+v", events[1].Rejected)
+	}
+	// VM 0 was valid at step 2 (living on host 1 after step 0's move).
+	if events[2].Rejected[0].From != 1 {
+		t.Fatalf("invalid dest must still record the VM's host: %+v", events[2].Rejected)
+	}
+}
+
+// An infeasible destination (not enough RAM) must be traced as such.
+func TestStepTraceInfeasibleRejection(t *testing.T) {
+	var buf bytes.Buffer
+	tracer, err := trace.New(trace.Options{W: &buf, RingSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, []workload.Trace{{0.5}, {0.5}})
+	cfg.VMs[0].RAMMB = 4096 // VM 0 fills a whole host
+	cfg.VMs[1].RAMMB = 4096
+	cfg.Tracer = tracer
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &scriptPolicy{script: map[int][]Migration{
+		0: {{VM: 0, Dest: 1}}, // host 1 already holds VM 1: no RAM left
+	}}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || len(events[0].Rejected) != 1 ||
+		events[0].Rejected[0].Reason != trace.RejectInfeasible {
+		t.Fatalf("want one infeasible rejection, got %+v", events)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"megh/internal/cost"
 	"megh/internal/obs"
+	"megh/internal/trace"
 )
 
 // Feedback is the post-step signal delivered to policies that implement
@@ -76,6 +77,15 @@ type runState struct {
 	hostFailed []bool
 
 	snap Snapshot
+
+	// tracer and its scratch buffers; all nil/empty when tracing is off,
+	// so the untraced hot loop pays one pointer test per guard.
+	tracer     *trace.Tracer
+	traceExec  []trace.Migration
+	traceRej   []trace.Migration
+	prevActive []bool
+	woken      []int
+	slept      []int
 }
 
 // Run executes the full horizon with the given policy and returns the
@@ -108,6 +118,9 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 			res.VMDowntimeFrac[j] = st.downtimeSec[j] / st.requestedSec[j]
 		}
 	}
+	if err := s.cfg.Tracer.Flush(); err != nil {
+		return nil, fmt.Errorf("sim: flushing trace: %w", err)
+	}
 	return res, nil
 }
 
@@ -134,6 +147,10 @@ func newRunState(cfg Config) (*runState, error) {
 	}
 	if err := st.place(); err != nil {
 		return nil, err
+	}
+	st.tracer = cfg.Tracer
+	if st.tracer != nil {
+		st.prevActive = make([]bool, len(cfg.Hosts))
 	}
 	st.snap = Snapshot{
 		StepSeconds:       cfg.StepSeconds,
@@ -176,7 +193,7 @@ func (st *runState) place() error {
 	}
 	switch cfg.InitialPlacement {
 	case PlacementRandom:
-		r := rand.New(rand.NewSource(cfg.Seed))
+		r := rand.New(rand.NewSource(cfg.Seeds().Placement()))
 		for vm := range cfg.VMs {
 			placed := false
 			for try := 0; try < 4*len(cfg.Hosts); try++ {
@@ -257,11 +274,22 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		st.vmHistory[j] = pushWindow(st.vmHistory[j], st.vmUtil[j], cfg.HistoryLen)
 	}
 
-	// 3. Ask the policy, timing the call.
+	// 3. Ask the policy, timing the call. When tracing, remember which
+	// hosts were active first — migrations are the only thing that
+	// changes host activity within a step, so the before/after comparison
+	// yields this step's wake/sleep transitions.
+	if st.tracer != nil {
+		st.traceExec = st.traceExec[:0]
+		st.traceRej = st.traceRej[:0]
+		for i := range st.hostVMs {
+			st.prevActive[i] = len(st.hostVMs[i]) > 0
+		}
+	}
 	st.snap.Step = t
 	start := time.Now()
 	migrations := p.Decide(&st.snap)
-	decideSeconds := time.Since(start).Seconds()
+	decideDur := time.Since(start)
+	decideSeconds := decideDur.Seconds()
 
 	// 4. Execute migrations with feasibility checks.
 	fb := &Feedback{Step: t}
@@ -270,6 +298,14 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 	for _, m := range migrations {
 		if m.VM < 0 || m.VM >= len(cfg.VMs) || m.Dest < 0 || m.Dest >= len(cfg.Hosts) {
 			fb.Rejected = append(fb.Rejected, m)
+			if st.tracer != nil {
+				from := -1
+				if m.VM >= 0 && m.VM < len(cfg.VMs) {
+					from = st.vmHost[m.VM]
+				}
+				st.traceRej = append(st.traceRej, trace.Migration{
+					VM: m.VM, From: from, Dest: m.Dest, Reason: trace.RejectOutOfRange})
+			}
 			continue
 		}
 		if st.vmHost[m.VM] == m.Dest {
@@ -277,6 +313,14 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		}
 		if migrated[m.VM] || !st.snap.FitsOn(m.VM, m.Dest) {
 			fb.Rejected = append(fb.Rejected, m)
+			if st.tracer != nil {
+				reason := trace.RejectInfeasible
+				if migrated[m.VM] {
+					reason = trace.RejectDuplicate
+				}
+				st.traceRej = append(st.traceRej, trace.Migration{
+					VM: m.VM, From: st.vmHost[m.VM], Dest: m.Dest, Reason: reason})
+			}
 			continue
 		}
 		migrated[m.VM] = true
@@ -286,6 +330,10 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		migSec := st.snap.MigrationSeconds(m.VM, m.Dest)
 		st.stepDowntime[m.VM] += migSec * cfg.Cost.MigrationDowntimeFactor
 		resource += cfg.Cost.TransferCost(cfg.VMs[m.VM].RAMMB)
+		if st.tracer != nil {
+			st.traceExec = append(st.traceExec, trace.Migration{
+				VM: m.VM, From: st.vmHost[m.VM], Dest: m.Dest, Seconds: migSec})
+		}
 		st.move(m.VM, m.Dest)
 		fb.Executed = append(fb.Executed, m)
 	}
@@ -364,6 +412,11 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 	fb.ResourceCost = resource
 	fb.StepCost = energy + sla + resource
 
+	active := st.snap.ActiveHosts()
+	if st.tracer != nil {
+		st.emitStepEvent(t, fb, active, overloaded, failed, decideDur)
+	}
+
 	return StepMetrics{
 		Step:            t,
 		EnergyCost:      energy,
@@ -371,11 +424,50 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		ResourceCost:    resource,
 		Migrations:      len(fb.Executed),
 		Rejected:        len(fb.Rejected),
-		ActiveHosts:     st.snap.ActiveHosts(),
+		ActiveHosts:     active,
 		OverloadedHosts: overloaded,
 		FailedHosts:     failed,
 		DecideSeconds:   decideSeconds,
 	}, fb
+}
+
+// emitStepEvent writes the environment-side trace event for step t: what
+// was executed or refused, the realised cost decomposition, and which
+// hosts woke or went to sleep as a result of the step's migrations.
+// Decide wall time is recorded only when the tracer opts into timings,
+// keeping the default trace byte-identical across same-seed runs.
+func (st *runState) emitStepEvent(t int, fb *Feedback, active, overloaded, failed int, decideDur time.Duration) {
+	st.woken = st.woken[:0]
+	st.slept = st.slept[:0]
+	for i := range st.hostVMs {
+		nowActive := len(st.hostVMs[i]) > 0
+		switch {
+		case nowActive && !st.prevActive[i]:
+			st.woken = append(st.woken, i)
+		case !nowActive && st.prevActive[i]:
+			st.slept = append(st.slept, i)
+		}
+	}
+	ev := trace.Event{
+		Kind:            trace.KindStep,
+		Step:            t,
+		Digest:          trace.DigestString(trace.Digest64(t, st.vmHost, st.hostFailed)),
+		Executed:        st.traceExec,
+		Rejected:        st.traceRej,
+		EnergyCost:      fb.EnergyCost,
+		SLACost:         fb.SLACost,
+		ResourceCost:    fb.ResourceCost,
+		StepCost:        fb.StepCost,
+		ActiveHosts:     active,
+		OverloadedHosts: overloaded,
+		FailedHosts:     failed,
+		Woken:           st.woken,
+		Slept:           st.slept,
+	}
+	if st.tracer.Timings() {
+		ev.DecideNanos = decideDur.Nanoseconds()
+	}
+	st.tracer.Emit(&ev)
 }
 
 // obsFeed mirrors per-step metrics into an obs registry, labelled by

@@ -16,6 +16,7 @@ import (
 	"megh/internal/cost"
 	"megh/internal/obs"
 	"megh/internal/power"
+	"megh/internal/trace"
 	"megh/internal/workload"
 )
 
@@ -121,7 +122,10 @@ type Config struct {
 	Cost cost.Params
 	// InitialPlacement defaults to PlacementRandom.
 	InitialPlacement Placement
-	// Seed drives the initial placement (and nothing else).
+	// Seed is the run's base seed. The simulator itself consumes only the
+	// placement sub-stream (Seeds().Placement()); harnesses derive the
+	// policy seed and any further component streams from the same base via
+	// Seeds(), so one seed reproduces the entire run.
 	Seed int64
 	// HistoryLen is how many past host-utilization samples the Snapshot
 	// exposes to policies (MMT's detectors need ~12); 0 means 12. The
@@ -140,6 +144,13 @@ type Config struct {
 	// latency, migration/rejection counts, overload counts), labelled by
 	// policy name so several Run calls on one registry stay separable.
 	Metrics *obs.Registry
+	// Tracer optionally receives one structured event per step: executed
+	// and rejected migrations (with rejection reasons), the cost
+	// decomposition, and host activity transitions. Policies that also
+	// trace (core.Megh via Trace) should share the same tracer so decide
+	// and step events interleave in one stream. Nil disables tracing at
+	// zero cost.
+	Tracer *trace.Tracer
 }
 
 // Failure is one injected host outage.

@@ -1,0 +1,360 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpanStat summarises one named phase's latency distribution across a
+// trace, in nanoseconds.
+type SpanStat struct {
+	Name  string
+	Count int
+	P50   int64
+	P90   int64
+	P99   int64
+	Max   int64
+	Total int64
+}
+
+// Summary aggregates one trace: what the run cost, why VMs moved, and —
+// when the trace carries timings — where the decide path spent its time.
+type Summary struct {
+	Events       int
+	DecideEvents int
+	StepEvents   int
+	FirstStep    int
+	LastStep     int
+
+	TotalCost    float64
+	EnergyCost   float64
+	SLACost      float64
+	ResourceCost float64
+
+	Executed         int
+	Rejected         int
+	RejectedByReason map[string]int
+
+	// Candidate accounting from decide events: how often each selection
+	// cause fired, and how many candidates chose to stay put.
+	CandidatesByReason map[string]int
+	StayChosen         int
+
+	// MigrationsByCause joins executed migrations (step events) to the
+	// candidate reason that proposed them, keyed by (step, vm).
+	MigrationsByCause map[string]int
+
+	WokenHosts int
+	SleptHosts int
+
+	FinalQTableNNZ   int
+	FinalTemperature float64
+
+	// Spans holds per-phase latency stats; DecideTotal the whole-call
+	// distribution. Both are zero-valued when the trace has no timings.
+	Spans       []SpanStat
+	DecideTotal SpanStat
+}
+
+// Summarize aggregates a decoded trace.
+func Summarize(events []Event) *Summary {
+	s := &Summary{
+		FirstStep:          -1,
+		RejectedByReason:   map[string]int{},
+		CandidatesByReason: map[string]int{},
+		MigrationsByCause:  map[string]int{},
+	}
+	spanSamples := map[string][]int64{}
+	var spanOrder []string
+	var decideSamples []int64
+	// cause[(step,vm)] = candidate reason, filled from decide events and
+	// consumed by the same step's executed migrations.
+	cause := map[[2]int]string{}
+
+	for i := range events {
+		ev := &events[i]
+		s.Events++
+		if s.FirstStep < 0 || ev.Step < s.FirstStep {
+			s.FirstStep = ev.Step
+		}
+		if ev.Step > s.LastStep {
+			s.LastStep = ev.Step
+		}
+		switch ev.Kind {
+		case KindDecide:
+			s.DecideEvents++
+			for j := range ev.Candidates {
+				c := &ev.Candidates[j]
+				s.CandidatesByReason[c.Reason]++
+				if c.Dest == c.From {
+					s.StayChosen++
+				} else {
+					cause[[2]int{ev.Step, c.VM}] = c.Reason
+				}
+			}
+			for _, sp := range ev.Spans {
+				if _, ok := spanSamples[sp.Name]; !ok {
+					spanOrder = append(spanOrder, sp.Name)
+				}
+				spanSamples[sp.Name] = append(spanSamples[sp.Name], sp.Nanos)
+			}
+			if ev.QTableNNZ != 0 {
+				s.FinalQTableNNZ = ev.QTableNNZ
+			}
+			if ev.Temperature != 0 {
+				s.FinalTemperature = ev.Temperature
+			}
+		case KindStep:
+			s.StepEvents++
+			s.TotalCost += ev.StepCost
+			s.EnergyCost += ev.EnergyCost
+			s.SLACost += ev.SLACost
+			s.ResourceCost += ev.ResourceCost
+			s.Executed += len(ev.Executed)
+			s.Rejected += len(ev.Rejected)
+			for _, m := range ev.Rejected {
+				reason := m.Reason
+				if reason == "" {
+					reason = "unknown"
+				}
+				s.RejectedByReason[reason]++
+			}
+			for _, m := range ev.Executed {
+				reason, ok := cause[[2]int{ev.Step, m.VM}]
+				if !ok {
+					reason = "unattributed"
+				}
+				s.MigrationsByCause[reason]++
+			}
+			s.WokenHosts += len(ev.Woken)
+			s.SleptHosts += len(ev.Slept)
+			if ev.DecideNanos > 0 {
+				decideSamples = append(decideSamples, ev.DecideNanos)
+			}
+		}
+	}
+	if s.FirstStep < 0 {
+		s.FirstStep = 0
+	}
+	for _, name := range spanOrder {
+		s.Spans = append(s.Spans, spanStat(name, spanSamples[name]))
+	}
+	s.DecideTotal = spanStat("decide", decideSamples)
+	return s
+}
+
+func spanStat(name string, samples []int64) SpanStat {
+	st := SpanStat{Name: name, Count: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) int64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	st.P50 = rank(0.50)
+	st.P90 = rank(0.90)
+	st.P99 = rank(0.99)
+	st.Max = sorted[len(sorted)-1]
+	for _, v := range sorted {
+		st.Total += v
+	}
+	return st
+}
+
+// Divergence is one step where two traces disagree.
+type Divergence struct {
+	Step  int
+	Kind  string
+	Field string
+	A, B  string
+}
+
+// DiffResult reports a step-by-step comparison of two traces. Timing
+// fields (spans, decide_ns) are excluded — they differ between any two
+// runs; the comparison targets decision behaviour.
+type DiffResult struct {
+	EventsA, EventsB int
+	Compared         int
+	// MissingInA / MissingInB count (kind, step) keys present in only
+	// one trace.
+	MissingInA, MissingInB int
+	Divergences            []Divergence
+	// Truncated marks that divergence collection stopped at the limit.
+	Truncated bool
+}
+
+// Identical reports zero divergence: every compared step matched and
+// neither trace had events the other lacked.
+func (d *DiffResult) Identical() bool {
+	return len(d.Divergences) == 0 && d.MissingInA == 0 && d.MissingInB == 0
+}
+
+// FirstStep returns the earliest divergent step, or -1 when identical.
+func (d *DiffResult) FirstStep() int {
+	first := -1
+	for _, dv := range d.Divergences {
+		if first < 0 || dv.Step < first {
+			first = dv.Step
+		}
+	}
+	return first
+}
+
+// Diff compares two decoded traces event by event, keyed by (kind,
+// step). maxDivergences bounds the collected detail (≤ 0 means no
+// bound); counting continues past the bound so totals stay truthful.
+func Diff(a, b []Event, maxDivergences int) *DiffResult {
+	res := &DiffResult{EventsA: len(a), EventsB: len(b)}
+	type key struct {
+		kind string
+		step int
+	}
+	index := func(evs []Event) map[key]*Event {
+		m := make(map[key]*Event, len(evs))
+		for i := range evs {
+			k := key{evs[i].Kind, evs[i].Step}
+			if _, ok := m[k]; !ok {
+				m[k] = &evs[i]
+			}
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	add := func(step int, kind, field string, va, vb any) {
+		if maxDivergences > 0 && len(res.Divergences) >= maxDivergences {
+			res.Truncated = true
+			return
+		}
+		res.Divergences = append(res.Divergences, Divergence{
+			Step: step, Kind: kind, Field: field,
+			A: fmt.Sprint(va), B: fmt.Sprint(vb),
+		})
+	}
+	// Walk a's events in order for stable reporting.
+	seen := map[key]bool{}
+	for i := range a {
+		ea := &a[i]
+		k := key{ea.Kind, ea.Step}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		eb, ok := ib[k]
+		if !ok {
+			res.MissingInB++
+			continue
+		}
+		res.Compared++
+		diffEvent(ea, eb, add)
+	}
+	for i := range b {
+		k := key{b[i].Kind, b[i].Step}
+		if _, ok := ia[k]; !ok && !seen[k] {
+			seen[k] = true
+			res.MissingInA++
+		}
+	}
+	return res
+}
+
+func diffEvent(a, b *Event, add func(step int, kind, field string, va, vb any)) {
+	step, kind := a.Step, a.Kind
+	if a.Digest != b.Digest {
+		add(step, kind, "digest", a.Digest, b.Digest)
+	}
+	switch kind {
+	case KindDecide:
+		if a.Policy != b.Policy {
+			add(step, kind, "policy", a.Policy, b.Policy)
+		}
+		if a.Temperature != b.Temperature {
+			add(step, kind, "temp", a.Temperature, b.Temperature)
+		}
+		if a.QTableNNZ != b.QTableNNZ {
+			add(step, kind, "qtable_nnz", a.QTableNNZ, b.QTableNNZ)
+		}
+		if len(a.Candidates) != len(b.Candidates) {
+			add(step, kind, "candidates", len(a.Candidates), len(b.Candidates))
+			return
+		}
+		for i := range a.Candidates {
+			ca, cb := &a.Candidates[i], &b.Candidates[i]
+			tag := fmt.Sprintf("candidate[%d]", i)
+			switch {
+			case ca.VM != cb.VM || ca.Reason != cb.Reason || ca.From != cb.From:
+				add(step, kind, tag,
+					fmt.Sprintf("vm=%d reason=%s from=%d", ca.VM, ca.Reason, ca.From),
+					fmt.Sprintf("vm=%d reason=%s from=%d", cb.VM, cb.Reason, cb.From))
+			case ca.Dest != cb.Dest:
+				add(step, kind, tag+".dest", ca.Dest, cb.Dest)
+			case ca.Feasible != cb.Feasible:
+				add(step, kind, tag+".feasible", ca.Feasible, cb.Feasible)
+			case ca.QChosen != cb.QChosen || ca.QBest != cb.QBest || ca.QStay != cb.QStay:
+				add(step, kind, tag+".q",
+					fmt.Sprintf("chosen=%g best=%g stay=%g", ca.QChosen, ca.QBest, ca.QStay),
+					fmt.Sprintf("chosen=%g best=%g stay=%g", cb.QChosen, cb.QBest, cb.QStay))
+			}
+		}
+	case KindStep:
+		diffMigrations(step, kind, "executed", a.Executed, b.Executed, add)
+		diffMigrations(step, kind, "rejected", a.Rejected, b.Rejected, add)
+		if a.StepCost != b.StepCost {
+			add(step, kind, "step_cost", a.StepCost, b.StepCost)
+		}
+		if a.EnergyCost != b.EnergyCost {
+			add(step, kind, "energy_cost", a.EnergyCost, b.EnergyCost)
+		}
+		if a.SLACost != b.SLACost {
+			add(step, kind, "sla_cost", a.SLACost, b.SLACost)
+		}
+		if a.ActiveHosts != b.ActiveHosts {
+			add(step, kind, "active_hosts", a.ActiveHosts, b.ActiveHosts)
+		}
+		if a.OverloadedHosts != b.OverloadedHosts {
+			add(step, kind, "overloaded_hosts", a.OverloadedHosts, b.OverloadedHosts)
+		}
+	}
+}
+
+func diffMigrations(step int, kind, field string, a, b []Migration, add func(step int, kind, field string, va, vb any)) {
+	if len(a) != len(b) {
+		add(step, kind, field, formatMigrations(a), formatMigrations(b))
+		return
+	}
+	for i := range a {
+		if a[i].VM != b[i].VM || a[i].From != b[i].From || a[i].Dest != b[i].Dest || a[i].Reason != b[i].Reason {
+			add(step, kind, fmt.Sprintf("%s[%d]", field, i),
+				formatMigration(a[i]), formatMigration(b[i]))
+		}
+	}
+}
+
+func formatMigration(m Migration) string {
+	if m.Reason != "" {
+		return fmt.Sprintf("vm%d:%d→%d(%s)", m.VM, m.From, m.Dest, m.Reason)
+	}
+	return fmt.Sprintf("vm%d:%d→%d", m.VM, m.From, m.Dest)
+}
+
+func formatMigrations(ms []Migration) string {
+	if len(ms) == 0 {
+		return "[]"
+	}
+	out := "["
+	for i, m := range ms {
+		if i > 0 {
+			out += " "
+		}
+		out += formatMigration(m)
+	}
+	return out + "]"
+}

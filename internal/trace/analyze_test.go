@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyzeFixture() []Event {
+	return []Event{
+		{Kind: KindDecide, Step: 0, Policy: "Megh", Temperature: 3, QTableNNZ: 10,
+			Candidates: []Candidate{
+				{VM: 1, Reason: ReasonOverload, From: 0, Dest: 2, Feasible: 3},
+				{VM: 2, Reason: ReasonUnderload, From: 3, Dest: 3, Feasible: 2},
+			},
+			Spans: []Span{{Name: "project", Nanos: 100}, {Name: "sample", Nanos: 50}}},
+		{Kind: KindStep, Step: 0,
+			Executed: []Migration{{VM: 1, From: 0, Dest: 2}},
+			Rejected: []Migration{{VM: 5, From: 1, Dest: 9, Reason: RejectInfeasible}},
+			StepCost: 2, EnergyCost: 1.5, SLACost: 0.5,
+			Woken: []int{2}, DecideNanos: 900},
+		{Kind: KindDecide, Step: 1, Policy: "Megh", Temperature: 2.9, QTableNNZ: 14,
+			Candidates: []Candidate{
+				{VM: 4, Reason: ReasonExploration, From: 2, Dest: 5, Feasible: 4},
+			},
+			Spans: []Span{{Name: "project", Nanos: 300}, {Name: "sample", Nanos: 70}}},
+		{Kind: KindStep, Step: 1,
+			Executed: []Migration{{VM: 4, From: 2, Dest: 5}},
+			StepCost: 3, EnergyCost: 3,
+			Slept: []int{2}, DecideNanos: 1100},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(analyzeFixture())
+	if s.Events != 4 || s.DecideEvents != 2 || s.StepEvents != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.FirstStep != 0 || s.LastStep != 1 {
+		t.Fatalf("step range [%d,%d]", s.FirstStep, s.LastStep)
+	}
+	if s.TotalCost != 5 || s.EnergyCost != 4.5 || s.SLACost != 0.5 {
+		t.Fatalf("costs: %+v", s)
+	}
+	if s.Executed != 2 || s.Rejected != 1 {
+		t.Fatalf("migrations: %+v", s)
+	}
+	if s.RejectedByReason[RejectInfeasible] != 1 {
+		t.Fatalf("reject reasons: %v", s.RejectedByReason)
+	}
+	if s.CandidatesByReason[ReasonOverload] != 1 ||
+		s.CandidatesByReason[ReasonUnderload] != 1 ||
+		s.CandidatesByReason[ReasonExploration] != 1 {
+		t.Fatalf("candidate reasons: %v", s.CandidatesByReason)
+	}
+	if s.StayChosen != 1 {
+		t.Fatalf("stay chosen = %d", s.StayChosen)
+	}
+	if s.MigrationsByCause[ReasonOverload] != 1 || s.MigrationsByCause[ReasonExploration] != 1 {
+		t.Fatalf("migration causes: %v", s.MigrationsByCause)
+	}
+	if s.WokenHosts != 1 || s.SleptHosts != 1 {
+		t.Fatalf("transitions: woken=%d slept=%d", s.WokenHosts, s.SleptHosts)
+	}
+	if s.FinalQTableNNZ != 14 || s.FinalTemperature != 2.9 {
+		t.Fatalf("final learner state: %+v", s)
+	}
+	if len(s.Spans) != 2 || s.Spans[0].Name != "project" || s.Spans[0].Count != 2 {
+		t.Fatalf("spans: %+v", s.Spans)
+	}
+	if s.Spans[0].Max != 300 || s.Spans[0].Total != 400 {
+		t.Fatalf("project span stats: %+v", s.Spans[0])
+	}
+	if s.DecideTotal.Count != 2 || s.DecideTotal.Max != 1100 {
+		t.Fatalf("decide total: %+v", s.DecideTotal)
+	}
+}
+
+func TestSpanStatPercentiles(t *testing.T) {
+	samples := make([]int64, 100)
+	for i := range samples {
+		samples[i] = int64(i + 1) // 1..100
+	}
+	st := spanStat("x", samples)
+	if st.P50 != 50 || st.P90 != 90 || st.P99 != 99 || st.Max != 100 {
+		t.Fatalf("percentiles: %+v", st)
+	}
+	empty := spanStat("y", nil)
+	if empty.Count != 0 || empty.Max != 0 {
+		t.Fatalf("empty stat: %+v", empty)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := analyzeFixture(), analyzeFixture()
+	res := Diff(a, b, 0)
+	if !res.Identical() {
+		t.Fatalf("identical traces diverge: %+v", res.Divergences)
+	}
+	if res.Compared != 4 || res.FirstStep() != -1 {
+		t.Fatalf("compared=%d first=%d", res.Compared, res.FirstStep())
+	}
+}
+
+func TestDiffFindsDivergence(t *testing.T) {
+	a, b := analyzeFixture(), analyzeFixture()
+	b[2].Candidates[0].Dest = 7 // different chosen action at step 1
+	b[3].Executed[0].Dest = 7   // and a different executed migration
+	b[3].StepCost = 9           // and cost
+	res := Diff(a, b, 0)
+	if res.Identical() {
+		t.Fatal("divergence not detected")
+	}
+	if res.FirstStep() != 1 {
+		t.Fatalf("first divergent step = %d, want 1", res.FirstStep())
+	}
+	var fields []string
+	for _, d := range res.Divergences {
+		fields = append(fields, d.Field)
+	}
+	joined := strings.Join(fields, ",")
+	for _, want := range []string{"candidate[0].dest", "executed[0]", "step_cost"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing divergence %q in %v", want, fields)
+		}
+	}
+}
+
+func TestDiffMissingEvents(t *testing.T) {
+	a := analyzeFixture()
+	b := analyzeFixture()[:2] // b lost step 1
+	res := Diff(a, b, 0)
+	if res.Identical() {
+		t.Fatal("missing events must count as divergence")
+	}
+	if res.MissingInB != 2 || res.MissingInA != 0 {
+		t.Fatalf("missing: a=%d b=%d", res.MissingInA, res.MissingInB)
+	}
+}
+
+func TestDiffTruncation(t *testing.T) {
+	a, b := analyzeFixture(), analyzeFixture()
+	b[0].Temperature = 9
+	b[0].QTableNNZ = 99
+	b[2].Temperature = 9
+	res := Diff(a, b, 1)
+	if len(res.Divergences) != 1 || !res.Truncated {
+		t.Fatalf("truncation: %+v", res)
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import "strconv"
+
+// appendEventJSON renders ev as one JSON object using append-style
+// encoding: no reflection, no intermediate allocations beyond the
+// caller's buffer, and byte-for-byte deterministic output (fields in
+// declaration order, floats in strconv's shortest round-trip form).
+// The field names match the struct's json tags so encoding/json can
+// decode what this produces (reader.go relies on that).
+func appendEventJSON(b []byte, ev *Event) []byte {
+	b = append(b, `{"kind":`...)
+	b = appendString(b, ev.Kind)
+	b = append(b, `,"step":`...)
+	b = strconv.AppendInt(b, int64(ev.Step), 10)
+	if ev.Digest != "" {
+		b = append(b, `,"digest":`...)
+		b = appendString(b, ev.Digest)
+	}
+	if ev.Policy != "" {
+		b = append(b, `,"policy":`...)
+		b = appendString(b, ev.Policy)
+	}
+	if ev.Temperature != 0 {
+		b = append(b, `,"temp":`...)
+		b = appendFloat(b, ev.Temperature)
+	}
+	if ev.QTableNNZ != 0 {
+		b = append(b, `,"qtable_nnz":`...)
+		b = strconv.AppendInt(b, int64(ev.QTableNNZ), 10)
+	}
+	if len(ev.Candidates) > 0 {
+		b = append(b, `,"candidates":[`...)
+		for i := range ev.Candidates {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendCandidateJSON(b, &ev.Candidates[i])
+		}
+		b = append(b, ']')
+	}
+	if len(ev.Spans) > 0 {
+		b = append(b, `,"spans":[`...)
+		for i, s := range ev.Spans {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"name":`...)
+			b = appendString(b, s.Name)
+			b = append(b, `,"ns":`...)
+			b = strconv.AppendInt(b, s.Nanos, 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(ev.Executed) > 0 {
+		b = append(b, `,"executed":[`...)
+		b = appendMigrationsJSON(b, ev.Executed)
+		b = append(b, ']')
+	}
+	if len(ev.Rejected) > 0 {
+		b = append(b, `,"rejected":[`...)
+		b = appendMigrationsJSON(b, ev.Rejected)
+		b = append(b, ']')
+	}
+	if ev.EnergyCost != 0 {
+		b = append(b, `,"energy_cost":`...)
+		b = appendFloat(b, ev.EnergyCost)
+	}
+	if ev.SLACost != 0 {
+		b = append(b, `,"sla_cost":`...)
+		b = appendFloat(b, ev.SLACost)
+	}
+	if ev.ResourceCost != 0 {
+		b = append(b, `,"resource_cost":`...)
+		b = appendFloat(b, ev.ResourceCost)
+	}
+	if ev.StepCost != 0 {
+		b = append(b, `,"step_cost":`...)
+		b = appendFloat(b, ev.StepCost)
+	}
+	if ev.ActiveHosts != 0 {
+		b = append(b, `,"active_hosts":`...)
+		b = strconv.AppendInt(b, int64(ev.ActiveHosts), 10)
+	}
+	if ev.OverloadedHosts != 0 {
+		b = append(b, `,"overloaded_hosts":`...)
+		b = strconv.AppendInt(b, int64(ev.OverloadedHosts), 10)
+	}
+	if ev.FailedHosts != 0 {
+		b = append(b, `,"failed_hosts":`...)
+		b = strconv.AppendInt(b, int64(ev.FailedHosts), 10)
+	}
+	if len(ev.Woken) > 0 {
+		b = append(b, `,"woken":`...)
+		b = appendInts(b, ev.Woken)
+	}
+	if len(ev.Slept) > 0 {
+		b = append(b, `,"slept":`...)
+		b = appendInts(b, ev.Slept)
+	}
+	if ev.DecideNanos != 0 {
+		b = append(b, `,"decide_ns":`...)
+		b = strconv.AppendInt(b, ev.DecideNanos, 10)
+	}
+	return append(b, '}')
+}
+
+func appendCandidateJSON(b []byte, c *Candidate) []byte {
+	b = append(b, `{"vm":`...)
+	b = strconv.AppendInt(b, int64(c.VM), 10)
+	b = append(b, `,"reason":`...)
+	b = appendString(b, c.Reason)
+	b = append(b, `,"from":`...)
+	b = strconv.AppendInt(b, int64(c.From), 10)
+	b = append(b, `,"dest":`...)
+	b = strconv.AppendInt(b, int64(c.Dest), 10)
+	b = append(b, `,"feasible":`...)
+	b = strconv.AppendInt(b, int64(c.Feasible), 10)
+	b = append(b, `,"q_chosen":`...)
+	b = appendFloat(b, c.QChosen)
+	b = append(b, `,"q_best":`...)
+	b = appendFloat(b, c.QBest)
+	b = append(b, `,"q_stay":`...)
+	b = appendFloat(b, c.QStay)
+	return append(b, '}')
+}
+
+func appendMigrationsJSON(b []byte, ms []Migration) []byte {
+	for i := range ms {
+		m := &ms[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"vm":`...)
+		b = strconv.AppendInt(b, int64(m.VM), 10)
+		b = append(b, `,"from":`...)
+		b = strconv.AppendInt(b, int64(m.From), 10)
+		b = append(b, `,"dest":`...)
+		b = strconv.AppendInt(b, int64(m.Dest), 10)
+		if m.Reason != "" {
+			b = append(b, `,"reason":`...)
+			b = appendString(b, m.Reason)
+		}
+		if m.Seconds != 0 {
+			b = append(b, `,"seconds":`...)
+			b = appendFloat(b, m.Seconds)
+		}
+		b = append(b, '}')
+	}
+	return b
+}
+
+func appendInts(b []byte, xs []int) []byte {
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return append(b, ']')
+}
+
+// appendFloat writes the shortest decimal that round-trips to the same
+// float64 — deterministic and parseable by encoding/json.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendString writes a JSON string literal with the escaping subset the
+// trace vocabulary needs (quotes, backslashes, control bytes). Event
+// strings are policy names and fixed reason tokens, so the fast path is
+// the plain append.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\t':
+			b = append(b, '\\', 't')
+		case '\r':
+			b = append(b, '\\', 'r')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("trace: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Logger is a small leveled logger for operational messages, so daemon
+// chatter (restarts, checkpoints, shutdown) carries severities and stays
+// on stderr, cleanly separated from the structured event stream on its
+// own sink. A nil *Logger discards everything, mirroring the nil-Tracer
+// convention.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger writes messages at or above min to w (nil w means stderr).
+func NewLogger(w io.Writer, min Level) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether a message at l would be written.
+func (lg *Logger) Enabled(l Level) bool {
+	if lg == nil {
+		return false
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return l >= lg.min
+}
+
+// SetLevel changes the threshold at runtime.
+func (lg *Logger) SetLevel(l Level) {
+	if lg == nil {
+		return
+	}
+	lg.mu.Lock()
+	lg.min = l
+	lg.mu.Unlock()
+}
+
+func (lg *Logger) logf(l Level, format string, args ...any) {
+	if lg == nil {
+		return
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if l < lg.min {
+		return
+	}
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	fmt.Fprintf(lg.w, "%s %-5s %s\n", ts, l.String(), fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at LevelDebug.
+func (lg *Logger) Debugf(format string, args ...any) { lg.logf(LevelDebug, format, args...) }
+
+// Infof logs at LevelInfo.
+func (lg *Logger) Infof(format string, args ...any) { lg.logf(LevelInfo, format, args...) }
+
+// Warnf logs at LevelWarn.
+func (lg *Logger) Warnf(format string, args ...any) { lg.logf(LevelWarn, format, args...) }
+
+// Errorf logs at LevelError.
+func (lg *Logger) Errorf(format string, args ...any) { lg.logf(LevelError, format, args...) }

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// ring is a bounded buffer of the most recent encoded events. It stores
+// private copies of the encoded lines, so Tracer.buf can be reused
+// across Emit calls. Callers hold the Tracer mutex.
+type ring struct {
+	lines [][]byte
+	next  int
+	full  bool
+}
+
+func newRing(size int) *ring {
+	return &ring{lines: make([][]byte, size)}
+}
+
+// push stores a copy of one encoded line (trailing newline trimmed).
+func (r *ring) push(line []byte) {
+	line = bytes.TrimSuffix(line, []byte{'\n'})
+	slot := r.lines[r.next]
+	r.lines[r.next] = append(slot[:0], line...)
+	r.next++
+	if r.next == len(r.lines) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// len reports how many events the ring currently holds.
+func (r *ring) len() int {
+	if r.full {
+		return len(r.lines)
+	}
+	return r.next
+}
+
+// tail returns up to n of the most recent events, oldest first. The
+// returned slices are copies, safe to retain after the lock is released.
+func (r *ring) tail(n int) []json.RawMessage {
+	have := r.len()
+	if n <= 0 || n > have {
+		n = have
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]json.RawMessage, 0, n)
+	start := r.next - n
+	if r.full && start < 0 {
+		start += len(r.lines)
+	}
+	if start < 0 {
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		idx := (start + i) % len(r.lines)
+		out = append(out, append(json.RawMessage(nil), r.lines[idx]...))
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package trace
+
+import "time"
+
+// maxSpans bounds a SpanRecorder; the decide path has three phases, the
+// headroom is for future instrumentation.
+const maxSpans = 8
+
+// SpanRecorder measures consecutive phases of one operation with a
+// fixed-size backing array, so recording allocates nothing. Usage:
+//
+//	rec.Reset()
+//	… phase 1 …
+//	rec.Mark("project")
+//	… phase 2 …
+//	rec.Mark("sample")
+//	ev.Spans = rec.Spans()
+//
+// All methods are nil-safe: a nil *SpanRecorder ignores every call and
+// returns no spans, so call sites need no timing-enabled branches.
+type SpanRecorder struct {
+	last  time.Time
+	spans [maxSpans]Span
+	n     int
+}
+
+// Reset starts a new measurement at the current time.
+func (r *SpanRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.n = 0
+	r.last = time.Now()
+}
+
+// Mark closes the phase started by the previous Reset/Mark under the
+// given name.
+func (r *SpanRecorder) Mark(name string) {
+	if r == nil || r.n >= maxSpans {
+		return
+	}
+	now := time.Now()
+	r.spans[r.n] = Span{Name: name, Nanos: now.Sub(r.last).Nanoseconds()}
+	r.n++
+	r.last = now
+}
+
+// Spans returns the recorded phases; the slice aliases the recorder's
+// backing array and is valid until the next Reset.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans[:r.n]
+}

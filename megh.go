@@ -33,6 +33,7 @@ import (
 	"megh/internal/core"
 	"megh/internal/mdp"
 	"megh/internal/sim"
+	"megh/internal/trace"
 )
 
 // Core simulator vocabulary, re-exported.
@@ -93,3 +94,21 @@ func New(cfg Config) (*Learner, error) { return core.New(cfg) }
 func DefaultConfig(numVMs, numHosts int, seed int64) Config {
 	return core.DefaultConfig(numVMs, numHosts, seed)
 }
+
+// Structured decision tracing, re-exported from internal/trace.
+type (
+	// Tracer records one JSONL event per simulator step and per learner
+	// decision. Attach it to a SimConfig (Tracer field) and to a Learner
+	// (Trace method); a nil Tracer disables tracing at zero cost.
+	Tracer = trace.Tracer
+	// TraceOptions configures a Tracer's sink, ring size, and whether
+	// wall-clock timings are recorded (timings make traces nondeterministic
+	// across runs, so they are opt-in).
+	TraceOptions = trace.Options
+	// TraceEvent is one decoded trace event.
+	TraceEvent = trace.Event
+)
+
+// NewTracer builds a Tracer. The zero TraceOptions value keeps an
+// in-memory ring of recent events without writing anywhere.
+func NewTracer(o TraceOptions) (*Tracer, error) { return trace.New(o) }
