@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet fmt-check bench-trace
+.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-alloc-gate
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
@@ -9,9 +9,10 @@ verify:
 	$(GO) test ./...
 
 # Full gate: formatting, vet, the whole suite under the race detector,
-# and a short run of the trace-overhead benchmark (compare the disabled
-# sub-benchmark against no-tracer: they must match in ns/op and allocs/op).
-check: fmt-check vet race bench-trace
+# a short run of the trace-overhead benchmark (compare the disabled
+# sub-benchmark against no-tracer: they must match in ns/op and allocs/op),
+# and the allocation-regression gate on the untraced decide path.
+check: fmt-check vet race bench-trace bench-alloc-gate
 
 # gofmt -l lists files needing reformatting; any output fails the gate.
 fmt-check:
@@ -24,6 +25,24 @@ fmt-check:
 # builds and runs; full numbers need a longer -benchtime).
 bench-trace:
 	$(GO) test -run=- -bench=BenchmarkDecide -benchtime=100x ./internal/core/
+
+# Allocation-regression gate: the untraced decide path with no pending cost
+# must stay at exactly 0 allocs/op. Short (300 iterations) so `make check`
+# stays fast; benchjson fails the build on any regression.
+bench-alloc-gate:
+	$(GO) test -run=- -bench='BenchmarkDecide/no-tracer-nocost' -benchtime=300x -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -assert-zero-alloc BenchmarkDecide/no-tracer-nocost
+
+# Regenerate the tracked benchmark baseline. Decide benchmarks run a fixed
+# iteration count: the learner's Q-table densifies as updates accumulate, so
+# ns/op is only comparable across revisions at an identical iteration count.
+bench-json:
+	@{ $(GO) test -run=- -bench='BenchmarkDecide' -benchtime=10000x -benchmem ./internal/core/ ; \
+	   $(GO) test -run=- -bench='BenchmarkShermanMorrison' -benchmem ./internal/sparse/ ; \
+	   $(GO) test -run=- -bench='BenchmarkFigure6_Megh|BenchmarkTable2_Megh' -benchmem . ; } \
+		| $(GO) run ./cmd/benchjson -commit "$$(git rev-parse --short HEAD)" \
+			-note "Decide benchmarks use -benchtime=10000x (fixed iterations; see DESIGN.md Performance)" \
+			-o BENCH_megh.json
 
 build:
 	$(GO) build ./...

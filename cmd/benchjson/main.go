@@ -1,0 +1,201 @@
+// Command benchjson turns `go test -bench -benchmem` output into a tracked
+// machine-readable baseline.
+//
+// It reads benchmark text on stdin, parses every result line into
+// {name, iterations, ns/op, B/op, allocs/op, custom metrics}, and writes a
+// single JSON document. The repository keeps the result as BENCH_megh.json
+// (regenerate with `make bench-json`): committing it alongside performance
+// work gives every revision an auditable before/after record, and reviews
+// can diff the numbers like any other file.
+//
+// With -assert-zero-alloc, benchjson additionally fails (exit 1) unless the
+// named benchmarks report exactly 0 allocs/op — `make check` uses this as a
+// regression gate on the allocation-free decide path.
+//
+// Usage:
+//
+//	go test -run=- -bench=. -benchmem ./... | benchjson -commit $(git rev-parse --short HEAD) -o BENCH_megh.json
+//	go test -run=- -bench=Decide/no-tracer-nocost -benchmem ./internal/core | benchjson -assert-zero-alloc BenchmarkDecide/no-tracer-nocost
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op"`
+	AllocsPerOp float64            `json:"allocs_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is the BENCH_megh.json document.
+type File struct {
+	Schema     int      `json:"schema"`
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches a go test benchmark result: name, iteration count, then
+// tab-separated "<value> <unit>" metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// cpuSuffix strips the trailing GOMAXPROCS qualifier go test appends to
+// benchmark names (e.g. BenchmarkDecide/no-tracer-8 → BenchmarkDecide/no-tracer).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse consumes benchmark text and returns the parsed results plus the
+// "cpu:" header line, if present.
+func parse(r io.Reader) ([]Result, string, error) {
+	var results []Result
+	var cpu string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		res := Result{Name: cpuSuffix.ReplaceAllString(m[1], ""), Iterations: iters}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, "", fmt.Errorf("benchjson: odd metric fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("benchjson: bad metric value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsPerOp = val
+			case "MB/s":
+				fallthrough
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = val
+			}
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, cpu, nil
+}
+
+// assertZeroAlloc fails unless every named benchmark is present and reports
+// exactly zero allocations per operation.
+func assertZeroAlloc(results []Result, names []string) error {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, n := range names {
+		r, ok := byName[n]
+		if !ok {
+			return fmt.Errorf("benchjson: benchmark %q not found in input (have %d results)", n, len(results))
+		}
+		if r.AllocsPerOp != 0 {
+			return fmt.Errorf("benchjson: %s allocates %.0f allocs/op (%.0f B/op), want 0 — the allocation-free decide path regressed",
+				n, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	return nil
+}
+
+func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc string) error {
+	results, cpu, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results on stdin")
+	}
+	if zeroAlloc != "" {
+		var names []string
+		for _, n := range strings.Split(zeroAlloc, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if err := assertZeroAlloc(results, names); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchjson: zero-alloc gate passed for %s\n", zeroAlloc)
+		if outPath == "" {
+			return nil
+		}
+	}
+	doc := File{
+		Schema:     1,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		Note:       note,
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = out.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+	return nil
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit hash to record in the output")
+	outPath := flag.String("o", "", "output file (default or \"-\": stdout)")
+	note := flag.String("note", "", "free-form note recorded in the output")
+	zeroAlloc := flag.String("assert-zero-alloc", "",
+		"comma-separated benchmark names that must report 0 allocs/op; exit 1 otherwise")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *commit, *outPath, *note, *zeroAlloc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

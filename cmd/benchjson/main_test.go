@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: megh/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDecide/no-tracer-nocost-8         	   10000	      2648 ns/op	      29 B/op	       0 allocs/op
+BenchmarkDecide/no-tracer-8                	   10000	     50041 ns/op	     412 B/op	       1 allocs/op
+BenchmarkFigure6_Megh 	      20	  13039653 ns/op	         0.009982 largest_grid_decide_ms	 4498456 B/op	   12148 allocs/op
+PASS
+ok  	megh/internal/core	0.603s
+`
+
+func TestParse(t *testing.T) {
+	results, cpu, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	if results[0].Name != "BenchmarkDecide/no-tracer" {
+		t.Fatalf("first result %q", results[0].Name)
+	}
+	if results[1].Name != "BenchmarkDecide/no-tracer-nocost" {
+		t.Fatalf("second result %q", results[1].Name)
+	}
+	nocost := results[1]
+	if nocost.Iterations != 10000 || nocost.NsPerOp != 2648 || nocost.BytesPerOp != 29 || nocost.AllocsPerOp != 0 {
+		t.Fatalf("nocost parsed as %+v", nocost)
+	}
+	fig := results[2]
+	if fig.Name != "BenchmarkFigure6_Megh" {
+		t.Fatalf("third result %q", fig.Name)
+	}
+	if got := fig.Extra["largest_grid_decide_ms"]; got != 0.009982 {
+		t.Fatalf("custom metric = %v", got)
+	}
+}
+
+func TestAssertZeroAlloc(t *testing.T) {
+	results, _, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assertZeroAlloc(results, []string{"BenchmarkDecide/no-tracer-nocost"}); err != nil {
+		t.Fatalf("gate failed on zero-alloc benchmark: %v", err)
+	}
+	if err := assertZeroAlloc(results, []string{"BenchmarkDecide/no-tracer"}); err == nil {
+		t.Fatal("gate passed on allocating benchmark")
+	}
+	if err := assertZeroAlloc(results, []string{"BenchmarkMissing"}); err == nil {
+		t.Fatal("gate passed on missing benchmark")
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out, "abc1234", "-", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"commit": "abc1234"`, `"ns_op": 50041`, `"allocs_op": 0`, `"largest_grid_decide_ms": 0.009982`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\n"), &out, "", "-", "", ""); err == nil {
+		t.Fatal("empty benchmark input accepted")
+	}
+}

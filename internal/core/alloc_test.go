@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"megh/internal/sim"
+)
+
+// The untraced decide path is contractually allocation-free once the scratch
+// buffers have reached their high-water marks: a steady-state Decide with no
+// pending cost (so no Sherman–Morrison update, whose Q-table growth is the
+// one legitimate allocation source) must perform zero allocations.
+func TestDecideSteadyStateAllocationFree(t *testing.T) {
+	snap := tinySnapshot(t, 150, 100)
+	m, err := New(DefaultConfig(150, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up with the full production cycle (Decide + cost feedback) so
+	// every scratch buffer, Q-table row and θ entry the policy will touch
+	// has been materialised.
+	fb := sim.Feedback{StepCost: 0.5}
+	for i := 0; i < 2000; i++ {
+		m.Decide(snap)
+		m.Observe(&fb)
+	}
+	m.haveCost = false
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Decide(snap)
+		m.haveCost = false // keep the LSPI update out of the measured path
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced Decide with no pending cost allocated %v/op, want 0", allocs)
+	}
+}
+
+// With cost feedback flowing (the production path), allocations must stay
+// amortised: the only allocation source is Q-table/scratch growth, which
+// testing.AllocsPerRun's integer truncation reports as 0 when it happens
+// less than once per call on average.
+func TestDecideUpdatePathAllocationsAmortised(t *testing.T) {
+	snap := tinySnapshot(t, 150, 100)
+	m, err := New(DefaultConfig(150, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := sim.Feedback{StepCost: 0.5}
+	for i := 0; i < 2000; i++ {
+		m.Decide(snap)
+		m.Observe(&fb)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		m.Decide(snap)
+		m.Observe(&fb)
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state Decide+Observe averaged %v allocs/op, want ≤ 1 (amortised growth only)", allocs)
+	}
+}

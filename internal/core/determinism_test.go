@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"megh/internal/sim"
+	"megh/internal/trace"
+)
+
+const crossProcessChildEnv = "MEGH_TRACE_DETERMINISM_OUT"
+
+// TestCrossProcessTraceChild is not a test of its own: it is the child
+// half of TestSameSeedTracesAreByteIdenticalAcrossProcesses, active only
+// when the parent sets crossProcessChildEnv to an output path.
+func TestCrossProcessTraceChild(t *testing.T) {
+	out := os.Getenv(crossProcessChildEnv)
+	if out == "" {
+		t.Skip("child mode only (set by the cross-process determinism test)")
+	}
+	if err := os.WriteFile(out, deterministicTraceRun(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deterministicTraceRun executes the fixed same-seed scenario and returns
+// the raw trace bytes.
+func deterministicTraceRun(t *testing.T) []byte {
+	t.Helper()
+	cfg := tinyConfig(t, 14, 7, 0.55)
+	cfg.Steps = 50
+	var buf bytes.Buffer
+	tracer, err := trace.New(trace.Options{W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tracer
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(14, 7, 4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trace(tracer)
+	if _, err := s.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Same-seed runs must be byte-identical *across process restarts*, not just
+// within one process: every container iterates in sorted index order, so no
+// map-iteration nondeterminism (which is reseeded per process) can leak
+// into floating-point accumulation order. This re-runs the test binary
+// twice in child mode and compares the trace bytes, then checks the parent
+// process produces those same bytes too.
+func TestSameSeedTracesAreByteIdenticalAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	runChild := func(name string) []byte {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCrossProcessTraceChild$", "-test.count=1")
+		cmd.Env = append(os.Environ(), crossProcessChildEnv+"="+out)
+		if raw, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("child run failed: %v\n%s", err, raw)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := runChild("a.trace")
+	b := runChild("b.trace")
+	if len(a) == 0 {
+		t.Fatal("child produced no trace output")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed traces differ between two child processes")
+	}
+	if parent := deterministicTraceRun(t); !bytes.Equal(a, parent) {
+		t.Fatal("child trace differs from the parent process's same-seed trace")
+	}
+}

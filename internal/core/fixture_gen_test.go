@@ -1,0 +1,50 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"megh/internal/sim"
+)
+
+// TestGenerateCheckpointFixture regenerates the committed checkpoint fixture.
+// Run manually with MEGH_WRITE_FIXTURE=1; the committed file was produced by
+// the original map-backed sparse implementation and must not be regenerated
+// casually — it is the backward-compatibility anchor for LoadState.
+func TestGenerateCheckpointFixture(t *testing.T) {
+	if os.Getenv("MEGH_WRITE_FIXTURE") == "" {
+		t.Skip("set MEGH_WRITE_FIXTURE=1 to regenerate the checkpoint fixture")
+	}
+	cfg := tinyConfig(t, 12, 6, 0.5)
+	cfg.Steps = 60
+	for i := range cfg.Traces {
+		tr := make([]float64, cfg.Steps)
+		for s := range tr {
+			tr[s] = 0.15 + 0.7*float64((i+s)%6)/5
+		}
+		cfg.Traces[i] = tr
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(12, 6, 1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create("testdata/checkpoint_v1_mapbacked.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.SaveState(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixture written: temp=%g nnz=%d pending=%v", m.temp, m.b.NNZ(), m.pending)
+}

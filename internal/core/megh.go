@@ -104,8 +104,12 @@ type Megh struct {
 	b *sparse.Matrix
 	// z accumulates Σ φ_{a_t}·C_{t+1} (Algorithm 1 line 10).
 	z *sparse.Vector
-	// theta is θ = B·z, maintained incrementally (Algorithm 1 line 11).
-	theta *sparse.Vector
+	// theta is θ = B·z (Algorithm 1 line 11), maintained incrementally as
+	// a dense mirror: the Boltzmann inner loop in sampleDestination reads
+	// one Q value per (candidate, host) pair, so θ lookups are the single
+	// hottest read in the system — an array index instead of a sparse
+	// search. Size is d = N·M floats (a few MB at paper scale).
+	theta []float64
 
 	temp float64
 	rng  *rand.Rand
@@ -133,16 +137,23 @@ type Megh struct {
 	traceCands  []trace.Candidate
 	traceEv     trace.Event
 
-	// scratch state for per-step feasibility tracking and sampling,
-	// reused across steps to avoid per-decision allocation. hostRAM and
-	// hostMIPS hold each host's aggregate committed RAM and demanded
-	// MIPS including this step's already-chosen migrations, so
-	// feasibility checks are O(1) per destination.
+	// scratch state for per-step feasibility tracking, candidate
+	// selection, sampling and the LSPI update, reused across steps so an
+	// untraced Decide allocates nothing. hostRAM and hostMIPS hold each
+	// host's aggregate committed RAM and demanded MIPS including this
+	// step's already-chosen migrations, so feasibility checks are O(1)
+	// per destination.
 	hostRAM         []float64
 	hostMIPS        []float64
 	hostActive      []bool
 	feasibleScratch []int
 	qScratch        []float64
+	seenScratch     []bool          // candidate dedup, one flag per VM
+	candScratch     []candidate     // candidates() output
+	actionScratch   []int           // selectActions action indices
+	migScratch      []sim.Migration // Decide's returned migrations
+	pendingBuf      []int           // backing array for pending
+	rejectedScratch map[int]bool    // Observe's rejected-action set
 }
 
 var (
@@ -162,16 +173,17 @@ func New(cfg Config) (*Megh, error) {
 	// migration count (§5.2, Figure 7).
 	b.SetDropTolerance(1e-9 / float64(d))
 	return &Megh{
-		cfg:        cfg,
-		d:          d,
-		b:          b,
-		z:          sparse.NewVector(d),
-		theta:      sparse.NewVector(d),
-		temp:       cfg.Temp0,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		hostRAM:    make([]float64, cfg.NumHosts),
-		hostMIPS:   make([]float64, cfg.NumHosts),
-		hostActive: make([]bool, cfg.NumHosts),
+		cfg:         cfg,
+		d:           d,
+		b:           b,
+		z:           sparse.NewVector(d),
+		theta:       make([]float64, d),
+		temp:        cfg.Temp0,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		hostRAM:     make([]float64, cfg.NumHosts),
+		hostMIPS:    make([]float64, cfg.NumHosts),
+		hostActive:  make([]bool, cfg.NumHosts),
+		seenScratch: make([]bool, cfg.NumVMs),
 	}, nil
 }
 
@@ -233,7 +245,7 @@ func (m *Megh) NNZHistory() []int { return m.nnzHistory }
 
 // Q returns the learned cost-to-go estimate θᵀφ_a for an action.
 func (m *Megh) Q(a mdp.Action) float64 {
-	return m.theta.Get(a.Index(m.cfg.NumHosts))
+	return m.theta[a.Index(m.cfg.NumHosts)]
 }
 
 // Observe implements sim.FeedbackReceiver: it records the realised
@@ -248,7 +260,12 @@ func (m *Megh) Observe(fb *sim.Feedback) {
 	if len(fb.Rejected) == 0 || len(m.pending) == 0 {
 		return
 	}
-	rejected := make(map[int]bool, len(fb.Rejected))
+	if m.rejectedScratch == nil {
+		m.rejectedScratch = make(map[int]bool, len(fb.Rejected))
+	} else {
+		clear(m.rejectedScratch)
+	}
+	rejected := m.rejectedScratch
 	for _, mig := range fb.Rejected {
 		if mig.VM >= 0 && mig.VM < m.cfg.NumVMs && mig.Dest >= 0 && mig.Dest < m.cfg.NumHosts {
 			rejected[mig.VM*m.cfg.NumHosts+mig.Dest] = true
@@ -273,6 +290,11 @@ func (m *Megh) Observe(fb *sim.Feedback) {
 // Algorithm 1: select this step's actions with the current policy
 // (Algorithm 2), then complete the pending LSPI update for last step's
 // actions using the cost observed in between.
+//
+// The returned slice is scratch owned by the learner and is only valid
+// until the next Decide call; callers that retain migrations across steps
+// must copy them (the simulator consumes them within the step). With
+// tracing disabled the whole decide path is allocation-free.
 func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	if s.NumVMs() != m.cfg.NumVMs || s.NumHosts() != m.cfg.NumHosts {
 		panic(fmt.Sprintf("core: snapshot %d×%d does not match Megh config %d×%d",
@@ -319,7 +341,10 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	m.spans.Mark("update")
 	m.haveCost = false
 	if len(actions) > 0 {
-		m.pending = actions
+		// actions lives in actionScratch, which the next Decide reuses;
+		// pending needs its own backing so the copy survives the step.
+		m.pendingBuf = append(m.pendingBuf[:0], actions...)
+		m.pending = m.pendingBuf
 	}
 	// When a step produces no decisions, the previous actions stay
 	// pending: the configuration they created remains in effect, so
@@ -349,24 +374,31 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 //	B' = B − (B·u)(vᵀB)/den          u = φ_a, v = φ_a − γφ_b
 //	θ' = B'·(z + c·φ_a) = θ − (B·u)(vᵀθ)/den + c·col_a(B')
 //
-// A numerically singular update is skipped (the operator would lose
-// invertibility), matching the guarded inverse of §5.2.
+// B·u is column a of B and v has two non-zeros, so the whole transition runs
+// through the structure-exploiting ShermanMorrisonBasis kernel, and θ is
+// maintained from the column snapshots the kernel already took
+// (LastUpdateScaledCol / LastUpdateNewCol) — no vector allocations and no
+// extra column walks. A numerically singular update is skipped (the operator
+// would lose invertibility), matching the guarded inverse of §5.2.
 func (m *Megh) update(a, b int, c float64) {
-	u := sparse.Basis(m.d, a)
-	v := sparse.Basis(m.d, a)
-	v.Add(b, -m.cfg.Gamma)
-	bu := m.b.Col(a)
-	vTheta := m.theta.Get(a) - m.cfg.Gamma*m.theta.Get(b)
-	den, err := m.b.ShermanMorrison(u, v)
-	if err != nil {
+	vTheta := m.theta[a] - m.cfg.Gamma*m.theta[b]
+	if _, err := m.b.ShermanMorrisonBasis(a, b, m.cfg.Gamma); err != nil {
 		return
 	}
 	if vTheta != 0 {
-		m.theta.AXPY(-vTheta/den, bu)
+		// θ needs (B·u)/den with B from *before* the rank-1 update; the
+		// kernel snapshotted exactly that column, already scaled.
+		idx, val := m.b.LastUpdateScaledCol()
+		for k, i := range idx {
+			m.theta[i] -= vTheta * val[k]
+		}
 	}
 	m.z.Add(a, c)
 	if c != 0 {
-		m.theta.AXPY(c, m.b.Col(a))
+		idx, val := m.b.LastUpdateNewCol()
+		for k, i := range idx {
+			m.theta[i] += c * val[k]
+		}
 	}
 }
 
@@ -384,7 +416,8 @@ type candidate struct {
 func (c candidate) overload() bool { return c.reason == trace.ReasonOverload }
 
 // selectActions picks this step's candidate VMs and samples one action per
-// candidate from the Boltzmann distribution over the learned Q row.
+// candidate from the Boltzmann distribution over the learned Q row. The
+// returned slices are scratch reused by the next Decide.
 func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.Migration) {
 	maxMig := int(math.Ceil(m.cfg.MaxMigrationsFrac * float64(m.cfg.NumVMs)))
 	if maxMig < 1 {
@@ -398,6 +431,8 @@ func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.M
 		return nil, nil
 	}
 
+	actions = m.actionScratch[:0]
+	migrations = m.migScratch[:0]
 	migBudget := maxMig
 	for _, c := range candidates {
 		dest, act := m.sampleDestination(s, c)
@@ -410,6 +445,8 @@ func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.M
 			migBudget--
 		}
 	}
+	m.actionScratch = actions
+	m.migScratch = migrations
 	m.spans.Mark("sample")
 	return actions, migrations
 }
@@ -433,19 +470,16 @@ func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
 // (consolidation source, §3.1), and ExplorationCandidates uniform draws;
 // deduplicated and capped.
 func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
-	seen := make(map[int]bool)
-	var out []candidate
-	add := func(j int, reason string) {
-		if !seen[j] && len(out) < cap_ {
-			seen[j] = true
-			out = append(out, candidate{vm: j, reason: reason})
-		}
-	}
+	// seenScratch and candScratch are scratch reused across steps (a
+	// closure over locals here would heap-allocate every call); the result
+	// is valid until the next candidates call.
+	clear(m.seenScratch)
+	m.candScratch = m.candScratch[:0]
 	// Overloaded hosts: shed pressure, one decision per host per step so
 	// a batch does not overshoot below the threshold (an unresolved
 	// overload re-triggers next step). The heaviest VM is the decisive
 	// one to re-place.
-	for i := 0; i < s.NumHosts() && len(out) < cap_; i++ {
+	for i := 0; i < s.NumHosts() && len(m.candScratch) < cap_; i++ {
 		if !s.HostOverloaded(i) || len(s.HostVMs[i]) == 0 {
 			continue
 		}
@@ -455,7 +489,7 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 				heaviest, demand = j, s.VMMIPS[j]
 			}
 		}
-		add(heaviest, trace.ReasonOverload)
+		m.addCandidate(heaviest, trace.ReasonOverload, cap_)
 	}
 	// Most underloaded active host below the threshold: consolidation
 	// (may only target already-active hosts — never wake a machine to
@@ -470,15 +504,25 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 	}
 	if minHost >= 0 {
 		for _, j := range s.HostVMs[minHost] {
-			add(j, trace.ReasonUnderload)
+			m.addCandidate(j, trace.ReasonUnderload, cap_)
 		}
 	}
 	// An occasional exploration draw keeps the learner sampling the rest
 	// of the space.
-	if m.rng.Float64() < m.cfg.ExplorationRate && len(out) < cap_ {
-		add(m.rng.Intn(s.NumVMs()), trace.ReasonExploration)
+	if m.rng.Float64() < m.cfg.ExplorationRate && len(m.candScratch) < cap_ {
+		m.addCandidate(m.rng.Intn(s.NumVMs()), trace.ReasonExploration, cap_)
 	}
-	return out
+	return m.candScratch
+}
+
+// addCandidate appends VM j to the candidate scratch unless it is already
+// present or the cap is reached. A plain method (not a closure over locals)
+// so the untraced Decide path stays allocation-free.
+func (m *Megh) addCandidate(j int, reason string, cap_ int) {
+	if !m.seenScratch[j] && len(m.candScratch) < cap_ {
+		m.seenScratch[j] = true
+		m.candScratch = append(m.candScratch, candidate{vm: j, reason: reason})
+	}
 }
 
 // sampleDestination draws host k for VM j from the Boltzmann distribution
@@ -501,7 +545,7 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 			if k != cur && !m.fits(s, j, k, activeOnly) {
 				continue
 			}
-			q := m.theta.Get(base + k)
+			q := m.theta[base+k]
 			feasible = append(feasible, k)
 			qs = append(qs, q)
 			if q < minQ {
@@ -539,7 +583,7 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 		}
 	}
 	if m.tracer != nil {
-		stayQ := m.theta.Get(base + cur)
+		stayQ := m.theta[base+cur]
 		bestQ := minQ
 		if len(feasible) == 0 {
 			bestQ = stayQ
@@ -550,7 +594,7 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 			From:     cur,
 			Dest:     chosen,
 			Feasible: len(feasible),
-			QChosen:  m.theta.Get(base + chosen),
+			QChosen:  m.theta[base+chosen],
 			QBest:    bestQ,
 			QStay:    stayQ,
 		})
@@ -584,5 +628,16 @@ func (m *Megh) fits(s *sim.Snapshot, j, k int, activeOnly bool) bool {
 // DebugTriplets exposes B's materialised entries for diagnostics.
 func (m *Megh) DebugTriplets() []sparse.Triplet { return m.b.Triplets() }
 
-// DebugTheta exposes a copy of θ for diagnostics.
-func (m *Megh) DebugTheta() *sparse.Vector { return m.theta.Clone() }
+// DebugTheta exposes a sparse copy of θ for diagnostics.
+func (m *Megh) DebugTheta() *sparse.Vector { return thetaVector(m.theta) }
+
+// thetaVector converts the dense θ mirror into its sparse export form.
+func thetaVector(theta []float64) *sparse.Vector {
+	v := sparse.NewVector(len(theta))
+	for i, x := range theta {
+		if x != 0 {
+			v.Set(i, x)
+		}
+	}
+	return v
+}

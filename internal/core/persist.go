@@ -44,7 +44,7 @@ func (m *Megh) SaveState(w io.Writer) error {
 		Temp:       m.temp,
 		B:          m.b.State(),
 		Z:          m.z.State(),
-		Theta:      m.theta.State(),
+		Theta:      thetaVector(m.theta).State(),
 		Pending:    append([]int(nil), m.pending...),
 		StepCost:   m.stepCost,
 		HaveCost:   m.haveCost,
@@ -98,7 +98,7 @@ func LoadState(r io.Reader) (*Megh, error) {
 	m.temp = st.Temp
 	m.b = b
 	m.z = z
-	m.theta = theta
+	m.theta = theta.Dense()
 	m.pending = st.Pending
 	m.stepCost = st.StepCost
 	m.haveCost = st.HaveCost

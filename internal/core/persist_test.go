@@ -59,7 +59,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// θ must be identical entry-wise.
 	for i := 0; i < m.d; i++ {
-		if back.theta.Get(i) != m.theta.Get(i) {
+		if back.theta[i] != m.theta[i] {
 			t.Fatalf("θ[%d] differs after round-trip", i)
 		}
 	}

@@ -169,6 +169,28 @@ func BenchmarkDecide(b *testing.B) {
 		}
 		return tr
 	}
+	// The nocost variant never feeds a step cost back, so the LSPI update
+	// (the one legitimate allocation source: Q-table growth) stays out of
+	// the loop — this sub-benchmark must report 0 allocs/op, and `make
+	// check` gates on it.
+	b.Run("no-tracer-nocost", func(b *testing.B) {
+		m, err := New(DefaultConfig(nVMs, nHosts, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb := sim.Feedback{StepCost: 0.5}
+		for i := 0; i < 2000; i++ { // warm scratch and Q-table
+			m.Decide(snap)
+			m.Observe(&fb)
+		}
+		m.haveCost = false
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Decide(snap)
+			m.haveCost = false
+		}
+	})
 	b.Run("no-tracer", func(b *testing.B) { bench(b, nil, false) })
 	b.Run("disabled", func(b *testing.B) { bench(b, nil, true) })
 	b.Run("enabled", func(b *testing.B) { bench(b, newTracer(b, false), true) })

@@ -6,14 +6,60 @@ import (
 	"sort"
 )
 
-// Matrix is a square sparse matrix stored as a dictionary of keys with both
-// row-major and column-major indexes, plus an *implicit* scaled identity: a
+// span is one sorted sparse row: parallel index/value slices kept in
+// ascending index order. Gets are binary searches, inserts are amortised
+// memmoves, and iteration is deterministic.
+type span struct {
+	idx []int
+	val []float64
+}
+
+func (l *span) find(i int) (int, bool) {
+	p := sort.SearchInts(l.idx, i)
+	return p, p < len(l.idx) && l.idx[p] == i
+}
+
+func (l *span) insertAt(p, i int, x float64) {
+	l.idx = append(l.idx, 0)
+	copy(l.idx[p+1:], l.idx[p:])
+	l.idx[p] = i
+	l.val = append(l.val, 0)
+	copy(l.val[p+1:], l.val[p:])
+	l.val[p] = x
+}
+
+func (l *span) removeAt(p int) {
+	l.idx = append(l.idx[:p], l.idx[p+1:]...)
+	l.val = append(l.val[:p], l.val[p+1:]...)
+}
+
+func (l *span) reset() {
+	l.idx = l.idx[:0]
+	l.val = l.val[:0]
+}
+
+func (l *span) push(i int, x float64) {
+	l.idx = append(l.idx, i)
+	l.val = append(l.val, x)
+}
+
+// Matrix is a square sparse matrix stored as index-sorted slice-backed rows
+// plus a membership-only column index, with an *implicit* scaled identity: a
 // fresh Matrix of dimension d with initial diagonal value c behaves exactly
 // like c·I, but stores nothing until entries are written.
+//
+// Values live in the rows only; cols[j] lists (sorted) which rows have a
+// materialised entry in column j. A rank-1 update therefore rewrites each
+// touched row in place and adjusts the column index only for the few entries
+// that materialise or vanish, instead of mirroring every value write.
 //
 // This mirrors the B = (1/δ)·I initialisation of Megh (Algorithm 1, line 2):
 // the matrix starts as a huge scaled identity of which only the entries
 // touched by migrations are ever materialised.
+//
+// Every iteration over stored entries runs in ascending index order, so
+// floating-point accumulation order is fixed: two identical update sequences
+// produce bit-identical matrices, in any process.
 //
 // Matrix is not safe for concurrent mutation.
 type Matrix struct {
@@ -27,13 +73,33 @@ type Matrix struct {
 	// paper reports in Figure 7.
 	dropTol float64
 
-	rows map[int]map[int]float64
-	cols map[int]map[int]float64
-	// rowTouched marks rows whose implicit diagonal has been materialised
-	// (even if it was materialised to the same value). A row i not in this
-	// set still has the implicit entry (i,i)=diag.
-	diagDone map[int]bool
+	rows []span
+	cols [][]int
+	// diagSet[i] marks rows whose implicit diagonal has been materialised
+	// (even if it was materialised to the same value, or to zero — which
+	// stores nothing but still overrides the implicit entry). A row i with
+	// diagSet[i] == false still has the implicit entry (i,i) = diag.
+	diagSet []bool
+	// nnz counts materialised entries incrementally so NNZ() is O(1); it
+	// is read on every Megh.Decide (nnzHistory, metrics, trace).
+	nnz int
+
+	// Scratch buffers reused across ShermanMorrisonBasis calls so the hot
+	// update path allocates only when a buffer grows past its high-water
+	// mark.
+	colA      span // snapshot of column a, pre-scaled by 1/den
+	colARaw   span // snapshot of column a as stored (unscaled)
+	colANew   span // column a after the update (see LastUpdateNewCol)
+	rowA      span // snapshot of row a (implicit diagonal included)
+	rowB      span // snapshot of row b (implicit diagonal included)
+	vmRow     span // vᵀM = row_a − γ·row_b
+	colIns    []ij // entries materialised by the in-flight update
+	colDel    []ij // entries vanished during the in-flight update
+	diagFlips []int
 }
+
+// ij addresses one matrix cell.
+type ij struct{ i, j int }
 
 // NewMatrix returns a d × d matrix equal to diag·I, storing nothing yet.
 func NewMatrix(dim int, diag float64) *Matrix {
@@ -41,38 +107,30 @@ func NewMatrix(dim int, diag float64) *Matrix {
 		panic(fmt.Sprintf("sparse: negative matrix dimension %d", dim))
 	}
 	return &Matrix{
-		dim:      dim,
-		diag:     diag,
-		rows:     make(map[int]map[int]float64),
-		cols:     make(map[int]map[int]float64),
-		diagDone: make(map[int]bool),
+		dim:     dim,
+		diag:    diag,
+		rows:    make([]span, dim),
+		cols:    make([][]int, dim),
+		diagSet: make([]bool, dim),
 	}
 }
 
 // Dim returns the matrix dimension.
 func (m *Matrix) Dim() int { return m.dim }
 
-// NNZ returns the number of *materialised* non-zero entries. The implicit
-// identity is excluded: this is the quantity the paper plots in Figure 7
-// (growth of the Q-table with time), which starts near zero and grows with
-// the number of executed migrations.
-func (m *Matrix) NNZ() int {
-	n := 0
-	for _, r := range m.rows {
-		n += len(r)
-	}
-	return n
-}
+// NNZ returns the number of *materialised* non-zero entries, maintained
+// incrementally (O(1)). The implicit identity is excluded: this is the
+// quantity the paper plots in Figure 7 (growth of the Q-table with time),
+// which starts near zero and grows with the number of executed migrations.
+func (m *Matrix) NNZ() int { return m.nnz }
 
 // Get returns entry (i,j), including the implicit diagonal.
 func (m *Matrix) Get(i, j int) float64 {
 	m.check(i, j)
-	if r, ok := m.rows[i]; ok {
-		if x, ok := r[j]; ok {
-			return x
-		}
+	if p, ok := m.rows[i].find(j); ok {
+		return m.rows[i].val[p]
 	}
-	if i == j && !m.diagDone[i] {
+	if i == j && !m.diagSet[i] {
 		return m.diag
 	}
 	return 0
@@ -87,44 +145,51 @@ func (m *Matrix) SetDropTolerance(tol float64) {
 	m.dropTol = tol
 }
 
+// colInsert records row i as a member of column j.
+func (m *Matrix) colInsert(j, i int) {
+	c := m.cols[j]
+	p := sort.SearchInts(c, i)
+	c = append(c, 0)
+	copy(c[p+1:], c[p:])
+	c[p] = i
+	m.cols[j] = c
+}
+
+// colRemove drops row i from column j's membership.
+func (m *Matrix) colRemove(j, i int) {
+	c := m.cols[j]
+	p := sort.SearchInts(c, i)
+	m.cols[j] = append(c[:p], c[p+1:]...)
+}
+
 // Set assigns entry (i,j). Setting an off-diagonal entry to zero (or below
 // the drop tolerance) removes it; a diagonal entry set to zero stays
 // materialised as absent (overriding the implicit identity).
 func (m *Matrix) Set(i, j int, x float64) {
 	m.check(i, j)
 	if i == j {
-		m.diagDone[i] = true
+		m.diagSet[i] = true
 	}
 	if x < m.dropTol && x > -m.dropTol {
 		x = 0
 	}
+	r := &m.rows[i]
+	p, ok := r.find(j)
 	if x == 0 {
-		if r, ok := m.rows[i]; ok {
-			delete(r, j)
-			if len(r) == 0 {
-				delete(m.rows, i)
-			}
-		}
-		if c, ok := m.cols[j]; ok {
-			delete(c, i)
-			if len(c) == 0 {
-				delete(m.cols, j)
-			}
+		if ok {
+			r.removeAt(p)
+			m.colRemove(j, i)
+			m.nnz--
 		}
 		return
 	}
-	r, ok := m.rows[i]
-	if !ok {
-		r = make(map[int]float64)
-		m.rows[i] = r
+	if ok {
+		r.val[p] = x
+		return
 	}
-	r[j] = x
-	c, ok := m.cols[j]
-	if !ok {
-		c = make(map[int]float64)
-		m.cols[j] = c
-	}
-	c[i] = x
+	r.insertAt(p, j, x)
+	m.colInsert(j, i)
+	m.nnz++
 }
 
 // Add adds x to entry (i,j), respecting the implicit diagonal.
@@ -136,13 +201,8 @@ func (m *Matrix) Add(i, j int, x float64) {
 // diagonal entry if still in effect).
 func (m *Matrix) Row(i int) *Vector {
 	m.check(i, 0)
-	v := NewVector(m.dim)
-	for j, x := range m.rows[i] {
-		v.Set(j, x)
-	}
-	if !m.diagDone[i] {
-		v.Set(i, m.diag)
-	}
+	v := &Vector{dim: m.dim}
+	v.idx, v.val = m.appendRow(i, v.idx, v.val)
 	return v
 }
 
@@ -150,14 +210,53 @@ func (m *Matrix) Row(i int) *Vector {
 // diagonal entry if still in effect).
 func (m *Matrix) Col(j int) *Vector {
 	m.check(0, j)
-	v := NewVector(m.dim)
-	for i, x := range m.cols[j] {
-		v.Set(i, x)
-	}
-	if !m.diagDone[j] {
-		v.Set(j, m.diag)
-	}
+	v := &Vector{dim: m.dim}
+	v.idx, v.val = m.AppendCol(j, v.idx, v.val)
 	return v
+}
+
+// appendRow appends row i's entries — ascending column order, implicit
+// diagonal spliced in when still in effect — onto idx/val.
+func (m *Matrix) appendRow(i int, idx []int, val []float64) ([]int, []float64) {
+	r := &m.rows[i]
+	if m.diagSet[i] {
+		return append(idx, r.idx...), append(val, r.val...)
+	}
+	p := sort.SearchInts(r.idx, i)
+	idx = append(idx, r.idx[:p]...)
+	val = append(val, r.val[:p]...)
+	idx = append(idx, i)
+	val = append(val, m.diag)
+	idx = append(idx, r.idx[p:]...)
+	val = append(val, r.val[p:]...)
+	return idx, val
+}
+
+// AppendCol appends column j's entries — in ascending row order, with the
+// implicit diagonal spliced in when still in effect — onto idx/val and
+// returns the extended slices. Values are fetched from the owning rows
+// (binary search each), so the cost is O(nnz(col)·log nnz(row)). It lets
+// callers snapshot a column into reusable scratch buffers without allocating
+// a Vector (the Megh θ-update path does this twice per transition).
+func (m *Matrix) AppendCol(j int, idx []int, val []float64) ([]int, []float64) {
+	m.check(0, j)
+	implicit := !m.diagSet[j]
+	for _, i := range m.cols[j] {
+		if implicit && i > j {
+			idx = append(idx, j)
+			val = append(val, m.diag)
+			implicit = false
+		}
+		r := &m.rows[i]
+		p, _ := r.find(j)
+		idx = append(idx, i)
+		val = append(val, r.val[p])
+	}
+	if implicit {
+		idx = append(idx, j)
+		val = append(val, m.diag)
+	}
+	return idx, val
 }
 
 // MulVec returns M·x as a sparse vector. Cost is proportional to the support
@@ -169,10 +268,12 @@ func (m *Matrix) MulVec(x *Vector) *Vector {
 	}
 	out := NewVector(m.dim)
 	x.Range(func(j int, xj float64) bool {
-		for i, mij := range m.cols[j] {
-			out.Add(i, mij*xj)
+		for _, i := range m.cols[j] {
+			r := &m.rows[i]
+			p, _ := r.find(j)
+			out.Add(i, r.val[p]*xj)
 		}
-		if !m.diagDone[j] {
+		if !m.diagSet[j] {
 			out.Add(j, m.diag*xj)
 		}
 		return true
@@ -187,10 +288,11 @@ func (m *Matrix) VecMul(x *Vector) *Vector {
 	}
 	out := NewVector(m.dim)
 	x.Range(func(i int, xi float64) bool {
-		for j, mij := range m.rows[i] {
-			out.Add(j, xi*mij)
+		r := &m.rows[i]
+		for p, j := range r.idx {
+			out.Add(j, xi*r.val[p])
 		}
-		if !m.diagDone[i] {
+		if !m.diagSet[i] {
 			out.Add(i, xi*m.diag)
 		}
 		return true
@@ -211,8 +313,9 @@ var ErrSingularUpdate = fmt.Errorf("sparse: sherman-morrison denominator is nume
 // If the denominator is numerically zero the matrix is left unchanged and
 // ErrSingularUpdate is returned.
 //
-// Cost is O(nnz(Mu) · nnz(vᵀM)); for Megh u is a basis vector and v has two
-// non-zeros, so this is O(#migrations) amortised per step.
+// This is the fully general form, kept as the reference implementation; the
+// Megh hot path uses the structure-exploiting ShermanMorrisonBasis, which is
+// cross-checked against this one in tests.
 func (m *Matrix) ShermanMorrison(u, v *Vector) (float64, error) {
 	mu := m.MulVec(u) // column combination: M·u
 	vm := m.VecMul(v) // row combination: vᵀ·M
@@ -227,8 +330,8 @@ func (m *Matrix) ShermanMorrison(u, v *Vector) (float64, error) {
 		vm.Range(func(j int, b float64) bool {
 			d := ai * b
 			// Skip numerically negligible fill-in without touching
-			// the maps at all; an existing entry this small is kept
-			// only until its next write.
+			// the storage at all; an existing entry this small is
+			// kept only until its next write.
 			if d < tol && d > -tol {
 				return true
 			}
@@ -240,6 +343,230 @@ func (m *Matrix) ShermanMorrison(u, v *Vector) (float64, error) {
 	return den, nil
 }
 
+// ShermanMorrisonBasis applies the same rank-1 inverse update as
+// ShermanMorrison specialised to the shape every Megh transition has
+// (Eq. 10): u = e_a and v = e_a − γ·e_b. The structure collapses the two
+// matrix-vector products into reads:
+//
+//	M·u  = column a of M
+//	vᵀ·M = row_a − γ·row_b        (a merge of two sorted rows)
+//	den  = 1 + (vᵀM)[a]
+//
+// and the outer-product subtraction into in-place rewrites of the touched
+// rows: existing entries are updated where they sit, and only the few
+// entries that materialise or vanish pay a memmove plus a column-index
+// adjustment. Everything runs through scratch buffers owned by the matrix —
+// no Vector allocations and no generic dispatch. For a == b the update is
+// u = e_a, v = (1−γ)·e_a.
+//
+// A numerically zero denominator leaves the matrix unchanged and returns
+// ErrSingularUpdate, exactly as the general form does.
+func (m *Matrix) ShermanMorrisonBasis(a, b int, gamma float64) (float64, error) {
+	m.check(a, b)
+	vm := &m.vmRow
+	m.buildVMRow(a, b, gamma)
+
+	vma, vmaOK := 0.0, false
+	if p, ok := vm.find(a); ok {
+		vma, vmaOK = vm.val[p], true
+	}
+	den := 1 + vma
+	if math.Abs(den) < 1e-12 {
+		return den, ErrSingularUpdate
+	}
+	inv := 1 / den
+
+	// Snapshot column a — the update rewrites rows a and b, so both
+	// factors of the outer product must be taken before any mutation.
+	// Pre-scaling by 1/den makes every delta a single multiply. Exact
+	// zeros (an implicit diagonal of 0) are dropped, matching what the
+	// generic path's Vector accumulation stores. The unscaled snapshot is
+	// kept too: LastUpdateScaledCol/LastUpdateNewCol serve it back to the
+	// θ-maintenance path without re-walking the column index.
+	m.colARaw.reset()
+	m.colARaw.idx, m.colARaw.val = m.AppendCol(a, m.colARaw.idx, m.colARaw.val)
+	m.colA.reset()
+	for k, i := range m.colARaw.idx {
+		if x := m.colARaw.val[k] * inv; x != 0 {
+			m.colA.push(i, x)
+		}
+	}
+
+	// Row pass: for each i in col_a's support, row_i ← row_i − aᵢ·vm,
+	// in place. Structural changes (entries appearing or vanishing) are
+	// collected and applied to the column index afterwards.
+	m.colIns = m.colIns[:0]
+	m.colDel = m.colDel[:0]
+	m.diagFlips = m.diagFlips[:0]
+	for k, i := range m.colA.idx {
+		m.updateRowInPlace(i, m.colA.val[k], vm)
+	}
+	for _, e := range m.colDel {
+		m.colRemove(e.j, e.i)
+	}
+	for _, e := range m.colIns {
+		m.colInsert(e.j, e.i)
+	}
+	// Diagonal overrides flip only after the pass has read the original
+	// state for every row.
+	for _, i := range m.diagFlips {
+		m.diagSet[i] = true
+	}
+
+	// Reproduce column a's post-update values analytically: the row pass
+	// computed each entry (i,a) as old − aᵢ·vm[a] with aᵢ the pre-scaled
+	// snapshot value, so replaying the identical products (same operands,
+	// same skip/drop rules) yields bitwise-identical results without
+	// re-walking the column index.
+	m.colANew.reset()
+	for k, i := range m.colARaw.idx {
+		x := m.colARaw.val[k]
+		nv := x
+		if ai := x * inv; ai != 0 && vmaOK {
+			d := ai * vma
+			tol := m.dropTol
+			if !(d < tol && d > -tol) {
+				nv = x - d
+				if nv == 0 || (nv < tol && nv > -tol) {
+					continue
+				}
+			}
+		}
+		if nv != 0 {
+			m.colANew.push(i, nv)
+		}
+	}
+	return den, nil
+}
+
+// LastUpdateScaledCol returns column a of the matrix as it was immediately
+// before the last successful ShermanMorrisonBasis call, pre-scaled by
+// 1/den — i.e. the vector (M·u)/den the update subtracted a multiple of.
+// Exact zeros are omitted. The slices are scratch owned by the matrix,
+// valid only until the next update.
+func (m *Matrix) LastUpdateScaledCol() ([]int, []float64) {
+	return m.colA.idx, m.colA.val
+}
+
+// LastUpdateNewCol returns column a of the matrix as it is immediately
+// after the last successful ShermanMorrisonBasis call, bitwise identical to
+// the stored entries (exact zeros omitted). The slices are scratch owned by
+// the matrix, valid only until the next update.
+func (m *Matrix) LastUpdateNewCol() ([]int, []float64) {
+	return m.colANew.idx, m.colANew.val
+}
+
+// buildVMRow assembles vᵀM = row_a − γ·row_b (implicit diagonals included)
+// into m.vmRow, merging the two sorted rows; exact-zero results are skipped,
+// matching what the generic path's Add-based accumulation stores.
+func (m *Matrix) buildVMRow(a, b int, gamma float64) {
+	m.rowA.reset()
+	m.rowA.idx, m.rowA.val = m.appendRow(a, m.rowA.idx, m.rowA.val)
+	vm := &m.vmRow
+	vm.reset()
+	if a == b {
+		s := 1 - gamma
+		for p, j := range m.rowA.idx {
+			if x := s * m.rowA.val[p]; x != 0 {
+				vm.push(j, x)
+			}
+		}
+		return
+	}
+	// Materialised entries are never zero, but the spliced-in implicit
+	// diagonal can be when diag == 0; every push below guards against
+	// storing exact zeros.
+	m.rowB.reset()
+	m.rowB.idx, m.rowB.val = m.appendRow(b, m.rowB.idx, m.rowB.val)
+	ra, rb := &m.rowA, &m.rowB
+	p, q := 0, 0
+	for p < len(ra.idx) && q < len(rb.idx) {
+		switch {
+		case ra.idx[p] < rb.idx[q]:
+			if ra.val[p] != 0 {
+				vm.push(ra.idx[p], ra.val[p])
+			}
+			p++
+		case ra.idx[p] > rb.idx[q]:
+			if x := -gamma * rb.val[q]; x != 0 {
+				vm.push(rb.idx[q], x)
+			}
+			q++
+		default:
+			if x := ra.val[p] - gamma*rb.val[q]; x != 0 {
+				vm.push(ra.idx[p], x)
+			}
+			p++
+			q++
+		}
+	}
+	for ; p < len(ra.idx); p++ {
+		if ra.val[p] != 0 {
+			vm.push(ra.idx[p], ra.val[p])
+		}
+	}
+	for ; q < len(rb.idx); q++ {
+		if x := -gamma * rb.val[q]; x != 0 {
+			vm.push(rb.idx[q], x)
+		}
+	}
+}
+
+// updateRowInPlace applies row_i ← row_i − aᵢ·delta by walking the two
+// sorted supports in lockstep. Entries hit by a significant delta are
+// rewritten in place; a delta the tolerance deems negligible leaves the
+// entry untouched (exactly like the generic path); entries whose new value
+// is zero or below tolerance vanish; deltas landing on unmaterialised slots
+// (or the still-implicit diagonal) materialise new entries. Structural
+// changes are queued on m.colIns/m.colDel/m.diagFlips for the caller.
+func (m *Matrix) updateRowInPlace(i int, ai float64, delta *span) {
+	r := &m.rows[i]
+	tol := m.dropTol
+	ridx, rval := r.idx, r.val
+	didx, dval := delta.idx, delta.val
+	implicitDiag := !m.diagSet[i]
+	p := 0
+	for q := 0; q < len(didx); q++ {
+		d := ai * dval[q]
+		if d < tol && d > -tol {
+			continue // negligible fill-in: slot stays as it was
+		}
+		j := didx[q]
+		for p < len(ridx) && ridx[p] < j {
+			p++
+		}
+		if p < len(ridx) && ridx[p] == j {
+			nv := rval[p] - d
+			if nv == 0 || (nv < tol && nv > -tol) {
+				r.removeAt(p)
+				ridx, rval = r.idx, r.val
+				m.nnz--
+				m.colDel = append(m.colDel, ij{i, j})
+				continue
+			}
+			rval[p] = nv
+			p++
+			continue
+		}
+		// Delta lands on an unmaterialised slot (or the implicit
+		// diagonal).
+		old := 0.0
+		if j == i && implicitDiag {
+			old = m.diag
+			m.diagFlips = append(m.diagFlips, i)
+		}
+		nv := old - d
+		if nv == 0 || (nv < tol && nv > -tol) {
+			continue // result dropped: nothing materialises
+		}
+		r.insertAt(p, j, nv)
+		ridx, rval = r.idx, r.val
+		m.nnz++
+		m.colIns = append(m.colIns, ij{i, j})
+		p++ // step past the entry just inserted
+	}
+}
+
 // Triplet is one materialised matrix entry in (row, col, value) form — the
 // storage representation described in paper §5.2.
 type Triplet struct {
@@ -247,20 +574,16 @@ type Triplet struct {
 	Val      float64
 }
 
-// Triplets exports the materialised entries sorted by (row, col).
+// Triplets exports the materialised entries sorted by (row, col) — the
+// natural storage order, so no sorting pass is needed.
 func (m *Matrix) Triplets() []Triplet {
-	ts := make([]Triplet, 0, m.NNZ())
-	for i, r := range m.rows {
-		for j, x := range r {
-			ts = append(ts, Triplet{Row: i, Col: j, Val: x})
+	ts := make([]Triplet, 0, m.nnz)
+	for i := range m.rows {
+		r := &m.rows[i]
+		for p, j := range r.idx {
+			ts = append(ts, Triplet{Row: i, Col: j, Val: r.val[p]})
 		}
 	}
-	sort.Slice(ts, func(a, b int) bool {
-		if ts[a].Row != ts[b].Row {
-			return ts[a].Row < ts[b].Row
-		}
-		return ts[a].Col < ts[b].Col
-	})
 	return ts
 }
 
@@ -270,13 +593,12 @@ func (m *Matrix) Dense() [][]float64 {
 	d := make([][]float64, m.dim)
 	for i := range d {
 		d[i] = make([]float64, m.dim)
-		if !m.diagDone[i] {
+		if !m.diagSet[i] {
 			d[i][i] = m.diag
 		}
-	}
-	for i, r := range m.rows {
-		for j, x := range r {
-			d[i][j] = x
+		r := &m.rows[i]
+		for p, j := range r.idx {
+			d[i][j] = r.val[p]
 		}
 	}
 	return d

@@ -286,6 +286,9 @@ func TestNNZCountsMaterializedOnly(t *testing.T) {
 	}
 }
 
+// BenchmarkShermanMorrisonMeghShape measures the production update path:
+// the structure-exploiting basis kernel (u = e_a, v = e_a − γ·e_b) that
+// Megh.update drives once per completed transition.
 func BenchmarkShermanMorrisonMeghShape(b *testing.B) {
 	const dim = 1 << 16
 	m := NewMatrix(dim, 1.0/float64(dim))
@@ -293,6 +296,25 @@ func BenchmarkShermanMorrisonMeghShape(b *testing.B) {
 	// fill-in cascade makes each update progressively slower (that
 	// contrast is measured by BenchmarkAblationDropTolerance* at the
 	// repository root).
+	m.SetDropTolerance(1e-9 / float64(dim))
+	r := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, nb := r.Intn(dim), r.Intn(dim)
+		if _, err := m.ShermanMorrisonBasis(a, nb, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShermanMorrisonGeneric runs the same update sequence through the
+// fully general rank-1 path (basis vectors materialised, MulVec/VecMul
+// products, per-entry Add). The gap to BenchmarkShermanMorrisonMeghShape is
+// what the specialised kernel buys.
+func BenchmarkShermanMorrisonGeneric(b *testing.B) {
+	const dim = 1 << 16
+	m := NewMatrix(dim, 1.0/float64(dim))
 	m.SetDropTolerance(1e-9 / float64(dim))
 	r := rand.New(rand.NewSource(5))
 	b.ReportAllocs()

@@ -9,14 +9,14 @@ type VectorState struct {
 	Value []float64
 }
 
-// State exports the vector for persistence, indices sorted.
+// State exports the vector for persistence, indices sorted (the storage
+// order, so the export is a pair of copies).
 func (v *Vector) State() VectorState {
-	idx := v.Indices()
-	vals := make([]float64, len(idx))
-	for i, j := range idx {
-		vals[i] = v.Get(j)
+	return VectorState{
+		Dim:   v.dim,
+		Index: append([]int(nil), v.idx...),
+		Value: append([]float64(nil), v.val...),
 	}
-	return VectorState{Dim: v.dim, Index: idx, Value: vals}
 }
 
 // VectorFromState reconstructs a Vector. It rejects malformed states.
@@ -50,11 +50,14 @@ type MatrixState struct {
 	OverriddenDiag []int
 }
 
-// State exports the matrix for persistence.
+// State exports the matrix for persistence. OverriddenDiag is emitted in
+// ascending order, so two identical matrices serialise byte-identically.
 func (m *Matrix) State() MatrixState {
-	over := make([]int, 0, len(m.diagDone))
-	for i := range m.diagDone {
-		over = append(over, i)
+	var over []int
+	for i, set := range m.diagSet {
+		if set {
+			over = append(over, i)
+		}
 	}
 	return MatrixState{
 		Dim:            m.dim,
@@ -78,7 +81,7 @@ func MatrixFromState(st MatrixState) (*Matrix, error) {
 		if i < 0 || i >= st.Dim {
 			return nil, fmt.Errorf("sparse: overridden diagonal %d out of range [0,%d)", i, st.Dim)
 		}
-		m.diagDone[i] = true
+		m.diagSet[i] = true
 	}
 	for _, t := range st.Triplets {
 		if t.Row < 0 || t.Row >= st.Dim || t.Col < 0 || t.Col >= st.Dim {

@@ -1,13 +1,18 @@
 // Package sparse provides the sparse linear-algebra primitives used by the
-// Megh learner: sparse vectors, a dictionary-of-keys matrix with an implicit
-// scaled-identity initialisation, and an incremental Sherman–Morrison rank-1
-// inverse update.
+// Megh learner: sparse vectors, an index-sorted slice-backed matrix with an
+// implicit scaled-identity initialisation, and an incremental
+// Sherman–Morrison rank-1 inverse update.
 //
 // The package exists because Megh (Algorithm 1 of the paper) must maintain
 // B = T⁻¹ for a d × d operator where d = N·M can reach hundreds of thousands,
 // while only O(#migrations) entries ever deviate from the initial (1/δ)·I.
 // Storing only the deviations keeps every per-step operation proportional to
 // the number of migrations rather than to d² (paper §5.2).
+//
+// All containers iterate in ascending index order, so floating-point
+// accumulation order — and therefore every computed value — is identical
+// across runs and across processes. This is what makes same-seed simulation
+// traces byte-identical (see DESIGN.md, Performance).
 package sparse
 
 import (
@@ -16,11 +21,13 @@ import (
 	"strings"
 )
 
-// Vector is a sparse real vector of a fixed dimension. Only non-zero entries
-// are stored. The zero value is not usable; construct with NewVector.
+// Vector is a sparse real vector of a fixed dimension, stored as parallel
+// index/value slices kept sorted by index. Only non-zero entries are stored.
+// The zero value is not usable; construct with NewVector.
 type Vector struct {
 	dim int
-	nz  map[int]float64
+	idx []int
+	val []float64
 }
 
 // NewVector returns a zero vector of the given dimension.
@@ -29,7 +36,7 @@ func NewVector(dim int) *Vector {
 	if dim < 0 {
 		panic(fmt.Sprintf("sparse: negative vector dimension %d", dim))
 	}
-	return &Vector{dim: dim, nz: make(map[int]float64)}
+	return &Vector{dim: dim}
 }
 
 // Basis returns the standard basis vector e_i of the given dimension.
@@ -43,82 +50,163 @@ func Basis(dim, i int) *Vector {
 func (v *Vector) Dim() int { return v.dim }
 
 // NNZ returns the number of stored non-zero entries.
-func (v *Vector) NNZ() int { return len(v.nz) }
+func (v *Vector) NNZ() int { return len(v.idx) }
+
+// find returns the position of index i in the sorted index slice and whether
+// it is present; when absent, the position is the insertion point.
+func (v *Vector) find(i int) (int, bool) {
+	p := sort.SearchInts(v.idx, i)
+	return p, p < len(v.idx) && v.idx[p] == i
+}
 
 // Get returns the i-th entry. It panics if i is out of range.
 func (v *Vector) Get(i int) float64 {
 	v.check(i)
-	return v.nz[i]
+	if p, ok := v.find(i); ok {
+		return v.val[p]
+	}
+	return 0
 }
 
 // Set assigns the i-th entry. Setting an entry to exactly zero removes it
 // from the underlying storage.
 func (v *Vector) Set(i int, x float64) {
 	v.check(i)
-	if x == 0 {
-		delete(v.nz, i)
+	p, ok := v.find(i)
+	if ok {
+		if x == 0 {
+			v.removeAt(p)
+			return
+		}
+		v.val[p] = x
 		return
 	}
-	v.nz[i] = x
+	if x == 0 {
+		return
+	}
+	v.insertAt(p, i, x)
 }
 
 // Add adds x to the i-th entry.
 func (v *Vector) Add(i int, x float64) {
 	v.check(i)
-	nx := v.nz[i] + x
-	if nx == 0 {
-		delete(v.nz, i)
+	p, ok := v.find(i)
+	if ok {
+		nx := v.val[p] + x
+		if nx == 0 {
+			v.removeAt(p)
+			return
+		}
+		v.val[p] = nx
 		return
 	}
-	v.nz[i] = nx
+	if x == 0 {
+		return
+	}
+	v.insertAt(p, i, x)
+}
+
+func (v *Vector) insertAt(p, i int, x float64) {
+	v.idx = append(v.idx, 0)
+	copy(v.idx[p+1:], v.idx[p:])
+	v.idx[p] = i
+	v.val = append(v.val, 0)
+	copy(v.val[p+1:], v.val[p:])
+	v.val[p] = x
+}
+
+func (v *Vector) removeAt(p int) {
+	v.idx = append(v.idx[:p], v.idx[p+1:]...)
+	v.val = append(v.val[:p], v.val[p+1:]...)
 }
 
 // Scale multiplies every entry by a. Scaling by zero clears the vector.
 func (v *Vector) Scale(a float64) {
 	if a == 0 {
-		v.nz = make(map[int]float64)
+		v.idx = v.idx[:0]
+		v.val = v.val[:0]
 		return
 	}
-	for i := range v.nz {
-		v.nz[i] *= a
+	for p := range v.val {
+		v.val[p] *= a
 	}
 }
 
-// AXPY computes v ← v + a·u. It panics if dimensions differ.
+// AXPY computes v ← v + a·u by merging the two sorted supports. Entries that
+// cancel to exact zero are removed. It panics if dimensions differ.
 func (v *Vector) AXPY(a float64, u *Vector) {
 	if v.dim != u.dim {
 		panic(fmt.Sprintf("sparse: AXPY dimension mismatch %d vs %d", v.dim, u.dim))
 	}
-	if a == 0 {
+	if a == 0 || len(u.idx) == 0 {
 		return
 	}
-	for i, x := range u.nz {
-		v.Add(i, a*x)
+	ni := make([]int, 0, len(v.idx)+len(u.idx))
+	nv := make([]float64, 0, len(v.idx)+len(u.idx))
+	p, q := 0, 0
+	for p < len(v.idx) && q < len(u.idx) {
+		switch {
+		case v.idx[p] < u.idx[q]:
+			ni = append(ni, v.idx[p])
+			nv = append(nv, v.val[p])
+			p++
+		case v.idx[p] > u.idx[q]:
+			if x := a * u.val[q]; x != 0 {
+				ni = append(ni, u.idx[q])
+				nv = append(nv, x)
+			}
+			q++
+		default:
+			if x := v.val[p] + a*u.val[q]; x != 0 {
+				ni = append(ni, v.idx[p])
+				nv = append(nv, x)
+			}
+			p++
+			q++
+		}
 	}
+	for ; p < len(v.idx); p++ {
+		ni = append(ni, v.idx[p])
+		nv = append(nv, v.val[p])
+	}
+	for ; q < len(u.idx); q++ {
+		if x := a * u.val[q]; x != 0 {
+			ni = append(ni, u.idx[q])
+			nv = append(nv, x)
+		}
+	}
+	v.idx, v.val = ni, nv
 }
 
-// Dot returns the inner product ⟨v,u⟩. It panics if dimensions differ.
+// Dot returns the inner product ⟨v,u⟩, accumulated in ascending index order
+// via a merge walk over the two sorted supports. It panics if dimensions
+// differ.
 func (v *Vector) Dot(u *Vector) float64 {
 	if v.dim != u.dim {
 		panic(fmt.Sprintf("sparse: Dot dimension mismatch %d vs %d", v.dim, u.dim))
 	}
-	// Iterate over the smaller support.
-	a, b := v, u
-	if len(b.nz) < len(a.nz) {
-		a, b = b, a
-	}
 	var s float64
-	for i, x := range a.nz {
-		s += x * b.nz[i]
+	p, q := 0, 0
+	for p < len(v.idx) && q < len(u.idx) {
+		switch {
+		case v.idx[p] < u.idx[q]:
+			p++
+		case v.idx[p] > u.idx[q]:
+			q++
+		default:
+			s += v.val[p] * u.val[q]
+			p++
+			q++
+		}
 	}
 	return s
 }
 
-// Range calls f for every stored non-zero entry in unspecified order. If f
-// returns false, iteration stops. f must not mutate the vector.
+// Range calls f for every stored non-zero entry in ascending index order. If
+// f returns false, iteration stops. f must not mutate the vector.
 func (v *Vector) Range(f func(i int, x float64) bool) {
-	for i, x := range v.nz {
-		if !f(i, x) {
+	for p, i := range v.idx {
+		if !f(i, v.val[p]) {
 			return
 		}
 	}
@@ -126,36 +214,31 @@ func (v *Vector) Range(f func(i int, x float64) bool) {
 
 // Clone returns a deep copy of the vector.
 func (v *Vector) Clone() *Vector {
-	c := &Vector{dim: v.dim, nz: make(map[int]float64, len(v.nz))}
-	for i, x := range v.nz {
-		c.nz[i] = x
+	return &Vector{
+		dim: v.dim,
+		idx: append([]int(nil), v.idx...),
+		val: append([]float64(nil), v.val...),
 	}
-	return c
 }
 
 // Dense materialises the vector as a dense slice of length Dim().
 func (v *Vector) Dense() []float64 {
 	d := make([]float64, v.dim)
-	for i, x := range v.nz {
-		d[i] = x
+	for p, i := range v.idx {
+		d[i] = v.val[p]
 	}
 	return d
 }
 
 // Indices returns the sorted indices of the non-zero entries.
 func (v *Vector) Indices() []int {
-	idx := make([]int, 0, len(v.nz))
-	for i := range v.nz {
-		idx = append(idx, i)
-	}
-	sort.Ints(idx)
-	return idx
+	return append([]int(nil), v.idx...)
 }
 
 // MaxAbs returns the largest absolute entry value, or 0 for a zero vector.
 func (v *Vector) MaxAbs() float64 {
 	var m float64
-	for _, x := range v.nz {
+	for _, x := range v.val {
 		if x < 0 {
 			x = -x
 		}
@@ -170,11 +253,11 @@ func (v *Vector) MaxAbs() float64 {
 func (v *Vector) String() string {
 	var b strings.Builder
 	b.WriteByte('[')
-	for n, i := range v.Indices() {
-		if n > 0 {
+	for p, i := range v.idx {
+		if p > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%d:%g", i, v.nz[i])
+		fmt.Fprintf(&b, "%d:%g", i, v.val[p])
 	}
 	b.WriteByte(']')
 	return b.String()
