@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"megh/internal/sim"
+)
+
+func TestDecideReturnsAliasedScratch(t *testing.T) {
+	m, err := New(DefaultConfig(20, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := hotSnapshotForAlias(t)
+	var first []sim.Migration
+	for i := 0; i < 200; i++ {
+		out := m.Decide(snap)
+		if len(out) > 0 {
+			first = out
+			break
+		}
+	}
+	if first == nil {
+		t.Skip("no migrations produced")
+	}
+	for i := 0; i < 200; i++ {
+		out := m.Decide(snap)
+		if len(out) > 0 {
+			if &out[0] == &first[0] {
+				t.Logf("CONFIRMED: Decide reuses backing array %p across calls", unsafe.Pointer(&out[0]))
+				return
+			}
+			t.Fatalf("backing arrays differ: %p vs %p", &out[0], &first[0])
+		}
+	}
+}
+
+func hotSnapshotForAlias(t *testing.T) *sim.Snapshot {
+	t.Helper()
+	return tinySnapshotN(t, 20, 10)
+}

@@ -1,0 +1,28 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDecideConcurrentRaceRepro(t *testing.T) {
+	_, ts := newTestService(t, 20, 10, "")
+	req := testWorld(20, 10, true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(step int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, nil)
+			for i := 0; i < 30; i++ {
+				r := req
+				r.Step = i
+				if _, err := c.Decide(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
