@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-alloc-gate
+.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-alloc-gate fuzz-short cover
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
@@ -11,8 +11,9 @@ verify:
 # Full gate: formatting, vet, the whole suite under the race detector,
 # a short run of the trace-overhead benchmark (compare the disabled
 # sub-benchmark against no-tracer: they must match in ns/op and allocs/op),
-# and the allocation-regression gate on the untraced decide path.
-check: fmt-check vet race bench-trace bench-alloc-gate
+# the allocation-regression gate on the untraced decide path, and a short
+# fuzz pass over the five fuzz targets.
+check: fmt-check vet race bench-trace bench-alloc-gate fuzz-short
 
 # gofmt -l lists files needing reformatting; any output fails the gate.
 fmt-check:
@@ -43,6 +44,43 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -commit "$$(git rev-parse --short HEAD)" \
 			-note "Decide benchmarks use -benchtime=10000x (fixed iterations; see DESIGN.md Performance)" \
 			-o BENCH_megh.json
+
+# Short fuzz pass: each target gets FUZZTIME of coverage-guided input
+# generation on top of its committed seed corpus (testdata/fuzz/). Any
+# crasher is written back into testdata/fuzz/ and fails the run. Go runs
+# one fuzz target per invocation, hence one line per target.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run=- -fuzz=FuzzPlanetLabParse -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run=- -fuzz=FuzzGoogleParse -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run=- -fuzz=FuzzCheckpointLoad -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=- -fuzz=FuzzDecideRequestJSON -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -run=- -fuzz=FuzzShermanMorrisonBasis -fuzztime=$(FUZZTIME) ./internal/sparse/
+
+# Per-package coverage floors. Raise a floor when a package's coverage
+# improves for good; never lower one to make a regression pass.
+COVER_FLOORS = \
+	internal/core:90 \
+	internal/sim:92 \
+	internal/sparse:94 \
+	internal/workload:92 \
+	internal/server:90 \
+	internal/trace:92 \
+	internal/power:92 \
+	internal/invariant:85 \
+	internal/experiments:85
+
+# cover fails if any package above slips below its floor.
+cover:
+	@fail=0; \
+	for entry in $(COVER_FLOORS); do \
+		pkg=$${entry%%:*}; floor=$${entry##*:}; \
+		pct=$$($(GO) test -cover "./$$pkg/" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; fail=1; continue; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then echo "FAIL $$pkg: coverage $$pct% below floor $$floor%"; fail=1; \
+		else echo "ok   $$pkg: coverage $$pct% (floor $$floor%)"; fi; \
+	done; exit $$fail
 
 build:
 	$(GO) build ./...

@@ -4,13 +4,15 @@
 // Usage:
 //
 //	meghsim -dataset planetlab -policy Megh -hosts 100 -vms 132 \
-//	        -steps 288 -seed 1 [-csv] [-trace run.jsonl] [-metrics]
+//	        -steps 288 -seed 1 [-csv] [-trace run.jsonl] [-metrics] [-check]
 //
 // Observability: -trace FILE writes one structured JSONL event per step
 // (and per Megh decision) for offline analysis with meghtrace; two runs
 // with the same seed produce byte-identical trace files unless
 // -trace-timings adds wall-clock spans. -metrics dumps an end-of-run
 // Prometheus snapshot to stdout and -metrics-out FILE writes it to a file.
+// -check validates the conservation invariants of internal/invariant after
+// every step and aborts the run on the first violation.
 //
 // Registered policies: THR-MMT, IQR-MMT, MAD-MMT, LR-MMT, LRR-MMT, Megh,
 // MadVM, Q-learning.
@@ -24,6 +26,7 @@ import (
 	"strings"
 
 	"megh/internal/experiments"
+	"megh/internal/invariant"
 	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/topology"
@@ -80,6 +83,8 @@ func run() error {
 			"write one structured JSONL trace event per step to this file (analyse with meghtrace)")
 		traceTimings = flag.Bool("trace-timings", false,
 			"record wall-clock span timings in trace events (makes traces nondeterministic)")
+		check = flag.Bool("check", false,
+			"validate conservation invariants every step; the run aborts on the first violation")
 	)
 	flag.Parse()
 
@@ -114,7 +119,7 @@ func run() error {
 		}()
 	}
 	var mutate func(*sim.Config)
-	if *fatTree || len(failures) > 0 || reg != nil || tracer != nil {
+	if *fatTree || len(failures) > 0 || reg != nil || tracer != nil || *check {
 		var model sim.MigrationTimeModel
 		if *fatTree {
 			m, err := topology.NewMigrationModel(*hosts, 0.5)
@@ -130,6 +135,9 @@ func run() error {
 			c.Failures = failures
 			c.Metrics = reg
 			c.Tracer = tracer
+			if *check {
+				c.Checker = invariant.NewSimChecker()
+			}
 		}
 	}
 	var res *sim.Result

@@ -2,41 +2,96 @@ package core
 
 import (
 	"testing"
-	"unsafe"
 
 	"megh/internal/sim"
 )
 
-func TestDecideReturnsAliasedScratch(t *testing.T) {
+// TestDecideScratchContract pins the documented aliasing contract of the
+// zero-alloc hot path: Decide returns a learner-owned scratch slice that is
+// only valid until the next Decide/DecideAppend call. The test asserts the
+// scratch really is reused (if a future change silently starts allocating,
+// the alloc gate in alloc_test.go and this test both flag it) so callers are
+// never lulled into holding the slice across calls.
+func TestDecideScratchContract(t *testing.T) {
 	m, err := New(DefaultConfig(20, 10, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := hotSnapshotForAlias(t)
-	var first []sim.Migration
+	snap := tinySnapshotN(t, 20, 10)
+	first := decideUntilMigrations(t, m, snap)
 	for i := 0; i < 200; i++ {
 		out := m.Decide(snap)
 		if len(out) > 0 {
-			first = out
+			if &out[0] != &first[0] {
+				t.Fatalf("Decide no longer reuses its scratch buffer (%p vs %p); "+
+					"if that is intentional, update the documented contract and the alloc gate",
+					&out[0], &first[0])
+			}
+			return
+		}
+	}
+	t.Fatal("no second migration batch produced")
+}
+
+// TestDecideAppendReturnsOwnedCopy is the regression test for the
+// scratch-aliasing bug: callers that must hold decisions past the next
+// Decide (the HTTP server releasing its lock before encoding the response)
+// use DecideAppend, whose result must NOT alias the internal scratch and
+// must survive arbitrarily many later calls unchanged.
+func TestDecideAppendReturnsOwnedCopy(t *testing.T) {
+	m, err := New(DefaultConfig(20, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tinySnapshotN(t, 20, 10)
+
+	var owned []sim.Migration
+	for i := 0; i < 200 && len(owned) == 0; i++ {
+		owned = m.DecideAppend(nil, snap)
+	}
+	if len(owned) == 0 {
+		t.Fatal("no migrations produced")
+	}
+	saved := append([]sim.Migration(nil), owned...)
+
+	// Hammer the scratch path; the owned copy must not move underneath us.
+	for i := 0; i < 200; i++ {
+		if out := m.Decide(snap); len(out) > 0 && &out[0] == &owned[0] {
+			t.Fatalf("DecideAppend result aliases the Decide scratch buffer")
+		}
+	}
+	for i := range saved {
+		if owned[i] != saved[i] {
+			t.Fatalf("owned copy mutated by later Decide calls: index %d was %+v, now %+v",
+				i, saved[i], owned[i])
+		}
+	}
+
+	// Appending to a caller-provided slice must extend it in place.
+	prefix := make([]sim.Migration, 1, 1+len(saved))
+	prefix[0] = sim.Migration{VM: -1, Dest: -1}
+	var got []sim.Migration
+	for i := 0; i < 200; i++ {
+		got = m.DecideAppend(prefix, snap)
+		if len(got) > 1 {
 			break
 		}
 	}
-	if first == nil {
-		t.Skip("no migrations produced")
+	if len(got) <= 1 {
+		t.Fatal("no migrations appended to caller slice")
 	}
-	for i := 0; i < 200; i++ {
-		out := m.Decide(snap)
-		if len(out) > 0 {
-			if &out[0] == &first[0] {
-				t.Logf("CONFIRMED: Decide reuses backing array %p across calls", unsafe.Pointer(&out[0]))
-				return
-			}
-			t.Fatalf("backing arrays differ: %p vs %p", &out[0], &first[0])
-		}
+	if got[0] != prefix[0] {
+		t.Fatalf("DecideAppend clobbered the caller's prefix: %+v", got[0])
 	}
 }
 
-func hotSnapshotForAlias(t *testing.T) *sim.Snapshot {
+func decideUntilMigrations(t *testing.T, m *Megh, snap *sim.Snapshot) []sim.Migration {
 	t.Helper()
-	return tinySnapshotN(t, 20, 10)
+	for i := 0; i < 200; i++ {
+		if out := m.Decide(snap); len(out) > 0 {
+			return out
+		}
+	}
+	t.Fatal("no migrations produced")
+	return nil
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"megh/internal/sim"
+)
+
+// FuzzCheckpointLoad feeds arbitrary bytes to the checkpoint loader. It
+// must never panic, and anything it accepts must behave like a real
+// checkpoint: re-saving is possible and the save → load → save cycle is
+// byte-stable.
+func FuzzCheckpointLoad(f *testing.F) {
+	// Seed with a genuine checkpoint from a learner holding non-trivial
+	// state, plus a truncation of it and a couple of obvious non-gobs.
+	m, err := New(DefaultConfig(4, 3, 5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap := tinySnapshotN(f, 4, 3)
+	for i := 0; i < 8; i++ {
+		snap.Step = i
+		m.Decide(snap)
+		m.Observe(&sim.Feedback{Step: i, EnergyCost: 1, SLACost: 0.5, ResourceCost: 0.25, StepCost: 1.75})
+	}
+	var seed bytes.Buffer
+	if err := m.SaveState(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Resource guard, not an oracle: a syntactically valid gob can
+		// declare an absurd learner dimension, and LoadState would then
+		// legitimately allocate d = NumVMs·NumHosts floats. Keep the
+		// harness on small configurations; rejection paths don't care.
+		var st persistedState
+		if gob.NewDecoder(bytes.NewReader(data)).Decode(&st) == nil {
+			if st.Config.NumVMs > 64 || st.Config.NumHosts > 64 {
+				return
+			}
+		}
+		back, err := LoadState(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var first, second bytes.Buffer
+		if err := back.SaveState(&first); err != nil {
+			t.Fatalf("accepted checkpoint cannot re-save: %v", err)
+		}
+		again, err := LoadState(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("our own save does not load: %v", err)
+		}
+		if err := again.SaveState(&second); err != nil {
+			t.Fatalf("second save failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("save → load → save is not byte-stable for accepted input")
+		}
+	})
+}

@@ -22,7 +22,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"megh/internal/mdp"
@@ -71,8 +70,24 @@ func DefaultConfig(numVMs, numHosts int, seed int64) Config {
 	}
 }
 
-// Validate reports the first invalid parameter.
+// Validate reports the first invalid parameter. Non-finite parameters are
+// rejected explicitly: NaN compares false against every range bound, so
+// without this guard a corrupted checkpoint could smuggle NaN into the
+// learner and poison every Q value downstream.
 func (c Config) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"Gamma", c.Gamma}, {"Temp0", c.Temp0}, {"Epsilon", c.Epsilon},
+		{"MaxMigrationsFrac", c.MaxMigrationsFrac},
+		{"UnderloadThreshold", c.UnderloadThreshold},
+		{"ExplorationRate", c.ExplorationRate},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("core: %s %g is not finite", f.name, f.v)
+		}
+	}
 	switch {
 	case c.NumVMs <= 0:
 		return fmt.Errorf("core: NumVMs %d must be positive", c.NumVMs)
@@ -112,7 +127,7 @@ type Megh struct {
 	theta []float64
 
 	temp float64
-	rng  *rand.Rand
+	rng  *xrand
 
 	// pending holds the action indices chosen last step, awaiting the
 	// observed cost to complete their LSPI update.
@@ -122,6 +137,11 @@ type Megh struct {
 
 	// nnzHistory records b.NNZ() after each Decide — Figure 7's series.
 	nnzHistory []int
+
+	// updateHook, when non-nil, observes every LSPI transition the learner
+	// attempts (SetUpdateHook). The verification layer (internal/invariant)
+	// uses it to maintain an independent dense mirror of T and z.
+	updateHook func(a, b int, gamma, c float64, applied bool)
 
 	// metrics, when non-nil, mirrors the learner internals into an obs
 	// registry (Instrument).
@@ -179,7 +199,7 @@ func New(cfg Config) (*Megh, error) {
 		z:           sparse.NewVector(d),
 		theta:       make([]float64, d),
 		temp:        cfg.Temp0,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         newXrand(cfg.Seed),
 		hostRAM:     make([]float64, cfg.NumHosts),
 		hostMIPS:    make([]float64, cfg.NumHosts),
 		hostActive:  make([]bool, cfg.NumHosts),
@@ -232,6 +252,23 @@ func (m *Megh) Instrument(reg *obs.Registry) {
 // traced and an untraced run with the same seed make identical
 // decisions.
 func (m *Megh) Trace(t *trace.Tracer) { m.tracer = t }
+
+// SetUpdateHook installs an observer called once per attempted LSPI
+// transition, after the Sherman–Morrison update: a and b are the action
+// indices of Eq. 10, gamma the discount, c the cost share added to z[a],
+// and applied reports whether the update was applied (false when it was
+// skipped as numerically singular, in which case z and θ were left
+// untouched too). A nil hook (the default) costs one pointer test.
+//
+// The hook exists for the verification layer (internal/invariant), which
+// shadows the sparse recursion with an independent dense accumulation of T
+// and z and periodically checks ‖B·T − I‖∞.
+func (m *Megh) SetUpdateHook(h func(a, b int, gamma, c float64, applied bool)) {
+	m.updateHook = h
+}
+
+// Dim returns the projected space dimension d = N·M.
+func (m *Megh) Dim() int { return m.d }
 
 // Temperature returns the current Boltzmann temperature.
 func (m *Megh) Temperature() float64 { return m.temp }
@@ -292,9 +329,13 @@ func (m *Megh) Observe(fb *sim.Feedback) {
 // actions using the cost observed in between.
 //
 // The returned slice is scratch owned by the learner and is only valid
-// until the next Decide call; callers that retain migrations across steps
-// must copy them (the simulator consumes them within the step). With
-// tracing disabled the whole decide path is allocation-free.
+// until the next Decide or DecideAppend call; callers that retain
+// migrations past that point — in particular callers that release a lock
+// serialising learner access before reading the result — must copy them
+// first, or use DecideAppend, which returns caller-owned storage. The
+// simulator consumes the slice within the step, so the hot loop keeps the
+// zero-copy form. With tracing disabled the whole decide path is
+// allocation-free.
 func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	if s.NumVMs() != m.cfg.NumVMs || s.NumHosts() != m.cfg.NumHosts {
 		panic(fmt.Sprintf("core: snapshot %d×%d does not match Megh config %d×%d",
@@ -368,6 +409,16 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	return migrations
 }
 
+// DecideAppend runs exactly one Decide step but appends the chosen
+// migrations to dst and returns the extended slice, which the caller owns:
+// unlike Decide's scratch return, it remains valid across later decide
+// calls. When dst has spare capacity the call allocates nothing beyond what
+// Decide itself does, so callers that must retain results (e.g. the HTTP
+// service) can reuse one buffer across requests.
+func (m *Megh) DecideAppend(dst []sim.Migration, s *sim.Snapshot) []sim.Migration {
+	return append(dst, m.Decide(s)...)
+}
+
 // update applies one LSPI transition (a taken, b the policy's next action,
 // c the per-stage cost share), maintaining B, z and θ = B·z incrementally:
 //
@@ -383,6 +434,9 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 func (m *Megh) update(a, b int, c float64) {
 	vTheta := m.theta[a] - m.cfg.Gamma*m.theta[b]
 	if _, err := m.b.ShermanMorrisonBasis(a, b, m.cfg.Gamma); err != nil {
+		if m.updateHook != nil {
+			m.updateHook(a, b, m.cfg.Gamma, c, false)
+		}
 		return
 	}
 	if vTheta != 0 {
@@ -399,6 +453,9 @@ func (m *Megh) update(a, b int, c float64) {
 		for k, i := range idx {
 			m.theta[i] += c * val[k]
 		}
+	}
+	if m.updateHook != nil {
+		m.updateHook(a, b, m.cfg.Gamma, c, true)
 	}
 }
 
@@ -625,11 +682,22 @@ func (m *Megh) fits(s *sim.Snapshot, j, k int, activeOnly bool) bool {
 	return after <= s.OverloadThreshold
 }
 
-// DebugTriplets exposes B's materialised entries for diagnostics.
+// DebugTriplets exposes B's materialised entries for diagnostics. Rows the
+// learner never touched keep their implicit (1/δ)-diagonal, which this view
+// omits; use DebugB for the full matrix.
 func (m *Megh) DebugTriplets() []sparse.Triplet { return m.b.Triplets() }
+
+// DebugB materialises the full B matrix, implicit diagonal included, as a
+// dense row-major copy. O(d²) — intended for the invariant probes and tests
+// on small configurations.
+func (m *Megh) DebugB() [][]float64 { return m.b.Dense() }
 
 // DebugTheta exposes a sparse copy of θ for diagnostics.
 func (m *Megh) DebugTheta() *sparse.Vector { return thetaVector(m.theta) }
+
+// DebugZ exposes a copy of the accumulated cost vector z for diagnostics
+// and the invariant probes (θ must equal B·z at all times).
+func (m *Megh) DebugZ() *sparse.Vector { return m.z.Clone() }
 
 // thetaVector converts the dense θ mirror into its sparse export form.
 func thetaVector(theta []float64) *sparse.Vector {

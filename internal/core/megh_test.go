@@ -170,6 +170,16 @@ func TestTemperatureDecay(t *testing.T) {
 // consistent snapshot: nVMs VMs at low load on nHosts hosts.
 func tinySnapshot(t testing.TB, nVMs, nHosts int) *sim.Snapshot {
 	t.Helper()
+	return tinySnapshotN(t, nVMs, nHosts)
+}
+
+// tinySnapshotN is the sized-snapshot helper: a one-step simulated world of
+// nVMs lightly-loaded VMs round-robined over nHosts hosts. Every VM runs at
+// 10% utilisation, which leaves each host under the underload threshold and
+// guarantees the learner sees consolidation candidates — tests that need
+// Decide to actually produce migrations rely on that.
+func tinySnapshotN(t testing.TB, nVMs, nHosts int) *sim.Snapshot {
+	t.Helper()
 	var snap *sim.Snapshot
 	cfg := tinyConfig(t, nVMs, nHosts, 0.1)
 	s, err := sim.New(cfg)

@@ -4,7 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math/rand"
+	"math"
 
 	"megh/internal/sparse"
 )
@@ -14,9 +14,13 @@ const stateVersion = 1
 
 // persistedState is the gob image of a learner. Everything the LSPI
 // machinery needs survives a round-trip: B (the Q-table), z, θ, the
-// temperature, and the pending transition. The exploration RNG is reseeded
-// from its own next output, so a restored learner is deterministic but its
-// random stream differs from an uninterrupted run (documented on SaveState).
+// temperature, the pending transition, and the exploration RNG state —
+// exact to the bit, so a save/load pair continues the identical random
+// stream (the differential suite in internal/invariant depends on this).
+//
+// RngState holds the two xoroshiro128+ words. RngSeed is the legacy field:
+// checkpoints written before exact RNG persistence carry only a reseed
+// value there, which LoadState still honours when RngState is absent.
 type persistedState struct {
 	Version    int
 	Config     Config
@@ -29,15 +33,17 @@ type persistedState struct {
 	HaveCost   bool
 	NNZHistory []int
 	RngSeed    int64
+	RngState   []uint64
 }
 
 // SaveState serialises the learner so it can resume in a later process —
 // the Q-table persistence a production deployment of an as-you-go learner
-// needs across scheduler restarts. The exploration RNG position is not
-// preserved bit-exactly (a fresh seed drawn from the current stream is
-// stored), so a save/load pair is deterministic but not byte-identical to
-// an uninterrupted run.
+// needs across scheduler restarts. The exploration RNG state is preserved
+// bit-exactly and SaveState itself consumes no randomness, so saving is
+// side-effect-free and a checkpoint-restore-resumed run makes decisions
+// byte-identical to the uninterrupted run it forked from.
 func (m *Megh) SaveState(w io.Writer) error {
+	s0, s1 := m.rng.state()
 	st := persistedState{
 		Version:    stateVersion,
 		Config:     m.cfg,
@@ -49,7 +55,7 @@ func (m *Megh) SaveState(w io.Writer) error {
 		StepCost:   m.stepCost,
 		HaveCost:   m.haveCost,
 		NNZHistory: append([]int(nil), m.nnzHistory...),
-		RngSeed:    m.rng.Int63(),
+		RngState:   []uint64{s0, s1},
 	}
 	if err := gob.NewEncoder(w).Encode(st); err != nil {
 		return fmt.Errorf("core: encoding learner state: %w", err)
@@ -71,8 +77,11 @@ func LoadState(r io.Reader) (*Megh, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: restoring learner: %w", err)
 	}
-	if st.Temp <= 0 {
+	if st.Temp <= 0 || math.IsNaN(st.Temp) || math.IsInf(st.Temp, 0) {
 		return nil, fmt.Errorf("core: persisted temperature %g invalid", st.Temp)
+	}
+	if len(st.RngState) != 0 && len(st.RngState) != 2 {
+		return nil, fmt.Errorf("core: persisted RNG state has %d words, want 2", len(st.RngState))
 	}
 	b, err := sparse.MatrixFromState(st.B)
 	if err != nil {
@@ -103,6 +112,13 @@ func LoadState(r io.Reader) (*Megh, error) {
 	m.stepCost = st.StepCost
 	m.haveCost = st.HaveCost
 	m.nnzHistory = st.NNZHistory
-	m.rng = rand.New(rand.NewSource(st.RngSeed))
+	if len(st.RngState) == 2 {
+		m.rng.setState(st.RngState[0], st.RngState[1])
+	} else {
+		// Legacy checkpoint (pre exact-state persistence): reseed from the
+		// stored value. Deterministic, but the stream differs from the run
+		// that wrote the checkpoint — the historical behaviour.
+		m.rng.seed(st.RngSeed)
+	}
 	return m, nil
 }

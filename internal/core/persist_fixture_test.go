@@ -38,9 +38,10 @@ func TestLoadStateReadsMapBackedFixture(t *testing.T) {
 	if want := []int{64}; !reflect.DeepEqual(m.pending, want) {
 		t.Fatalf("decoded pending %v, want %v", m.pending, want)
 	}
-	// θ must be the dense mirror of the persisted sparse θ: re-saving and
-	// re-loading must reproduce identical state bytes (the fixture itself
-	// is not byte-stable because the RNG reseeds on save).
+	// Re-saving through the current implementation upgrades the checkpoint
+	// to the exact-RNG-state format, and from there on save → load → save
+	// must be byte-stable: SaveState consumes no randomness and persists the
+	// full generator state, so nothing can drift across the round-trip.
 	var first, second bytes.Buffer
 	if err := m.SaveState(&first); err != nil {
 		t.Fatal(err)
@@ -52,8 +53,9 @@ func TestLoadStateReadsMapBackedFixture(t *testing.T) {
 	if err := m2.SaveState(&second); err != nil {
 		t.Fatal(err)
 	}
-	// SaveState draws a fresh RNG seed each call, so the streams differ in
-	// exactly that field; compare the learners' observable state instead.
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("save → load → save is no longer byte-stable")
+	}
 	if m.temp != m2.temp || m.b.NNZ() != m2.b.NNZ() || !reflect.DeepEqual(m.pending, m2.pending) {
 		t.Fatal("round-trip through the slice-backed implementation changed learner state")
 	}
@@ -61,9 +63,6 @@ func TestLoadStateReadsMapBackedFixture(t *testing.T) {
 		if m.theta[i] != m2.theta[i] {
 			t.Fatalf("θ[%d] changed across round-trip: %v vs %v", i, m.theta[i], m2.theta[i])
 		}
-	}
-	if first.Len() == 0 || second.Len() == 0 {
-		t.Fatal("round-trip produced empty state")
 	}
 }
 

@@ -96,6 +96,54 @@ func TestRestoredLearnerKeepsServing(t *testing.T) {
 	}
 }
 
+// TestSaveLoadPreservesRNGStream pins the property the differential suite
+// in internal/invariant builds on: SaveState captures the exploration RNG
+// exactly and consumes nothing, so the original learner and a restored one
+// continue the identical random stream.
+func TestSaveLoadPreservesRNGStream(t *testing.T) {
+	m, _ := trainLearner(t)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if a, b := m.rng.Uint64(), back.rng.Uint64(); a != b {
+			t.Fatalf("RNG streams diverge at draw %d: %#x vs %#x", i, a, b)
+		}
+	}
+}
+
+// TestLoadStateLegacyReseed keeps the pre-RngState path alive: a checkpoint
+// carrying only the old RngSeed field must still load, deterministically
+// reseeded from that value.
+func TestLoadStateLegacyReseed(t *testing.T) {
+	m, _ := trainLearner(t)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st persistedState
+	newTestDecoder(t, buf.Bytes(), &st)
+	st.RngState = nil
+	st.RngSeed = 12345
+	var buf2 bytes.Buffer
+	encodeTestState(t, &buf2, st)
+	back, err := LoadState(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := newXrand(12345)
+	for i := 0; i < 16; i++ {
+		if a, b := back.rng.Uint64(), want.Uint64(); a != b {
+			t.Fatalf("legacy reseed stream wrong at draw %d", i)
+		}
+	}
+}
+
 func TestLoadStateRejectsGarbage(t *testing.T) {
 	if _, err := LoadState(bytes.NewReader([]byte("not gob"))); err == nil {
 		t.Fatal("expected decode error")
@@ -124,9 +172,12 @@ func TestLoadStateRejectsInvalidFields(t *testing.T) {
 	m, _ := trainLearner(t)
 	mutations := []func(*persistedState){
 		func(st *persistedState) { st.Temp = -1 },
+		func(st *persistedState) { st.Temp = math.NaN() },
+		func(st *persistedState) { st.Temp = math.Inf(1) },
 		func(st *persistedState) { st.Config.NumVMs = 0 },
 		func(st *persistedState) { st.Pending = []int{1 << 30} },
 		func(st *persistedState) { st.Z.Dim = 1 },
+		func(st *persistedState) { st.RngState = []uint64{1, 2, 3} },
 	}
 	for i, mutate := range mutations {
 		var buf bytes.Buffer

@@ -144,14 +144,18 @@ func (s Setup) Build() (sim.Config, error) {
 	if placement == 0 {
 		placement = sim.PlacementFirstFit
 	}
-	return sim.Config{
+	cfg := sim.Config{
 		Hosts:            hosts,
 		VMs:              vms,
 		Traces:           traces,
 		Steps:            s.Steps,
 		Seed:             s.Seed,
 		InitialPlacement: placement,
-	}, nil
+	}
+	if checkerFactory != nil {
+		cfg.Checker = checkerFactory()
+	}
+	return cfg, nil
 }
 
 // PolicyFactory builds a policy for an N-VM, M-host world.

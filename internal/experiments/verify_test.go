@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"megh/internal/invariant"
+	"megh/internal/sim"
+)
+
+// TestMain runs the entire experiments suite with the runtime invariant
+// checker attached to every simulation: each existing test doubles as a
+// zero-violation assertion, because a violated conservation law aborts the
+// run and fails whichever test triggered it.
+func TestMain(m *testing.M) {
+	SetCheckerFactory(func() sim.Checker { return invariant.NewSimChecker() })
+	os.Exit(m.Run())
+}
+
+// TestPaperSetupsRunClean drives the Megh policy through shrunk versions of
+// both paper-scale setups (Tables 2 and 3) under the checker. Zero
+// violations over full heterogeneous worlds — including first-fit placement,
+// host sleeps, and the real cost model — is the tentpole acceptance check.
+func TestPaperSetupsRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale verification run")
+	}
+	for _, tc := range []struct {
+		name  string
+		setup Setup
+	}{
+		{"planetlab", PaperPlanetLab(1).Scaled(8)},
+		{"google", PaperGoogle(1).Scaled(8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunPolicy(tc.setup, "Megh")
+			if err != nil {
+				t.Fatalf("checked paper-scale run failed: %v", err)
+			}
+			if len(res.Steps) != tc.setup.Steps {
+				t.Fatalf("run covered %d steps, want %d", len(res.Steps), tc.setup.Steps)
+			}
+			if res.TotalCost() <= 0 {
+				t.Fatal("degenerate run: non-positive total cost")
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package invariant
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"megh/internal/core"
+	"megh/internal/sim"
+	"megh/internal/trace"
+)
+
+// swapPolicy delegates every call to the current learner and, right before
+// deciding step swapAt, replaces the learner with a checkpoint-restored
+// clone of itself. If persistence is exact — state, θ mirror, and the
+// exploration RNG down to the bit — the swap is invisible.
+type swapPolicy struct {
+	t      *testing.T
+	cur    *core.Megh
+	swapAt int
+	tracer *trace.Tracer
+}
+
+func (p *swapPolicy) Name() string { return p.cur.Name() }
+
+func (p *swapPolicy) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.Step == p.swapAt {
+		var buf bytes.Buffer
+		if err := p.cur.SaveState(&buf); err != nil {
+			p.t.Fatal(err)
+		}
+		back, err := core.LoadState(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			p.t.Fatal(err)
+		}
+		if p.tracer != nil {
+			back.Trace(p.tracer)
+		}
+		p.cur = back
+	}
+	return p.cur.Decide(s)
+}
+
+func (p *swapPolicy) Observe(fb *sim.Feedback) { p.cur.Observe(fb) }
+
+// tracedRun executes the fixed scenario and returns the raw trace bytes;
+// swapAt < 0 runs uninterrupted, otherwise the learner is checkpointed and
+// restored mid-run.
+func tracedRun(t *testing.T, swapAt int) []byte {
+	t.Helper()
+	const nVMs, nHosts, steps = 10, 5, 60
+	cfg := worldConfig(t, nVMs, nHosts, steps, 9)
+	var buf bytes.Buffer
+	tracer, err := trace.New(trace.Options{W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tracer
+	cfg.Checker = NewSimChecker()
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.DefaultConfig(nVMs, nHosts, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trace(tracer)
+	var p sim.Policy = m
+	if swapAt >= 0 {
+		p = &swapPolicy{t: t, cur: m, swapAt: swapAt, tracer: tracer}
+	}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointResumeIsByteIdentical is the differential oracle for the
+// persistence path: a run whose learner is checkpointed and restored
+// mid-stream must emit a trace byte-identical to the uninterrupted run.
+// Anything the checkpoint forgets — a θ entry, the temperature, one RNG
+// draw — shows up as a diverging decision and different trace bytes.
+func TestCheckpointResumeIsByteIdentical(t *testing.T) {
+	base := tracedRun(t, -1)
+	for _, swapAt := range []int{1, 30, 59} {
+		resumed := tracedRun(t, swapAt)
+		if !bytes.Equal(base, resumed) {
+			t.Fatalf("trace diverges when checkpoint-restoring at step %d "+
+				"(%d vs %d bytes)", swapAt, len(base), len(resumed))
+		}
+	}
+}
+
+// recordingPolicy wraps a learner and keeps a per-step copy of the
+// migrations the environment actually executed.
+type recordingPolicy struct {
+	inner    sim.Policy
+	executed [][]sim.Migration
+}
+
+func (p *recordingPolicy) Name() string                           { return p.inner.Name() }
+func (p *recordingPolicy) Decide(s *sim.Snapshot) []sim.Migration { return p.inner.Decide(s) }
+
+func (p *recordingPolicy) Observe(fb *sim.Feedback) {
+	p.executed = append(p.executed, append([]sim.Migration(nil), fb.Executed...))
+	if r, ok := p.inner.(sim.FeedbackReceiver); ok {
+		r.Observe(fb)
+	}
+}
+
+// replayPolicy re-issues a recorded migration schedule, relabeled through a
+// host permutation.
+type replayPolicy struct {
+	schedule [][]sim.Migration
+	perm     []int
+	scratch  []sim.Migration
+}
+
+func (p *replayPolicy) Name() string { return "replay" }
+
+func (p *replayPolicy) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.Step >= len(p.schedule) {
+		return nil
+	}
+	p.scratch = p.scratch[:0]
+	for _, m := range p.schedule[s.Step] {
+		p.scratch = append(p.scratch, sim.Migration{VM: m.VM, Dest: p.perm[m.Dest]})
+	}
+	return p.scratch
+}
+
+// TestHostRelabelingPreservesCost is the metamorphic half of the suite:
+// host indices are arbitrary labels, so permuting them — specs, initial
+// assignment, and every migration destination — must leave each step's
+// migration/activity counts identical and the total cost unchanged up to
+// floating-point summation order.
+func TestHostRelabelingPreservesCost(t *testing.T) {
+	const nVMs, nHosts, steps = 12, 6, 80
+	cfg := worldConfig(t, nVMs, nHosts, steps, 13)
+
+	// Pin the initial assignment explicitly so the permuted run can start
+	// from exactly the relabeled world.
+	assign := make([]int, nVMs)
+	for j := range assign {
+		assign[j] = j % nHosts
+	}
+	cfg.InitialPlacement = sim.PlacementExplicit
+	cfg.InitialAssignment = assign
+	cfg.Checker = NewSimChecker()
+
+	s1, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.DefaultConfig(nVMs, nHosts, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingPolicy{inner: m}
+	res1, err := s1.Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var migrations int
+	for _, step := range rec.executed {
+		migrations += len(step)
+	}
+	if migrations == 0 {
+		t.Fatal("scenario produced no migrations; relabeling test is vacuous")
+	}
+
+	// σ: a fixed rotation — a derangement for nHosts > 1, so every host
+	// really changes label.
+	perm := make([]int, nHosts)
+	for i := range perm {
+		perm[i] = (i + 1) % nHosts
+	}
+	cfg2 := cfg
+	cfg2.Hosts = make([]sim.HostSpec, nHosts)
+	for i, h := range cfg.Hosts {
+		cfg2.Hosts[perm[i]] = h
+	}
+	cfg2.InitialAssignment = make([]int, nVMs)
+	for j, h := range assign {
+		cfg2.InitialAssignment[j] = perm[h]
+	}
+	cfg2.Checker = NewSimChecker()
+
+	s2, err := sim.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run(&replayPolicy{schedule: rec.executed, perm: perm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res1.Steps) != len(res2.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(res1.Steps), len(res2.Steps))
+	}
+	for i := range res1.Steps {
+		a, b := res1.Steps[i], res2.Steps[i]
+		if a.Migrations != b.Migrations || a.Rejected != b.Rejected {
+			t.Fatalf("step %d: migrations %d/%d rejected %d/%d diverge under relabeling",
+				i, a.Migrations, b.Migrations, a.Rejected, b.Rejected)
+		}
+		if a.ActiveHosts != b.ActiveHosts || a.OverloadedHosts != b.OverloadedHosts {
+			t.Fatalf("step %d: active %d/%d overloaded %d/%d diverge under relabeling",
+				i, a.ActiveHosts, b.ActiveHosts, a.OverloadedHosts, b.OverloadedHosts)
+		}
+		if !costClose(a.EnergyCost, b.EnergyCost) || !costClose(a.SLACost, b.SLACost) ||
+			!costClose(a.ResourceCost, b.ResourceCost) {
+			t.Fatalf("step %d: cost decomposition diverges under relabeling: %+v vs %+v", i, a, b)
+		}
+	}
+	if c1, c2 := res1.TotalCost(), res2.TotalCost(); !costClose(c1, c2) {
+		t.Fatalf("total cost changed under host relabeling: %g vs %g (Δ %g)", c1, c2, c1-c2)
+	}
+}
+
+// costClose compares costs up to the tiny drift FP summation-order changes
+// introduce when host sums run in a permuted order.
+func costClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -20,6 +20,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"megh/internal/power"
 	"megh/internal/sim"
@@ -121,22 +122,35 @@ func (r *StateRequest) Validate() error {
 		return fmt.Errorf("server: negative step %d", r.Step)
 	}
 	for i, h := range r.Hosts {
-		if h.MIPS <= 0 || h.RAMMB <= 0 {
-			return fmt.Errorf("server: host %d has non-positive capacity", i)
+		if !finitePositive(h.MIPS) || !finitePositive(h.RAMMB) {
+			return fmt.Errorf("server: host %d has invalid capacity", i)
+		}
+		if math.IsNaN(h.BandwidthMbps) || math.IsInf(h.BandwidthMbps, 0) || h.BandwidthMbps < 0 {
+			return fmt.Errorf("server: host %d has invalid bandwidth %g", i, h.BandwidthMbps)
 		}
 	}
 	for j, v := range r.VMs {
 		if v.Host < 0 || v.Host >= len(r.Hosts) {
 			return fmt.Errorf("server: VM %d placed on unknown host %d", j, v.Host)
 		}
-		if v.MIPS <= 0 || v.RAMMB <= 0 {
-			return fmt.Errorf("server: VM %d has non-positive resources", j)
+		if !finitePositive(v.MIPS) || !finitePositive(v.RAMMB) {
+			return fmt.Errorf("server: VM %d has invalid resources", j)
 		}
-		if v.Utilization < 0 || v.Utilization > 1 {
+		if math.IsNaN(v.BandwidthMbps) || math.IsInf(v.BandwidthMbps, 0) || v.BandwidthMbps < 0 {
+			return fmt.Errorf("server: VM %d has invalid bandwidth %g", j, v.BandwidthMbps)
+		}
+		// NaN fails ordered comparisons in both directions, so the range
+		// check alone would wave it through — reject non-finite explicitly.
+		if math.IsNaN(v.Utilization) || v.Utilization < 0 || v.Utilization > 1 {
 			return fmt.Errorf("server: VM %d utilization %g out of [0,1]", j, v.Utilization)
 		}
 	}
 	return nil
+}
+
+// finitePositive reports whether v is a finite value > 0.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
 }
 
 // snapshot converts the request into the read-only view the policies

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzDecideRequestJSON drives the decide ingress path — JSON decode,
+// Validate, snapshot conversion — with arbitrary bytes. Nothing may panic,
+// and any request Validate accepts must convert into a structurally sound
+// snapshot: placement bijection intact, utilizations finite, MIPS demand
+// consistent. This is the boundary a hostile or buggy VMM client hits.
+func FuzzDecideRequestJSON(f *testing.F) {
+	valid, err := json.Marshal(testWorld(3, 2, true))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"step":0,"hosts":[{"mips":4000,"ram_mb":8192}],"vms":[{"host":0,"utilization":0.5,"mips":1000,"ram_mb":512}]}`))
+	f.Add([]byte(`{"step":-1,"hosts":[],"vms":[]}`))
+	f.Add([]byte(`{"vms":[{"host":9}]}`))
+	f.Add([]byte(`{"hosts":[{"mips":1e309}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req StateRequest
+		if json.Unmarshal(data, &req) != nil {
+			return
+		}
+		// Resource guard: JSON can declare arbitrarily many hosts/VMs;
+		// conversion is linear but keep the harness snappy.
+		if len(req.Hosts) > 256 || len(req.VMs) > 256 {
+			return
+		}
+		if req.Validate() != nil {
+			return
+		}
+		snap := req.snapshot(0.7, 300)
+		if len(snap.HostVMs) != len(req.Hosts) || len(snap.VMHost) != len(req.VMs) {
+			t.Fatalf("snapshot dims %d×%d, request %d×%d",
+				len(snap.HostVMs), len(snap.VMHost), len(req.Hosts), len(req.VMs))
+		}
+		seen := make([]bool, len(req.VMs))
+		for h, vms := range snap.HostVMs {
+			for _, j := range vms {
+				if j < 0 || j >= len(req.VMs) || seen[j] {
+					t.Fatalf("host %d lists VM %d out of range or twice", h, j)
+				}
+				seen[j] = true
+				if snap.VMHost[j] != h {
+					t.Fatalf("VM %d in host %d's list but VMHost says %d", j, h, snap.VMHost[j])
+				}
+			}
+		}
+		for j, ok := range seen {
+			if !ok {
+				t.Fatalf("VM %d missing from every host list", j)
+			}
+		}
+		for i, u := range snap.HostUtil {
+			if math.IsNaN(u) || math.IsInf(u, 0) || u < 0 {
+				t.Fatalf("host %d utilization %g from validated request", i, u)
+			}
+		}
+		for j, mips := range snap.VMMIPS {
+			if math.IsNaN(mips) || math.IsInf(mips, 0) || mips < 0 {
+				t.Fatalf("VM %d demand %g MIPS from validated request", j, mips)
+			}
+		}
+	})
+}

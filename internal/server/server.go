@@ -225,17 +225,21 @@ func (s *Service) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := req.snapshot(s.cfg.OverloadThreshold, s.cfg.StepSeconds)
 
+	// Decide returns the learner's scratch buffer, valid only until the next
+	// Decide — so the response copy MUST be built before releasing s.mu, or a
+	// concurrent request overwrites the decisions mid-encoding (the bug
+	// TestDecideAppendReturnsOwnedCopy pins on the core side).
 	s.mu.Lock()
 	migs := s.learner.Decide(snap)
+	decisions := make([]MigrationDecision, 0, len(migs))
+	for _, m := range migs {
+		decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
+	}
 	s.decisions++
 	s.lastStep = req.Step
 	s.mu.Unlock()
 
-	resp := DecideResponse{Step: req.Step, Migrations: make([]MigrationDecision, 0, len(migs))}
-	for _, m := range migs {
-		resp.Migrations = append(resp.Migrations, MigrationDecision{VM: m.VM, Dest: m.Dest})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, DecideResponse{Step: req.Step, Migrations: decisions})
 }
 
 func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"megh/internal/workload"
+)
+
+// TestExplicitPlacement pins the PlacementExplicit contract: the assignment
+// is honoured VM for VM, and supplying InitialAssignment alone auto-selects
+// the mode.
+func TestExplicitPlacement(t *testing.T) {
+	traces := []workload.Trace{{0.5, 0.5}, {0.5, 0.5}}
+	cfg := testConfig(t, traces)
+	cfg.InitialPlacement = 0 // auto-select from the assignment
+	cfg.InitialAssignment = []int{2, 0}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	res, err := s.Run(&snapGrabberPolicy{onFirst: func(snap *Snapshot) {
+		got = append([]int(nil), snap.VMHost...)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("ran %d steps", len(res.Steps))
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("initial placement %v, want [2 0]", got)
+	}
+}
+
+// snapGrabberPolicy observes the first snapshot and migrates nothing.
+type snapGrabberPolicy struct {
+	onFirst func(*Snapshot)
+	seen    bool
+}
+
+func (p *snapGrabberPolicy) Name() string { return "grab" }
+
+func (p *snapGrabberPolicy) Decide(snap *Snapshot) []Migration {
+	if !p.seen {
+		p.seen = true
+		p.onFirst(snap)
+	}
+	return nil
+}
+
+func TestExplicitPlacementRejectsBadAssignments(t *testing.T) {
+	traces := []workload.Trace{{0.5}, {0.5}}
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		errLike string
+	}{
+		{"wrong-length", func(c *Config) {
+			c.InitialAssignment = []int{0}
+		}, "covers 1 of 2"},
+		{"unknown-host", func(c *Config) {
+			c.InitialAssignment = []int{0, 9}
+		}, "unknown host"},
+		{"overcommit", func(c *Config) {
+			// Both VMs on host 0: 2×1024 MiB fits in 4096, so shrink the RAM.
+			c.Hosts[0].RAMMB = 1500
+			c.InitialAssignment = []int{0, 0}
+		}, "overcommits"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(t, traces)
+			cfg.InitialPlacement = PlacementExplicit
+			tc.mutate(&cfg)
+			s, err := New(cfg)
+			if err == nil {
+				_, err = s.Run(nopPolicy{})
+			}
+			if err == nil {
+				t.Fatal("bad explicit assignment accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}

@@ -86,6 +86,13 @@ type runState struct {
 	prevActive []bool
 	woken      []int
 	slept      []int
+
+	// checker and its own pre-step buffers; independent of the tracer's so
+	// enabling one never changes what the other observes.
+	checker       Checker
+	checkPrevHost []int
+	checkPrevUp   []bool
+	checkScratch  StepCheck
 }
 
 // Run executes the full horizon with the given policy and returns the
@@ -105,7 +112,10 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 	obsFeed := newObsFeed(s.cfg.Metrics, p.Name())
 	receiver, _ := p.(FeedbackReceiver)
 	for t := 0; t < s.cfg.Steps; t++ {
-		metrics, fb := st.step(t, p)
+		metrics, fb, err := st.step(t, p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", t, err)
+		}
 		res.Steps = append(res.Steps, metrics)
 		obsFeed.record(metrics)
 		if receiver != nil {
@@ -151,6 +161,11 @@ func newRunState(cfg Config) (*runState, error) {
 	st.tracer = cfg.Tracer
 	if st.tracer != nil {
 		st.prevActive = make([]bool, len(cfg.Hosts))
+	}
+	st.checker = cfg.Checker
+	if st.checker != nil {
+		st.checkPrevHost = make([]int, len(cfg.VMs))
+		st.checkPrevUp = make([]bool, len(cfg.Hosts))
 	}
 	st.snap = Snapshot{
 		StepSeconds:       cfg.StepSeconds,
@@ -231,6 +246,13 @@ func (st *runState) place() error {
 				return err
 			}
 		}
+	case PlacementExplicit:
+		for vm, h := range cfg.InitialAssignment {
+			if !fits(vm, h) {
+				return fmt.Errorf("sim: explicit assignment overcommits host %d at VM %d", h, vm)
+			}
+			assign(vm, h)
+		}
 	default:
 		return fmt.Errorf("sim: unknown placement %v", cfg.InitialPlacement)
 	}
@@ -243,7 +265,7 @@ func (st *runState) place() error {
 // τ is minutes), so a policy that reacts to an overload in the same step
 // prevents that interval's overload downtime — the reason reactive
 // heuristics show zero overloaded host-steps in the metrics.
-func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
+func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 	cfg := st.cfg
 	tau := cfg.StepSeconds
 
@@ -283,6 +305,12 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		st.traceRej = st.traceRej[:0]
 		for i := range st.hostVMs {
 			st.prevActive[i] = len(st.hostVMs[i]) > 0
+		}
+	}
+	if st.checker != nil {
+		copy(st.checkPrevHost, st.vmHost)
+		for i := range st.hostVMs {
+			st.checkPrevUp[i] = len(st.hostVMs[i]) > 0
 		}
 	}
 	st.snap.Step = t
@@ -417,7 +445,7 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		st.emitStepEvent(t, fb, active, overloaded, failed, decideDur)
 	}
 
-	return StepMetrics{
+	metrics := StepMetrics{
 		Step:            t,
 		EnergyCost:      energy,
 		SLACost:         sla,
@@ -428,7 +456,21 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback) {
 		OverloadedHosts: overloaded,
 		FailedHosts:     failed,
 		DecideSeconds:   decideSeconds,
-	}, fb
+	}
+	if st.checker != nil {
+		st.checkScratch = StepCheck{
+			Step:       t,
+			Snapshot:   &st.snap,
+			Feedback:   fb,
+			Metrics:    metrics,
+			PrevVMHost: st.checkPrevHost,
+			PrevActive: st.checkPrevUp,
+		}
+		if err := st.checker.CheckStep(&st.checkScratch); err != nil {
+			return metrics, fb, fmt.Errorf("invariant violated: %w", err)
+		}
+	}
+	return metrics, fb, nil
 }
 
 // emitStepEvent writes the environment-side trace event for step t: what

@@ -88,6 +88,11 @@ const (
 	// PlacementFirstFit packs each VM onto the first host with enough
 	// spare RAM, mimicking CloudSim's default simple provisioner.
 	PlacementFirstFit
+	// PlacementExplicit uses Config.InitialAssignment verbatim. The
+	// metamorphic host-relabeling suite needs this: permuting host indices
+	// must reproduce the permuted world exactly, which no strategy that
+	// re-derives the assignment can guarantee.
+	PlacementExplicit
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +104,8 @@ func (p Placement) String() string {
 		return "round-robin"
 	case PlacementFirstFit:
 		return "first-fit"
+	case PlacementExplicit:
+		return "explicit"
 	default:
 		return fmt.Sprintf("placement(%d)", int(p))
 	}
@@ -120,8 +127,13 @@ type Config struct {
 	OverloadThreshold float64
 	// Cost holds the money model; zero value means cost.Default().
 	Cost cost.Params
-	// InitialPlacement defaults to PlacementRandom.
+	// InitialPlacement defaults to PlacementRandom (or PlacementExplicit
+	// when InitialAssignment is set).
 	InitialPlacement Placement
+	// InitialAssignment fixes the initial VM→host map for
+	// PlacementExplicit: entry j is VM j's host. Must satisfy RAM
+	// feasibility; ignored by the other strategies.
+	InitialAssignment []int
 	// Seed is the run's base seed. The simulator itself consumes only the
 	// placement sub-stream (Seeds().Placement()); harnesses derive the
 	// policy seed and any further component streams from the same base via
@@ -151,6 +163,44 @@ type Config struct {
 	// and step events interleave in one stream. Nil disables tracing at
 	// zero cost.
 	Tracer *trace.Tracer
+	// Checker optionally validates the world state after every step (see
+	// internal/invariant for the conservation-law implementation). A
+	// returned error aborts the run — an invariant violation means the
+	// metrics can no longer be trusted, so there is nothing useful to
+	// finish. Nil disables checking at the cost of one pointer test per
+	// step.
+	Checker Checker
+}
+
+// Checker validates simulator state. Implementations live outside the hot
+// path's import graph (internal/invariant); the simulator only promises to
+// call CheckStep once per completed step with a consistent view.
+type Checker interface {
+	// CheckStep inspects the post-step world. The StepCheck and everything
+	// it references are owned by the simulator and valid only for the
+	// duration of the call.
+	CheckStep(c *StepCheck) error
+}
+
+// StepCheck bundles what a Checker may inspect after one step: the live
+// snapshot (post-migration placement and utilizations), the step's feedback
+// and metrics, and the pre-step placement/activity needed to audit
+// migration accounting and the host wake/sleep state machine.
+type StepCheck struct {
+	// Step is the 0-based step index.
+	Step int
+	// Snapshot is the post-step world view.
+	Snapshot *Snapshot
+	// Feedback carries executed/rejected migrations and the cost
+	// decomposition.
+	Feedback *Feedback
+	// Metrics is the step's aggregate record, exactly what Run returns.
+	Metrics StepMetrics
+	// PrevVMHost[j] is VM j's host before this step's migrations.
+	PrevVMHost []int
+	// PrevActive[i] reports whether host i ran a VM before this step's
+	// migrations.
+	PrevActive []bool
 }
 
 // Failure is one injected host outage.
@@ -245,7 +295,22 @@ func (c Config) normalized() (Config, error) {
 		return c, err
 	}
 	if c.InitialPlacement == 0 {
-		c.InitialPlacement = PlacementRandom
+		if c.InitialAssignment != nil {
+			c.InitialPlacement = PlacementExplicit
+		} else {
+			c.InitialPlacement = PlacementRandom
+		}
+	}
+	if c.InitialPlacement == PlacementExplicit {
+		if len(c.InitialAssignment) != len(c.VMs) {
+			return c, fmt.Errorf("sim: explicit assignment covers %d of %d VMs",
+				len(c.InitialAssignment), len(c.VMs))
+		}
+		for j, h := range c.InitialAssignment {
+			if h < 0 || h >= len(c.Hosts) {
+				return c, fmt.Errorf("sim: VM %d assigned to unknown host %d", j, h)
+			}
+		}
 	}
 	if c.HistoryLen == 0 {
 		c.HistoryLen = defaultHistoryLen

@@ -6,15 +6,19 @@ import (
 	"testing"
 )
 
-// FuzzReadTrace ensures the trace parser never panics and that everything
-// it accepts round-trips through WriteTrace/ReadTrace within quantisation.
-func FuzzReadTrace(f *testing.F) {
+// FuzzPlanetLabParse hammers the CloudSim PlanetLab trace reader with
+// arbitrary input. The parser must never panic; every accepted trace must
+// hold only samples in [0,1]; and a Write→Read round-trip of an accepted
+// trace must be lossless (accepted samples are exact integer percentages,
+// which the writer reproduces verbatim).
+func FuzzPlanetLabParse(f *testing.F) {
 	f.Add("10\n20\n30\n")
 	f.Add("")
 	f.Add("100\n0\n")
 	f.Add(" 55 \n\n 7\n")
 	f.Add("101\n")
 	f.Add("-1\n")
+	f.Add("3.5\n")
 	f.Add("nonsense")
 	f.Add("9999999999999999999999\n")
 	f.Fuzz(func(t *testing.T, input string) {
@@ -39,9 +43,44 @@ func FuzzReadTrace(f *testing.F) {
 			t.Fatalf("round trip changed length %d → %d", len(tr), len(back))
 		}
 		for i := range tr {
-			d := back[i] - tr[i]
-			if d < -0.005-1e-12 || d > 0.005+1e-12 {
-				t.Fatalf("round trip drifted at %d: %g → %g", i, tr[i], back[i])
+			if back[i] != tr[i] {
+				t.Fatalf("round trip changed sample %d: %g → %g", i, tr[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzGoogleParse hammers the Google usage-extract reader. The parser must
+// never panic or allocate past the MaxGoogle* caps, and every accepted
+// result must be rectangular with samples in [0,1].
+func FuzzGoogleParse(f *testing.F) {
+	f.Add("0,0,0.5\n1,0,0.25\n0,1,1\n")
+	f.Add("# header comment\n2,3,0\n")
+	f.Add("0,0,NaN\n")
+	f.Add("0,0,1.5\n")
+	f.Add("5,99999999,0.1\n")
+	f.Add("1,1\n")
+	f.Add(strings.Repeat("3,2,0.75\n", 4))
+	f.Fuzz(func(t *testing.T, input string) {
+		traces, err := ReadGoogleUsage(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(traces) == 0 || len(traces) > MaxGoogleVMs {
+			t.Fatalf("accepted input produced %d traces", len(traces))
+		}
+		steps := traces[0].Len()
+		if steps == 0 || steps > MaxGoogleSteps {
+			t.Fatalf("accepted input produced %d-step traces", steps)
+		}
+		for v, tr := range traces {
+			if tr.Len() != steps {
+				t.Fatalf("VM %d trace has %d steps, VM 0 has %d", v, tr.Len(), steps)
+			}
+			for s, u := range tr {
+				if u < 0 || u > 1 {
+					t.Fatalf("VM %d step %d: sample %g out of [0,1]", v, s, u)
+				}
 			}
 		}
 	})

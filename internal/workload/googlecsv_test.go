@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadGoogleUsage(t *testing.T) {
+	in := strings.Join([]string{
+		"# step,vm,cpu",
+		"",
+		"0,0,0.5",
+		"2,1,1",
+		" 1 , 0 , 0.25 ",
+		"0,0,0.75", // repeated (step, vm): last write wins
+	}, "\n")
+	traces, err := ReadGoogleUsage(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Trace{
+		{0.75, 0.25, 0},
+		{0, 0, 1},
+	}
+	if len(traces) != len(want) {
+		t.Fatalf("got %d traces, want %d", len(traces), len(want))
+	}
+	for v := range want {
+		if traces[v].Len() != want[v].Len() {
+			t.Fatalf("VM %d: %d steps, want %d", v, traces[v].Len(), want[v].Len())
+		}
+		for s := range want[v] {
+			if traces[v][s] != want[v][s] {
+				t.Fatalf("VM %d step %d: %g, want %g", v, s, traces[v][s], want[v][s])
+			}
+		}
+	}
+}
+
+func TestReadGoogleUsageRejects(t *testing.T) {
+	cases := []struct {
+		name, in, errLike string
+	}{
+		{"empty", "", "no samples"},
+		{"comments-only", "# nothing\n\n", "no samples"},
+		{"wrong-arity", "1,2\n", "fields"},
+		{"bad-step", "x,0,0.5\n", "step"},
+		{"bad-vm", "0,x,0.5\n", "vm"},
+		{"bad-cpu", "0,0,x\n", "cpu"},
+		{"negative-step", "-1,0,0.5\n", "out of"},
+		{"huge-vm", "0,99999999,0.5\n", "out of"},
+		{"huge-step", "99999999,0,0.5\n", "out of"},
+		{"cpu-above-one", "0,0,1.5\n", "out of [0,1]"},
+		{"cpu-nan", "0,0,NaN\n", "out of [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadGoogleUsage(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("bad input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}
