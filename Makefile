@@ -1,19 +1,26 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-alloc-gate fuzz-short cover
+.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-alloc-gate fuzz-short routes-golden cover
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Full gate: formatting, vet, the whole suite under the race detector,
-# a short run of the trace-overhead benchmark (compare the disabled
-# sub-benchmark against no-tracer: they must match in ns/op and allocs/op),
-# the allocation-regression gate on the untraced decide path, and a short
-# fuzz pass over the five fuzz targets.
-check: fmt-check vet race bench-trace bench-alloc-gate fuzz-short
+# Full gate: formatting, vet, the route-table golden check, the whole
+# suite under the race detector, a short run of the trace-overhead
+# benchmark (compare the disabled sub-benchmark against no-tracer: they
+# must match in ns/op and allocs/op), the allocation-regression gate on
+# the untraced decide path, and a short fuzz pass over the fuzz targets.
+check: fmt-check vet routes-golden race bench-trace bench-alloc-gate fuzz-short
+
+# The service's HTTP surface is pinned: the live mux patterns must match
+# the committed internal/server/routes.golden. Regenerate deliberately
+# (and review the diff) with:
+#   $(GO) test ./internal/server/ -run TestRoutesGolden -update
+routes-golden:
+	$(GO) test -run=TestRoutesGolden ./internal/server/
 
 # gofmt -l lists files needing reformatting; any output fails the gate.
 fmt-check:

@@ -8,7 +8,24 @@
 //
 //	meghd -vms 1052 -hosts 800 -listen :8080 -checkpoint /var/lib/megh/state
 //
-// API:
+// One meghd can also serve many independent data centers as named
+// sessions, each with its own learner, trace ring, and checkpoint file:
+//
+//	meghd -vms 1052 -hosts 800 -checkpoint-dir /var/lib/megh/sessions -max-sessions 64
+//
+// API (see the megh/internal/server package doc for request/response
+// bodies):
+//
+//	PUT    /v2/sessions/{id}            create (or idempotently re-assert) a session
+//	GET    /v2/sessions                 list sessions
+//	GET    /v2/sessions/{id}            session info (spec, residency, counters)
+//	DELETE /v2/sessions/{id}            delete a session and its checkpoint
+//	POST   /v2/sessions/{id}/decide     migration decision for that session
+//	POST   /v2/sessions/{id}/feedback   observed step cost for that session
+//	GET    /v2/sessions/{id}/stats      learner internals for that session
+//	POST   /v2/sessions/{id}/checkpoint persist that session now
+//	GET    /v2/sessions/{id}/trace/tail newest buffered trace events
+//	GET    /v2/sessions/{id}/metrics    per-session Prometheus text
 //
 //	POST /v1/decide      {"step":0,"hosts":[…],"vms":[…]} → {"migrations":[…]}
 //	POST /v1/feedback    {"step":0,"step_cost":0.61}       → 204
@@ -19,6 +36,9 @@
 //	                       latency histogram, learner gauges)
 //	GET  /healthz        → "ok"
 //	GET  /debug/pprof/*  → live CPU/heap/goroutine profiles
+//
+// The /v1 routes are a deprecated shim over the reserved "default"
+// session; /v1 and /v2/sessions/default address the same learner.
 //
 // Observability: -trace FILE appends one JSONL event per decision and per
 // feedback post (analyse with meghtrace); -log-level picks the stderr log
@@ -59,9 +79,17 @@ func run() error {
 		hosts      = flag.Int("hosts", 0, "number of physical machines (M, required)")
 		overload   = flag.Float64("overload", 0.70, "overload threshold β")
 		step       = flag.Float64("step", 300, "monitoring interval τ in seconds")
-		checkpoint = flag.String("checkpoint", "", "learner state file (restored on start if present)")
-		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Minute,
-			"periodic checkpoint interval; 0 disables (needs -checkpoint)")
+		checkpoint = flag.String("checkpoint", "", "default-session state file (restored on start if present)")
+		ckptDir    = flag.String("checkpoint-dir", "",
+			"directory for per-session checkpoint files (enables eviction and restart restore for /v2 sessions)")
+		maxSessions = flag.Int("max-sessions", 0,
+			"max learners resident in memory; 0 = unlimited (>0 needs -checkpoint-dir; LRU sessions are checkpointed and evicted)")
+		maxInFlight = flag.Int("max-inflight", 0,
+			"max concurrent decide/feedback requests before shedding 429s; 0 = unlimited")
+		sessionRing = flag.Int("session-ring", 0,
+			"per-session trace ring size for /v2 trace tails; 0 = default, <0 disables")
+		ckptEvery = flag.Duration("checkpoint-every", 5*time.Minute,
+			"periodic checkpoint interval; 0 disables (needs -checkpoint or -checkpoint-dir)")
 		drain = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to wait for in-flight requests on shutdown")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
@@ -111,6 +139,10 @@ func run() error {
 		OverloadThreshold: *overload,
 		StepSeconds:       *step,
 		CheckpointPath:    *checkpoint,
+		CheckpointDir:     *ckptDir,
+		MaxSessions:       *maxSessions,
+		MaxInFlight:       *maxInFlight,
+		SessionRing:       *sessionRing,
 		Seed:              *seed,
 		Tracer:            tracer,
 	})
@@ -119,6 +151,9 @@ func run() error {
 	}
 	logger.Infof("serving %d VMs × %d hosts on %s (β=%.2f, τ=%.0fs, checkpoint=%q)",
 		*vms, *hosts, *listen, *overload, *step, *checkpoint)
+	if *ckptDir != "" {
+		logger.Infof("sessions: checkpoint-dir=%s max-sessions=%d", *ckptDir, *maxSessions)
+	}
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           svc.Handler(),
@@ -129,7 +164,9 @@ func run() error {
 	defer stop()
 
 	// Periodic checkpoints bound how much learning a crash can lose.
-	if *checkpoint != "" && *ckptEvery > 0 {
+	// CheckpointAll covers every resident session, the default one
+	// included, so the single-tenant and multi-tenant paths share it.
+	if (*checkpoint != "" || *ckptDir != "") && *ckptEvery > 0 {
 		go func() {
 			ticker := time.NewTicker(*ckptEvery)
 			defer ticker.Stop()
@@ -138,10 +175,10 @@ func run() error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if resp, err := svc.Checkpoint(); err != nil {
+					if n, err := svc.CheckpointAll(); err != nil {
 						logger.Warnf("periodic checkpoint failed: %v", err)
 					} else {
-						logger.Debugf("checkpointed %d bytes to %s", resp.Bytes, resp.Path)
+						logger.Debugf("checkpointed %d session(s)", n)
 					}
 				}
 			}
@@ -169,14 +206,14 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
-	if *checkpoint != "" {
-		if resp, err := svc.Checkpoint(); err != nil {
+	if *checkpoint != "" || *ckptDir != "" {
+		if n, err := svc.CheckpointAll(); err != nil {
 			logger.Errorf("final checkpoint failed: %v", err)
 			if shutdownErr == nil {
 				shutdownErr = err
 			}
 		} else {
-			logger.Infof("final checkpoint: %d bytes to %s", resp.Bytes, resp.Path)
+			logger.Infof("final checkpoint: %d session(s) persisted", n)
 		}
 	}
 	return shutdownErr

@@ -1,8 +1,10 @@
 package megh_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"megh"
 )
@@ -79,6 +81,83 @@ func ExampleGeneratePlanetLabTraces() {
 	fmt.Printf("%d traces of %d samples\n", len(traces), traces[0].Len())
 	// Output:
 	// 3 traces of 288 samples
+}
+
+// ExampleNewSimChecker runs a simulation with the conservation-law
+// checker attached. The checker is a pure observer — results are
+// byte-identical to an unchecked run — and any violated invariant would
+// have aborted the run with an error.
+func ExampleNewSimChecker() {
+	setup := megh.Setup{Dataset: megh.PlanetLab, Hosts: 10, VMs: 13, Steps: 24, Seed: 3}
+	cfg, err := setup.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	checker := megh.NewSimChecker()
+	cfg.Checker = checker
+	sim, err := megh.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	learner, err := megh.New(megh.DefaultConfig(setup.VMs, setup.Hosts, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.Run(learner); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps audited: %d\n", checker.Steps)
+	// Output:
+	// steps audited: 24
+}
+
+// ExampleServiceClient_Session walks the /v2 session API end to end:
+// host the service in-process, create a named session, post a snapshot,
+// and list what the service now manages. The reserved "default" session
+// (serving the /v1 shim) always exists alongside the created one.
+func ExampleServiceClient_Session() {
+	svc, err := megh.NewService(megh.ServiceConfig{NumVMs: 4, NumHosts: 3, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	sess := megh.NewServiceClient(ts.URL, nil).Session("dc-east")
+	info, err := sess.Create(ctx, megh.SessionSpec{NumVMs: 2, NumHosts: 2, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s (live=%t)\n", info.ID, info.Live)
+
+	resp, err := sess.Decide(ctx, megh.StateRequest{
+		Step: 0,
+		Hosts: []megh.HostState{
+			{MIPS: 4000, RAMMB: 8192}, {MIPS: 4000, RAMMB: 8192},
+		},
+		VMs: []megh.VMState{
+			{Host: 0, Utilization: 0.9, MIPS: 2500, RAMMB: 512},
+			{Host: 0, Utilization: 0.8, MIPS: 2500, RAMMB: 512},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step %d migrations: %d\n", resp.Step, len(resp.Migrations))
+
+	list, err := megh.NewServiceClient(ts.URL, nil).ListSessions(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range list.Sessions {
+		fmt.Printf("session %s decisions=%d\n", s.ID, s.Decisions)
+	}
+	// Output:
+	// created dc-east (live=true)
+	// step 0 migrations: 0
+	// session dc-east decisions=1
+	// session default decisions=0
 }
 
 // ExampleNewFatTree shows the §7 topology extension.

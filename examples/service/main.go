@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -90,5 +91,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("checkpoint written: %s (%d bytes)\n", ck.Path, ck.Bytes)
+	fmt.Printf("checkpoint written: %s (%d bytes)\n\n", ck.Path, ck.Bytes)
+
+	// 4. Multi-tenancy: the same service hosts further data centers as
+	// named /v2 sessions, each an independent learner. (The /v1 calls
+	// above went to the reserved "default" session.)
+	const tHosts, tVMs, tSteps = 10, 13, 48
+	ctx := context.Background()
+	sess := client.Session("dc-west")
+	if _, err := sess.Create(ctx, server.SessionSpec{
+		NumVMs: tVMs, NumHosts: tHosts, Seed: 11,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tenantSetup := megh.Setup{Dataset: megh.PlanetLab, Hosts: tHosts, VMs: tVMs, Steps: tSteps, Seed: 13}
+	tenantCfg, err := tenantSetup.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tenantSim, err := megh.NewSimulator(tenantCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tenantPolicy := server.NewRemoteSessionPolicy(sess)
+	tenantResult, err := tenantSim.Run(tenantPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tenantPolicy.Err(); err != nil {
+		log.Fatal("transport failure mid-run: ", err)
+	}
+	fmt.Printf("tenant dc-west (%d VMs × %d hosts, %d steps): cost %.2f USD, %d migrations\n",
+		tVMs, tHosts, tSteps, tenantResult.TotalCost(), tenantResult.TotalMigrations())
+
+	list, err := client.ListSessions(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sessions on this service:")
+	for _, s := range list.Sessions {
+		fmt.Printf("  %-8s  %4d×%-4d  decisions=%d live=%t\n",
+			s.ID, s.Spec.NumVMs, s.Spec.NumHosts, s.Decisions, s.Live)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"megh/internal/sparse"
 )
@@ -61,6 +63,53 @@ func (m *Megh) SaveState(w io.Writer) error {
 		return fmt.Errorf("core: encoding learner state: %w", err)
 	}
 	return nil
+}
+
+// SaveStateFile persists the learner atomically to path: the image is
+// written to a uniquely named temp file in the destination directory and
+// renamed over path. Unique temp names make concurrent writers safe —
+// each completes its own file and the last rename wins with a fully
+// written image, never an interleaved one. Callers that need a consistent
+// snapshot must serialise learner mutation themselves (SaveStateFile only
+// reads).
+func (m *Megh) SaveStateFile(path string) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	err = m.SaveState(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadStateFile reconstructs a learner from a file written by
+// SaveStateFile. A missing file is reported with os.IsNotExist semantics
+// (errors.Is(err, fs.ErrNotExist)), so callers can distinguish
+// "no checkpoint yet" from a corrupt one.
+func LoadStateFile(path string) (*Megh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := LoadState(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("core: closing %s: %w", path, cerr)
+	}
+	return m, err
 }
 
 // LoadState reconstructs a learner saved with SaveState.

@@ -1,20 +1,50 @@
-// Package server exposes the Megh learner as a long-running scheduling
-// service — the "global resource manager" of paper §3.1 as a deployable
-// component. VMMs (or a monitoring pipeline) POST utilization snapshots;
-// the service answers with live-migration decisions, learns from posted
-// cost feedback, and checkpoints its Q-table to disk so restarts lose
-// nothing.
+// Package server exposes the Megh learner as a long-running,
+// multi-tenant scheduling service. Each named session is one data
+// center's "global resource manager" (paper §3.1) — its own learner, its
+// own MDP instance, its own tracer ring and metrics — so one process
+// serves many independent data centers concurrently. VMMs (or a
+// monitoring pipeline) POST utilization snapshots; the service answers
+// with live-migration decisions, learns from posted cost feedback, and
+// checkpoints each session's Q-table to disk so restarts lose nothing.
+// Under a configured max-sessions cap, idle learners are checkpointed and
+// evicted from memory LRU-first, then restored lazily on their next
+// touch.
 //
-// API (JSON over HTTP):
+// API (JSON over HTTP). /v2 is the session surface:
+//
+//	GET    /v2/sessions                   → SessionListResponse
+//	PUT    /v2/sessions/{id}              SessionSpec → SessionInfo (201 created / 200 idempotent)
+//	GET    /v2/sessions/{id}              → SessionInfo (never restores an evicted learner)
+//	DELETE /v2/sessions/{id}              → 204 (removes the checkpoint file too)
+//	POST   /v2/sessions/{id}/decide       StateRequest → DecideResponse
+//	POST   /v2/sessions/{id}/feedback     FeedbackRequest → 204
+//	GET    /v2/sessions/{id}/stats        → SessionStatsResponse
+//	POST   /v2/sessions/{id}/checkpoint   → CheckpointResponse
+//	GET    /v2/sessions/{id}/trace/tail   → TraceTailResponse
+//	GET    /v2/sessions/{id}/metrics      → per-session Prometheus text
+//
+// /v1 is the deprecated single-tenant shim, bound to the reserved
+// "default" session (pinned, never evicted):
 //
 //	POST /v1/decide      StateRequest  → DecideResponse
 //	POST /v1/feedback    FeedbackRequest → 204
 //	GET  /v1/stats       → StatsResponse
 //	GET  /v1/trace/tail  → TraceTailResponse (newest buffered trace events)
 //	POST /v1/checkpoint  → CheckpointResponse (writes the state file)
-//	GET  /metrics        → Prometheus text exposition
+//
+// Operational routes:
+//
+//	GET  /metrics        → Prometheus text exposition (service + default session)
 //	GET  /healthz        → 200 "ok"
 //	GET  /debug/pprof/*  → standard net/http/pprof profiles
+//
+// Every error response, on every route and from every layer (including
+// the mux's own 404/405), is the JSON errorResponse envelope
+// {"error": "..."} with a meaningful status code, and every response
+// carries an X-Request-ID header — echoed from the request when the
+// caller set one, generated otherwise. Decide/feedback traffic beyond the
+// configured in-flight bound is refused with 429 plus Retry-After rather
+// than queueing without limit.
 package server
 
 import (

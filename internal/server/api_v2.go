@@ -1,0 +1,73 @@
+package server
+
+import "fmt"
+
+// SessionSpec sizes one tenant's data center — one independent MDP
+// instance. Zero OverloadThreshold/StepSeconds inherit the service
+// defaults at PUT time; the spec stored (and echoed back) is always the
+// normalized one, and PUT is idempotent against it.
+type SessionSpec struct {
+	NumVMs            int     `json:"num_vms"`
+	NumHosts          int     `json:"num_hosts"`
+	OverloadThreshold float64 `json:"overload_threshold,omitempty"`
+	StepSeconds       float64 `json:"step_seconds,omitempty"`
+	Seed              int64   `json:"seed,omitempty"`
+}
+
+// normalized fills unset tuning fields from the service defaults.
+func (sp SessionSpec) normalized(overload, stepSeconds float64) SessionSpec {
+	if sp.OverloadThreshold == 0 {
+		sp.OverloadThreshold = overload
+	}
+	if sp.StepSeconds == 0 {
+		sp.StepSeconds = stepSeconds
+	}
+	return sp
+}
+
+// validate checks a normalized spec.
+func (sp SessionSpec) validate() error {
+	if sp.NumVMs <= 0 || sp.NumHosts <= 0 {
+		return fmt.Errorf("session world size %d×%d must be positive", sp.NumVMs, sp.NumHosts)
+	}
+	if sp.OverloadThreshold < 0 || sp.OverloadThreshold > 1 {
+		return fmt.Errorf("session overload threshold %g out of [0,1]", sp.OverloadThreshold)
+	}
+	if sp.StepSeconds < 0 {
+		return fmt.Errorf("session step seconds %g negative", sp.StepSeconds)
+	}
+	return nil
+}
+
+// SessionInfo describes one session in PUT/GET/list responses. Live is
+// false while the session is evicted (its learner state lives in the
+// per-session checkpoint file and is restored on the next decide,
+// feedback, stats, or checkpoint touch).
+type SessionInfo struct {
+	ID        string      `json:"id"`
+	Spec      SessionSpec `json:"spec"`
+	Live      bool        `json:"live"`
+	Pinned    bool        `json:"pinned,omitempty"`
+	Decisions int         `json:"decisions"`
+	LastStep  int         `json:"last_step"`
+	Evictions int         `json:"evictions"`
+	Restores  int         `json:"restores"`
+}
+
+// SessionListResponse is the GET /v2/sessions body.
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+	Live     int           `json:"live"`
+	// MaxSessions echoes the residency cap; 0 means unlimited.
+	MaxSessions int `json:"max_sessions"`
+}
+
+// SessionStatsResponse extends the /v1 stats shape with session identity
+// and lifecycle counters.
+type SessionStatsResponse struct {
+	StatsResponse
+	ID        string `json:"id"`
+	Live      bool   `json:"live"`
+	Evictions int    `json:"evictions"`
+	Restores  int    `json:"restores"`
+}

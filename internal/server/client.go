@@ -2,11 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
@@ -23,9 +26,16 @@ const (
 )
 
 // Client is the typed HTTP client for a meghd service. Transient failures
-// (transport errors and 5xx responses) are retried with exponential backoff
-// and jitter before an error is surfaced, so a single dropped connection
-// does not poison a long-running caller.
+// (transport errors, 5xx responses, and 429 throttles from the admission
+// gate) are retried with exponential backoff and jitter before an error is
+// surfaced, so a single dropped connection does not poison a long-running
+// caller.
+//
+// Every request method takes a context.Context variant (DecideCtx,
+// StatsCtx, …) that cancels both the in-flight request and any backoff
+// sleep; the context-free methods are thin wrappers over
+// context.Background() kept for compatibility. Session-scoped requests go
+// through Session(id), which returns a view over the /v2 API.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -89,26 +99,60 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d + j
 }
 
+// sleep waits out the backoff or returns early with the context's error
+// if it is cancelled first — a cancelled caller must not sit through the
+// remaining retry budget.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // retryableStatus reports whether an HTTP status is worth retrying: the
-// server-side 5xx family. 4xx responses are deterministic rejections of
-// the request itself and are surfaced immediately.
-func retryableStatus(code int) bool { return code >= 500 }
+// server-side 5xx family, plus 429 from the admission gate (the service
+// sheds load expecting the caller to come back after the backoff). Other
+// 4xx responses are deterministic rejections of the request itself and
+// are surfaced immediately.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
 
 // do issues the request up to maxAttempts times. Only the final failure is
 // returned; transient errors before that sleep through the backoff and try
-// again.
-func (c *Client) do(issue func() (*http.Response, error), path string, out any) error {
+// again. Context cancellation cuts both the request and the backoff short.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
 		if attempt > 1 {
 			if c.retries != nil {
 				c.retries.Inc()
 			}
-			time.Sleep(c.backoff(attempt - 1))
+			if err := c.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return fmt.Errorf("server: %s: %w", path, err)
+			}
 		}
-		resp, err := issue()
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+		if err != nil {
+			return fmt.Errorf("server: building %s request: %w", path, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("server: %s: %w", path, err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
@@ -126,20 +170,16 @@ func (c *Client) do(issue func() (*http.Response, error), path string, out any) 
 	return lastErr
 }
 
-func (c *Client) post(path string, body, out any) error {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("server: encoding %s request: %w", path, err)
+func (c *Client) send(ctx context.Context, method, path string, body, out any) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("server: encoding %s request: %w", path, err)
+		}
 	}
-	return c.do(func() (*http.Response, error) {
-		return c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
-	}, path, out)
-}
-
-func (c *Client) get(path string, out any) error {
-	return c.do(func() (*http.Response, error) {
-		return c.hc.Get(c.base + path)
-	}, path, out)
+	return c.do(ctx, method, path, raw, out)
 }
 
 // decodeErrorBody extracts the JSON error message, if any.
@@ -168,35 +208,62 @@ func (c *Client) finish(path string, resp *http.Response, out any) error {
 	return nil
 }
 
-// Decide posts a snapshot and returns the service's migration decisions.
-func (c *Client) Decide(req StateRequest) (DecideResponse, error) {
+// --- /v1 methods --------------------------------------------------------
+
+// DecideCtx posts a snapshot and returns the service's migration decisions.
+func (c *Client) DecideCtx(ctx context.Context, req StateRequest) (DecideResponse, error) {
 	var out DecideResponse
-	err := c.post("/v1/decide", req, &out)
+	err := c.send(ctx, http.MethodPost, "/v1/decide", req, &out)
 	return out, err
 }
 
-// Feedback reports the realised cost of an interval.
+// Decide is DecideCtx with context.Background().
+func (c *Client) Decide(req StateRequest) (DecideResponse, error) {
+	return c.DecideCtx(context.Background(), req)
+}
+
+// FeedbackCtx reports the realised cost of an interval.
+func (c *Client) FeedbackCtx(ctx context.Context, fb FeedbackRequest) error {
+	return c.send(ctx, http.MethodPost, "/v1/feedback", fb, nil)
+}
+
+// Feedback is FeedbackCtx with context.Background().
 func (c *Client) Feedback(fb FeedbackRequest) error {
-	return c.post("/v1/feedback", fb, nil)
+	return c.FeedbackCtx(context.Background(), fb)
 }
 
-// Stats fetches the learner internals.
-func (c *Client) Stats() (StatsResponse, error) {
+// StatsCtx fetches the learner internals.
+func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := c.get("/v1/stats", &out)
+	err := c.send(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
 }
 
-// Checkpoint asks the service to persist its learner state.
-func (c *Client) Checkpoint() (CheckpointResponse, error) {
+// Stats is StatsCtx with context.Background().
+func (c *Client) Stats() (StatsResponse, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// CheckpointCtx asks the service to persist its learner state.
+func (c *Client) CheckpointCtx(ctx context.Context) (CheckpointResponse, error) {
 	var out CheckpointResponse
-	err := c.post("/v1/checkpoint", struct{}{}, &out)
+	err := c.send(ctx, http.MethodPost, "/v1/checkpoint", struct{}{}, &out)
 	return out, err
 }
 
-// Health pings /healthz.
-func (c *Client) Health() error {
-	resp, err := c.hc.Get(c.base + "/healthz")
+// Checkpoint is CheckpointCtx with context.Background().
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	return c.CheckpointCtx(context.Background())
+}
+
+// HealthCtx pings /healthz. No retries: health checks are themselves the
+// probe.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("server: health check: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("server: health check: %w", err)
 	}
@@ -207,12 +274,102 @@ func (c *Client) Health() error {
 	return nil
 }
 
+// Health is HealthCtx with context.Background().
+func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
+
+// --- /v2 session methods ------------------------------------------------
+
+// ListSessions enumerates every session the service knows about.
+func (c *Client) ListSessions(ctx context.Context) (SessionListResponse, error) {
+	var out SessionListResponse
+	err := c.send(ctx, http.MethodGet, "/v2/sessions", nil, &out)
+	return out, err
+}
+
+// Session returns a view of one named session on the /v2 API. The view
+// shares the parent client's transport, retry policy, and instrumentation.
+func (c *Client) Session(id string) *SessionClient {
+	return &SessionClient{c: c, id: id, prefix: "/v2/sessions/" + url.PathEscape(id)}
+}
+
+// SessionClient scopes requests to one /v2 session.
+type SessionClient struct {
+	c      *Client
+	id     string
+	prefix string
+}
+
+// ID returns the session name this view is scoped to.
+func (s *SessionClient) ID() string { return s.id }
+
+// Create registers the session (PUT, idempotent for an identical spec).
+func (s *SessionClient) Create(ctx context.Context, spec SessionSpec) (SessionInfo, error) {
+	var out SessionInfo
+	err := s.c.send(ctx, http.MethodPut, s.prefix, spec, &out)
+	return out, err
+}
+
+// Info fetches the session descriptor without touching its learner.
+func (s *SessionClient) Info(ctx context.Context) (SessionInfo, error) {
+	var out SessionInfo
+	err := s.c.send(ctx, http.MethodGet, s.prefix, nil, &out)
+	return out, err
+}
+
+// Delete removes the session and its checkpoint file.
+func (s *SessionClient) Delete(ctx context.Context) error {
+	return s.c.send(ctx, http.MethodDelete, s.prefix, nil, nil)
+}
+
+// Decide posts a snapshot to the session and returns its decisions.
+func (s *SessionClient) Decide(ctx context.Context, req StateRequest) (DecideResponse, error) {
+	var out DecideResponse
+	err := s.c.send(ctx, http.MethodPost, s.prefix+"/decide", req, &out)
+	return out, err
+}
+
+// Feedback reports the realised cost of an interval to the session.
+func (s *SessionClient) Feedback(ctx context.Context, fb FeedbackRequest) error {
+	return s.c.send(ctx, http.MethodPost, s.prefix+"/feedback", fb, nil)
+}
+
+// Stats fetches the session's learner internals (restoring it if evicted).
+func (s *SessionClient) Stats(ctx context.Context) (SessionStatsResponse, error) {
+	var out SessionStatsResponse
+	err := s.c.send(ctx, http.MethodGet, s.prefix+"/stats", nil, &out)
+	return out, err
+}
+
+// Checkpoint persists the session's learner state.
+func (s *SessionClient) Checkpoint(ctx context.Context) (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := s.c.send(ctx, http.MethodPost, s.prefix+"/checkpoint", struct{}{}, &out)
+	return out, err
+}
+
+// TraceTail fetches the newest n buffered trace events (n <= 0 keeps the
+// server default).
+func (s *SessionClient) TraceTail(ctx context.Context, n int) (TraceTailResponse, error) {
+	path := s.prefix + "/trace/tail"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out TraceTailResponse
+	err := s.c.send(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// --- simulator adapter --------------------------------------------------
+
 // RemotePolicy adapts a meghd service into a sim.Policy, so the simulator
 // can drive the service over HTTP exactly as a monitoring pipeline would —
 // the loopback ("hardware-in-the-loop") configuration used by the service
 // integration tests and examples/service.
 type RemotePolicy struct {
 	client *Client
+	// session, when non-nil, routes through the /v2 session API instead of
+	// the /v1 shim.
+	session *SessionClient
 	// name reported to the simulator.
 	name string
 	// err records the first post-retry failure; the policy degrades to
@@ -227,9 +384,15 @@ var (
 	_ sim.FeedbackReceiver = (*RemotePolicy)(nil)
 )
 
-// NewRemotePolicy wraps a client as a simulator policy.
+// NewRemotePolicy wraps a client as a simulator policy on the /v1 shim.
 func NewRemotePolicy(client *Client) *RemotePolicy {
 	return &RemotePolicy{client: client, name: "Megh(remote)"}
+}
+
+// NewRemoteSessionPolicy wraps a session view as a simulator policy: the
+// same loopback shape, but against one tenant of a multi-session service.
+func NewRemoteSessionPolicy(sc *SessionClient) *RemotePolicy {
+	return &RemotePolicy{client: sc.c, session: sc, name: "Megh(remote:" + sc.id + ")"}
 }
 
 // Name implements sim.Policy.
@@ -260,7 +423,13 @@ func (p *RemotePolicy) Decide(s *sim.Snapshot) []sim.Migration {
 			MIPS: spec.MIPS, RAMMB: spec.RAMMB, BandwidthMbps: spec.BandwidthMbps,
 		}
 	}
-	resp, err := p.client.Decide(req)
+	var resp DecideResponse
+	var err error
+	if p.session != nil {
+		resp, err = p.session.Decide(context.Background(), req)
+	} else {
+		resp, err = p.client.Decide(req)
+	}
 	if err != nil {
 		p.err = err
 		return nil
@@ -277,13 +446,20 @@ func (p *RemotePolicy) Observe(fb *sim.Feedback) {
 	if p.err != nil {
 		return
 	}
-	if err := p.client.Feedback(FeedbackRequest{
+	req := FeedbackRequest{
 		Step:         fb.Step,
 		StepCost:     fb.StepCost,
 		EnergyCost:   fb.EnergyCost,
 		SLACost:      fb.SLACost,
 		ResourceCost: fb.ResourceCost,
-	}); err != nil {
+	}
+	var err error
+	if p.session != nil {
+		err = p.session.Feedback(context.Background(), req)
+	} else {
+		err = p.client.Feedback(req)
+	}
+	if err != nil {
 		p.err = err
 	}
 }

@@ -98,10 +98,10 @@ func TestLoopbackSimulation(t *testing.T) {
 				m.Step, m.Rejected)
 		}
 	}
-	svc.mu.Lock()
-	decisions := svc.decisions
-	nnz := svc.learner.QTableNNZ()
-	svc.mu.Unlock()
+	svc.def.mu.Lock()
+	decisions := svc.def.decisions
+	nnz := svc.def.learner.QTableNNZ()
+	svc.def.mu.Unlock()
 	if decisions != steps {
 		t.Fatalf("service made %d decisions, want %d", decisions, steps)
 	}
@@ -257,9 +257,9 @@ func TestRemotePolicySurvivesTransientBlip(t *testing.T) {
 	if err := policy.Err(); err != nil {
 		t.Fatalf("policy poisoned by a transient blip: %v", err)
 	}
-	svc.mu.Lock()
-	decisions := svc.decisions
-	svc.mu.Unlock()
+	svc.def.mu.Lock()
+	decisions := svc.def.decisions
+	svc.def.mu.Unlock()
 	if decisions != 10 {
 		t.Fatalf("service made %d decisions, want all 10 (policy went no-op mid-run)", decisions)
 	}

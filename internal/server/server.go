@@ -1,15 +1,17 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"path/filepath"
+	"sort"
 	"strconv"
-	"sync"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"megh/internal/core"
@@ -20,43 +22,79 @@ import (
 
 // Config sizes the service.
 type Config struct {
-	// NumVMs and NumHosts fix the learner's projected space; every
-	// posted snapshot must match.
+	// NumVMs and NumHosts fix the default session's projected space; every
+	// snapshot posted to /v1 (or to /v2 session "default") must match.
 	NumVMs, NumHosts int
-	// OverloadThreshold is β; 0 means 0.70.
+	// OverloadThreshold is β; 0 means 0.70. Sessions whose spec leaves the
+	// threshold unset inherit it.
 	OverloadThreshold float64
-	// StepSeconds is the monitoring interval τ; 0 means 300.
+	// StepSeconds is the monitoring interval τ; 0 means 300. Inherited by
+	// sessions the same way.
 	StepSeconds float64
-	// CheckpointPath is where POST /v1/checkpoint writes the learner
-	// state (and where a fresh server restores from if the file exists).
+	// CheckpointPath is where the default session checkpoints (and where a
+	// fresh server restores it from if the file exists). Empty with
+	// CheckpointDir set, the default session uses <dir>/default.ckpt.
 	CheckpointPath string
-	// Learner optionally overrides the default core configuration.
+	// CheckpointDir holds the per-session checkpoint files
+	// (<dir>/<id>.ckpt). Empty disables session persistence — and with it
+	// eviction, since evicting without a checkpoint would lose learning.
+	CheckpointDir string
+	// MaxSessions caps how many learners stay resident in memory; beyond
+	// it the least-recently-used evictable session is checkpointed and
+	// dropped, to be restored lazily on its next touch. 0 means unlimited.
+	// The cap is a residency target: pinned (default) and just-touched
+	// sessions are never evicted, so residency may transiently exceed it.
+	MaxSessions int
+	// SessionRing is the per-session trace ring size backing
+	// GET /v2/sessions/{id}/trace/tail. 0 means trace.DefaultRingSize;
+	// negative disables per-session tracing.
+	SessionRing int
+	// MaxInFlight bounds concurrent decide/feedback handlers across all
+	// sessions; excess requests are refused with 429 and a Retry-After
+	// header instead of queueing without bound. 0 means unlimited.
+	MaxInFlight int
+	// Learner optionally overrides the default core configuration for the
+	// default session.
 	Learner *core.Config
-	// Seed drives the default learner configuration.
+	// Seed drives the default learner configuration; sessions carry their
+	// own seed in their spec.
 	Seed int64
 	// Tracer optionally records one structured event per decision and per
-	// feedback post. The in-memory tail is served at GET /v1/trace/tail.
-	// Nil disables tracing (the endpoint then reports enabled=false).
+	// feedback post on the default session. The in-memory tail is served at
+	// GET /v1/trace/tail. Nil disables default-session tracing (the
+	// endpoint then reports enabled=false). /v2 sessions each get their own
+	// ring tracer regardless (see SessionRing).
 	Tracer *trace.Tracer
 }
 
-// Service is the HTTP scheduling service. It is safe for concurrent use;
-// a single mutex serialises learner access (decisions are sub-millisecond,
-// so the lock is never contended in practice).
+// Service is the HTTP scheduling service: a registry of named sessions,
+// each an independent data center with its own learner, tracer ring,
+// metrics, and lock (decides for different tenants never contend on one
+// mutex). The /v1 routes are a shim bound to the reserved "default"
+// session; /v2 exposes the full multi-tenant surface. Safe for concurrent
+// use.
 type Service struct {
 	cfg Config
 	reg *obs.Registry
+	mgr *sessionManager
+	def *session
 
-	mu        sync.Mutex
-	learner   *core.Megh
-	decisions int
-	lastStep  int
+	// gate bounds concurrent decide/feedback work (nil = unlimited).
+	gate      chan struct{}
+	throttled *obs.Counter
+
+	// reqEpoch/reqSeq generate X-Request-ID values unique across restarts.
+	reqEpoch int64
+	reqSeq   atomic.Uint64
+
+	routes atomic.Pointer[[]string]
 }
 
-// New builds the service, restoring the learner from CheckpointPath when
-// a checkpoint exists there. A checkpoint whose world size differs from
-// the configuration is refused with an error rather than restored (a stale
-// file would otherwise panic the decide path on the first snapshot).
+// New builds the service, restoring the default session's learner from
+// CheckpointPath when a checkpoint exists there. A checkpoint whose world
+// size differs from the configuration is refused with an error rather
+// than restored (a stale file would otherwise panic the decide path on
+// the first snapshot).
 func New(cfg Config) (*Service, error) {
 	if cfg.NumVMs <= 0 || cfg.NumHosts <= 0 {
 		return nil, fmt.Errorf("server: world size %d×%d must be positive", cfg.NumVMs, cfg.NumHosts)
@@ -73,25 +111,38 @@ func New(cfg Config) (*Service, error) {
 	if cfg.StepSeconds < 0 {
 		return nil, fmt.Errorf("server: negative step seconds %g", cfg.StepSeconds)
 	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("server: negative max sessions %d", cfg.MaxSessions)
+	}
+	if cfg.MaxSessions > 0 && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("server: max sessions %d needs a checkpoint dir to evict into", cfg.MaxSessions)
+	}
+	if cfg.SessionRing == 0 {
+		cfg.SessionRing = trace.DefaultRingSize
+	}
+	if cfg.SessionRing < 0 {
+		cfg.SessionRing = 0
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating checkpoint dir: %w", err)
+		}
+	}
 
 	var learner *core.Megh
 	if cfg.CheckpointPath != "" {
-		if f, err := os.Open(cfg.CheckpointPath); err == nil {
-			restored, rerr := core.LoadState(f)
-			if cerr := f.Close(); cerr != nil && rerr == nil {
-				rerr = cerr
-			}
-			if rerr != nil {
-				return nil, fmt.Errorf("server: restoring %s: %w", cfg.CheckpointPath, rerr)
-			}
+		restored, err := core.LoadStateFile(cfg.CheckpointPath)
+		switch {
+		case err == nil:
 			if lc := restored.Config(); lc.NumVMs != cfg.NumVMs || lc.NumHosts != cfg.NumHosts {
 				return nil, fmt.Errorf(
 					"server: checkpoint %s holds a %d×%d learner but the service is configured for %d×%d; move or delete the stale checkpoint",
 					cfg.CheckpointPath, lc.NumVMs, lc.NumHosts, cfg.NumVMs, cfg.NumHosts)
 			}
 			learner = restored
-		} else if !os.IsNotExist(err) {
-			return nil, fmt.Errorf("server: probing checkpoint: %w", err)
+		case os.IsNotExist(err):
+		default:
+			return nil, fmt.Errorf("server: restoring %s: %w", cfg.CheckpointPath, err)
 		}
 	}
 	if learner == nil {
@@ -108,41 +159,189 @@ func New(cfg Config) (*Service, error) {
 	reg := obs.NewRegistry()
 	learner.Instrument(reg)
 	learner.Trace(cfg.Tracer)
-	return &Service{cfg: cfg, reg: reg, learner: learner}, nil
+
+	s := &Service{cfg: cfg, reg: reg, reqEpoch: time.Now().UnixNano()}
+	s.mgr = newSessionManager(cfg, reg)
+	s.throttled = reg.Counter("megh_http_throttled_total",
+		"Decide/feedback requests refused with 429 by the admission gate.", nil)
+	if cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInFlight)
+	}
+
+	// The default session backs the /v1 shim: pinned (never evicted),
+	// instrumented on the service registry, traced by the shared tracer,
+	// and checkpointing to CheckpointPath (falling back to the session
+	// directory when only that is configured).
+	ckptPath := cfg.CheckpointPath
+	if ckptPath == "" {
+		ckptPath = s.mgr.checkpointPath(DefaultSessionID)
+	}
+	def := &session{
+		id: DefaultSessionID,
+		spec: SessionSpec{
+			NumVMs: cfg.NumVMs, NumHosts: cfg.NumHosts,
+			OverloadThreshold: cfg.OverloadThreshold,
+			StepSeconds:       cfg.StepSeconds,
+			Seed:              cfg.Seed,
+		},
+		pinned:   true,
+		learner:  learner,
+		tracer:   cfg.Tracer,
+		reg:      reg,
+		ckptPath: ckptPath,
+	}
+	sh := s.mgr.shardFor(def.id)
+	sh.mu.Lock()
+	sh.m[def.id] = def
+	sh.mu.Unlock()
+	s.mgr.touch(def)
+	s.mgr.gDefined.Add(1)
+	s.mgr.noteResident(1)
+	s.def = def
+	return s, nil
 }
 
 // Metrics returns the service's metrics registry, so callers (meghd, the
 // HTTP client) can register their own instruments alongside the service's.
 func (s *Service) Metrics() *obs.Registry { return s.reg }
 
-// Handler returns the service's HTTP routes, each wrapped in the metrics
-// middleware (request/error counters, in-flight gauge, latency histogram)
-// and a panic guard that converts handler panics into HTTP 500s.
+// Handler returns the service's HTTP routes. Every route is wrapped in
+// the metrics middleware (request/error counters, in-flight gauge,
+// latency histogram) and a panic guard; the whole mux sits behind the
+// envelope middleware, which stamps an X-Request-ID on every response
+// (echoing the caller's, generating one otherwise) and rewrites any
+// non-JSON error — including the mux's own 404/405 — into the uniform
+// JSON errorResponse body.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/decide", s.instrument("/v1/decide", s.handleDecide))
-	mux.HandleFunc("POST /v1/feedback", s.instrument("/v1/feedback", s.handleFeedback))
-	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
-	mux.HandleFunc("POST /v1/checkpoint", s.instrument("/v1/checkpoint", s.handleCheckpoint))
-	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.HandleFunc("GET /v1/trace/tail", s.instrument("/v1/trace/tail", s.handleTraceTail))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz",
-		func(w http.ResponseWriter, _ *http.Request) {
-			w.WriteHeader(http.StatusOK)
-			_, _ = w.Write([]byte("ok"))
+	var patterns []string
+	handle := func(pattern string, h http.HandlerFunc) {
+		patterns = append(patterns, pattern)
+		// The metrics label uses ":id" for the wildcard — brace-free, so it
+		// stays friendly to strict Prometheus exposition parsers.
+		route := pattern[strings.Index(pattern, " ")+1:]
+		route = strings.ReplaceAll(route, "{id}", ":id")
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+
+	// /v1: the single-tenant shim, bound to the reserved default session.
+	handle("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		s.decideSession(w, r, s.def)
+	})
+	handle("POST /v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		s.feedbackSession(w, r, s.def)
+	})
+	handle("GET /v1/stats", s.handleStats)
+	handle("POST /v1/checkpoint", func(w http.ResponseWriter, _ *http.Request) {
+		s.checkpointHandler(w, s.def)
+	})
+	handle("GET /v1/trace/tail", func(w http.ResponseWriter, r *http.Request) {
+		s.traceTailSession(w, r, s.def)
+	})
+
+	// /v2: the multi-tenant session surface.
+	handle("GET /v2/sessions", s.handleSessionList)
+	handle("PUT /v2/sessions/{id}", s.handleSessionPut)
+	handle("GET /v2/sessions/{id}", s.handleSessionGet)
+	handle("DELETE /v2/sessions/{id}", s.handleSessionDelete)
+	handle("POST /v2/sessions/{id}/decide", s.withSession(s.decideSession))
+	handle("POST /v2/sessions/{id}/feedback", s.withSession(s.feedbackSession))
+	handle("POST /v2/sessions/{id}/checkpoint", s.withSession(
+		func(w http.ResponseWriter, _ *http.Request, sess *session) {
+			s.checkpointHandler(w, sess)
 		}))
+	handle("GET /v2/sessions/{id}/stats", s.withSession(s.statsSession))
+	handle("GET /v2/sessions/{id}/trace/tail", s.withSession(s.traceTailSession))
+	handle("GET /v2/sessions/{id}/metrics", s.withSession(
+		func(w http.ResponseWriter, r *http.Request, sess *session) {
+			sess.reg.Handler().ServeHTTP(w, r)
+		}))
+
+	patterns = append(patterns, "GET /metrics")
+	mux.Handle("GET /metrics", s.reg.Handler())
+	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
 	// Standard pprof endpoints for live CPU/heap/goroutine profiling.
 	// Mounted manually because the service uses its own mux rather than
 	// http.DefaultServeMux (where the pprof package self-registers).
-	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return mux
+	for pattern, h := range map[string]http.HandlerFunc{
+		"GET /debug/pprof/":        pprof.Index,
+		"GET /debug/pprof/cmdline": pprof.Cmdline,
+		"GET /debug/pprof/profile": pprof.Profile,
+		"GET /debug/pprof/symbol":  pprof.Symbol,
+		"GET /debug/pprof/trace":   pprof.Trace,
+	} {
+		patterns = append(patterns, pattern)
+		mux.HandleFunc(pattern, h)
+	}
+
+	sort.Strings(patterns)
+	s.routes.Store(&patterns)
+	return s.envelope(mux)
 }
 
-// statusWriter captures the response status for the middleware.
+// Routes returns the sorted mux patterns the service serves — the API
+// surface the routes.golden test pins. Populated by Handler.
+func (s *Service) Routes() []string {
+	if s.routes.Load() == nil {
+		s.Handler()
+	}
+	return append([]string(nil), *s.routes.Load()...)
+}
+
+// statusFor maps session-layer sentinel errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errSessionNotFound), errors.Is(err, errSessionDeleted):
+		return http.StatusNotFound
+	case errors.Is(err, errSessionExists), errors.Is(err, errSessionReserved):
+		return http.StatusConflict
+	case errors.Is(err, errInvalidSessionID), errors.Is(err, errBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, errNoCheckpointPath):
+		return http.StatusPreconditionFailed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// withSession resolves {id} before the handler runs; unknown ids answer
+// 404 in the uniform envelope.
+func (s *Service) withSession(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.mgr.get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+// admit acquires an admission-gate slot for learner-touching work. A nil
+// release means the request was refused with 429 (+ Retry-After) and the
+// handler must return; otherwise the caller defers release().
+func (s *Service) admit(w http.ResponseWriter) (release func()) {
+	if s.gate == nil {
+		return func() {}
+	}
+	select {
+	case s.gate <- struct{}{}:
+		return func() { <-s.gate }
+	default:
+		s.throttled.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server: %d decide/feedback requests already in flight", cap(s.gate)))
+		return nil
+	}
+}
+
+// --- middleware ---------------------------------------------------------
+
+// statusWriter captures the response status for the metrics middleware.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -197,6 +396,75 @@ func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 	}
 }
 
+// envelopeWriter intercepts error responses whose body is not already the
+// JSON envelope (the mux's plain-text 404/405, stray http.Error calls)
+// and buffers them so envelope() can rewrite the body.
+type envelopeWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+	intercept   bool
+	buf         bytes.Buffer
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = code
+	ct := w.Header().Get("Content-Type")
+	if code >= 400 && !strings.HasPrefix(ct, "application/json") {
+		// Hold the header back: finish() rewrites this response.
+		w.intercept = true
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercept {
+		return w.buf.Write(b)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// finish emits the buffered error as the uniform JSON envelope.
+func (w *envelopeWriter) finish() {
+	if !w.intercept {
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Del("Content-Length")
+	w.ResponseWriter.WriteHeader(w.status)
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	_ = json.NewEncoder(w.ResponseWriter).Encode(errorResponse{Error: msg})
+}
+
+// envelope is the outermost middleware: every response carries an
+// X-Request-ID (the caller's, echoed, or a generated one) and every
+// error response leaves as the JSON errorResponse envelope regardless of
+// which layer produced it.
+func (s *Service) envelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = fmt.Sprintf("megh-%x-%d", s.reqEpoch, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		ew := &envelopeWriter{ResponseWriter: w}
+		next.ServeHTTP(ew, r)
+		ew.finish()
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -207,7 +475,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func (s *Service) handleDecide(w http.ResponseWriter, r *http.Request) {
+// --- session handlers (shared by /v1 and /v2) ---------------------------
+
+func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
 	var req StateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
@@ -217,32 +493,43 @@ func (s *Service) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.VMs) != s.cfg.NumVMs || len(req.Hosts) != s.cfg.NumHosts {
+	if len(req.VMs) != sess.spec.NumVMs || len(req.Hosts) != sess.spec.NumHosts {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("snapshot is %d×%d, service configured for %d×%d",
-				len(req.VMs), len(req.Hosts), s.cfg.NumVMs, s.cfg.NumHosts))
+			fmt.Errorf("snapshot is %d×%d, session %q configured for %d×%d",
+				len(req.VMs), len(req.Hosts), sess.id, sess.spec.NumVMs, sess.spec.NumHosts))
 		return
 	}
-	snap := req.snapshot(s.cfg.OverloadThreshold, s.cfg.StepSeconds)
+	snap := req.snapshot(sess.spec.OverloadThreshold, sess.spec.StepSeconds)
 
 	// Decide returns the learner's scratch buffer, valid only until the next
-	// Decide — so the response copy MUST be built before releasing s.mu, or a
-	// concurrent request overwrites the decisions mid-encoding (the bug
-	// TestDecideAppendReturnsOwnedCopy pins on the core side).
-	s.mu.Lock()
-	migs := s.learner.Decide(snap)
-	decisions := make([]MigrationDecision, 0, len(migs))
-	for _, m := range migs {
-		decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
+	// Decide — so the response copy MUST be built before the session lock is
+	// released, or a concurrent request overwrites the decisions mid-encoding
+	// (the bug TestDecideAppendReturnsOwnedCopy pins on the core side).
+	var decisions []MigrationDecision
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		migs := l.Decide(snap)
+		decisions = make([]MigrationDecision, 0, len(migs))
+		for _, m := range migs {
+			decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
+		}
+		sess.decisions++
+		sess.lastStep = req.Step
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
 	}
-	s.decisions++
-	s.lastStep = req.Step
-	s.mu.Unlock()
-
 	writeJSON(w, http.StatusOK, DecideResponse{Step: req.Step, Migrations: decisions})
 }
 
-func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
+func (s *Service) feedbackSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
 	var req FeedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding feedback: %w", err))
@@ -252,19 +539,24 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("negative step cost %g", req.StepCost))
 		return
 	}
-	s.mu.Lock()
-	s.learner.Observe(&sim.Feedback{
-		Step:         req.Step,
-		StepCost:     req.StepCost,
-		EnergyCost:   req.EnergyCost,
-		SLACost:      req.SLACost,
-		ResourceCost: req.ResourceCost,
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		l.Observe(&sim.Feedback{
+			Step:         req.Step,
+			StepCost:     req.StepCost,
+			EnergyCost:   req.EnergyCost,
+			SLACost:      req.SLACost,
+			ResourceCost: req.ResourceCost,
+		})
+		return nil
 	})
-	s.mu.Unlock()
-	if s.cfg.Tracer != nil {
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if sess.tracer.Enabled() {
 		// The service never executes migrations itself, so the step event
 		// carries only the cost decomposition the caller reported.
-		s.cfg.Tracer.Emit(&trace.Event{
+		sess.tracer.Emit(&trace.Event{
 			Kind:         trace.KindStep,
 			Step:         req.Step,
 			EnergyCost:   req.EnergyCost,
@@ -276,10 +568,10 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleTraceTail serves the newest buffered trace events, oldest first.
+// traceTailSession serves the newest buffered trace events, oldest first.
 // ?n= bounds the count (default 100); the ring size caps what is
 // retained regardless.
-func (s *Service) handleTraceTail(w http.ResponseWriter, r *http.Request) {
+func (s *Service) traceTailSession(w http.ResponseWriter, r *http.Request, sess *session) {
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -289,76 +581,158 @@ func (s *Service) handleTraceTail(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	resp := TraceTailResponse{Enabled: s.cfg.Tracer.Enabled()}
+	resp := TraceTailResponse{Enabled: sess.tracer.Enabled()}
 	if resp.Enabled {
-		resp.Events = s.cfg.Tracer.Tail(n)
+		resp.Events = sess.tracer.Tail(n)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// sessionStats builds the stats body, restoring the learner if evicted
+// (stats is a touch like any other).
+func (s *Service) sessionStats(sess *session) (SessionStatsResponse, error) {
+	var resp SessionStatsResponse
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		resp = SessionStatsResponse{
+			StatsResponse: StatsResponse{
+				NumVMs:      sess.spec.NumVMs,
+				NumHosts:    sess.spec.NumHosts,
+				Decisions:   sess.decisions,
+				QTableNNZ:   l.QTableNNZ(),
+				Temperature: l.Temperature(),
+			},
+			ID:        sess.id,
+			Live:      true,
+			Evictions: sess.evictions,
+			Restores:  sess.restores,
+		}
+		return nil
+	})
+	return resp, err
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	resp := StatsResponse{
-		NumVMs:      s.cfg.NumVMs,
-		NumHosts:    s.cfg.NumHosts,
-		Decisions:   s.decisions,
-		QTableNNZ:   s.learner.QTableNNZ(),
-		Temperature: s.learner.Temperature(),
+	resp, err := s.sessionStats(s.def)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
 	}
-	s.mu.Unlock()
+	// /v1 predates sessions: answer the historical flat shape.
+	writeJSON(w, http.StatusOK, resp.StatsResponse)
+}
+
+func (s *Service) statsSession(w http.ResponseWriter, _ *http.Request, sess *session) {
+	resp, err := s.sessionStats(sess)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// --- /v2 session lifecycle handlers -------------------------------------
+
+func (s *Service) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.mgr.list()
+	live := 0
+	for _, in := range infos {
+		if in.Live {
+			live++
+		}
+	}
+	writeJSON(w, http.StatusOK, SessionListResponse{
+		Sessions: infos, Live: live, MaxSessions: s.cfg.MaxSessions,
+	})
+}
+
+func (s *Service) handleSessionPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == DefaultSessionID {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("%w: %q is managed by the service configuration", errSessionReserved, id))
+		return
+	}
+	var spec SessionSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session spec: %w", err))
+		return
+	}
+	sess, created, err := s.mgr.put(id, spec, false)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, sess.info())
+}
+
+func (s *Service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Service) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.delete(r.PathValue("id")); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- checkpointing ------------------------------------------------------
 
 // errNoCheckpointPath distinguishes "not configured" from I/O failures.
 var errNoCheckpointPath = errors.New("no checkpoint path configured")
 
-// Checkpoint persists the learner state atomically: the state is written
-// to a uniquely named temp file in the destination directory and renamed
-// over CheckpointPath. Unique temp names make concurrent checkpoints safe —
-// each writer completes its own file and the last rename wins with a fully
-// written image (the old shared ".tmp" name let two writers interleave and
-// persist a corrupt file).
+// Checkpoint persists the default session's learner state atomically
+// (unique temp file + rename, so concurrent checkpoints each complete a
+// private file and the last rename wins with a fully written image).
 func (s *Service) Checkpoint() (CheckpointResponse, error) {
-	if s.cfg.CheckpointPath == "" {
-		return CheckpointResponse{}, errNoCheckpointPath
-	}
-	dir, base := filepath.Split(s.cfg.CheckpointPath)
-	if dir == "" {
-		dir = "."
-	}
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return CheckpointResponse{}, err
-	}
-	tmp := f.Name()
-	s.mu.Lock()
-	err = s.learner.SaveState(f)
-	s.mu.Unlock()
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, s.cfg.CheckpointPath)
-	}
-	if err != nil {
-		_ = os.Remove(tmp)
-		return CheckpointResponse{}, err
-	}
-	info, err := os.Stat(s.cfg.CheckpointPath)
-	if err != nil {
-		return CheckpointResponse{}, err
-	}
-	return CheckpointResponse{Path: s.cfg.CheckpointPath, Bytes: int(info.Size())}, nil
+	return s.checkpointSession(s.def)
 }
 
-func (s *Service) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
-	resp, err := s.Checkpoint()
+// CheckpointAll persists every resident session that has a checkpoint
+// path; evicted sessions are already on disk. Returns how many files
+// were written.
+func (s *Service) CheckpointAll() (int, error) { return s.mgr.checkpointAll() }
+
+func (s *Service) checkpointSession(sess *session) (CheckpointResponse, error) {
+	if sess.ckptPath == "" {
+		return CheckpointResponse{}, errNoCheckpointPath
+	}
+	var resp CheckpointResponse
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		if err := l.SaveStateFile(sess.ckptPath); err != nil {
+			return err
+		}
+		info, err := os.Stat(sess.ckptPath)
+		if err != nil {
+			return err
+		}
+		resp = CheckpointResponse{Path: sess.ckptPath, Bytes: int(info.Size())}
+		return nil
+	})
+	if err != nil {
+		return CheckpointResponse{}, err
+	}
+	return resp, nil
+}
+
+func (s *Service) checkpointHandler(w http.ResponseWriter, sess *session) {
+	resp, err := s.checkpointSession(sess)
 	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, errNoCheckpointPath):
 		writeError(w, http.StatusPreconditionFailed, err)
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		writeError(w, statusFor(err), err)
 	}
 }

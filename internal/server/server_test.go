@@ -212,23 +212,23 @@ func TestCheckpointAndRestore(t *testing.T) {
 	if ck.Path != path || ck.Bytes <= 0 {
 		t.Fatalf("checkpoint response %+v", ck)
 	}
-	svc.mu.Lock()
-	wantTemp := svc.learner.Temperature()
-	wantNNZ := svc.learner.QTableNNZ()
-	svc.mu.Unlock()
+	svc.def.mu.Lock()
+	wantTemp := svc.def.learner.Temperature()
+	wantNNZ := svc.def.learner.QTableNNZ()
+	svc.def.mu.Unlock()
 
 	// A fresh service restores from the file.
 	restored, err := New(Config{NumVMs: 4, NumHosts: 3, CheckpointPath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if restored.learner.Temperature() != wantTemp {
+	if restored.def.learner.Temperature() != wantTemp {
 		t.Fatalf("restored temperature %g, want %g",
-			restored.learner.Temperature(), wantTemp)
+			restored.def.learner.Temperature(), wantTemp)
 	}
-	if restored.learner.QTableNNZ() != wantNNZ {
+	if restored.def.learner.QTableNNZ() != wantNNZ {
 		t.Fatalf("restored Q-table %d entries, want %d",
-			restored.learner.QTableNNZ(), wantNNZ)
+			restored.def.learner.QTableNNZ(), wantNNZ)
 	}
 }
 
@@ -301,9 +301,9 @@ func TestLearnerPanicBecomesHTTP500(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc.mu.Lock()
-	svc.learner = bad
-	svc.mu.Unlock()
+	svc.def.mu.Lock()
+	svc.def.learner = bad
+	svc.def.mu.Unlock()
 
 	resp := postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, false))
 	if resp.StatusCode != http.StatusInternalServerError {

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"megh/internal/core"
+	"megh/internal/obs"
+	"megh/internal/trace"
+)
+
+// numShards splits the session map so creates/lookups for different
+// tenants never contend on one mutex. 32 is far beyond the core counts
+// this service runs on; the per-shard RWMutex is only held for map
+// operations, never across learner work.
+const numShards = 32
+
+// DefaultSessionID is the reserved session backing the /v1 shim. It is
+// pinned (never evicted) and cannot be created or deleted through /v2.
+const DefaultSessionID = "default"
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	errSessionNotFound  = errors.New("session not found")
+	errSessionExists    = errors.New("session exists with a different spec")
+	errSessionReserved  = errors.New("session id is reserved")
+	errSessionDeleted   = errors.New("session was deleted")
+	errInvalidSessionID = errors.New("invalid session id")
+	errBadSpec          = errors.New("invalid session spec")
+)
+
+// session is one tenant: an independent data center with its own learner
+// (its own MDP instance), tracer ring, metrics registry, and lock.
+// Decides for different sessions touch different mutexes, so tenants
+// never serialise on each other.
+type session struct {
+	id   string
+	spec SessionSpec
+
+	// lastTouch is the manager's logical clock value at the last learner
+	// access; the LRU eviction scan reads it without taking mu.
+	lastTouch atomic.Int64
+
+	mu sync.Mutex
+	// learner is nil while the session is evicted (its state lives in
+	// ckptPath); the next touch restores it lazily.
+	learner   *core.Megh
+	tracer    *trace.Tracer
+	reg       *obs.Registry
+	decisions int
+	lastStep  int
+	evictions int
+	restores  int
+	deleted   bool
+
+	// pinned sessions (the /v1 default) are never evicted.
+	pinned bool
+	// ckptPath is where this session checkpoints ("" = no persistence;
+	// such a session can never be evicted, only deleted).
+	ckptPath string
+}
+
+// info snapshots the session for GET/list responses. It never restores an
+// evicted learner — inspection must not churn the LRU.
+func (s *session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		ID:        s.id,
+		Spec:      s.spec,
+		Live:      s.learner != nil,
+		Pinned:    s.pinned,
+		Decisions: s.decisions,
+		LastStep:  s.lastStep,
+		Evictions: s.evictions,
+		Restores:  s.restores,
+	}
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+// sessionManager owns the sharded session registry, the LRU logical
+// clock, and the eviction machinery.
+type sessionManager struct {
+	shards   [numShards]shard
+	clock    atomic.Int64
+	live     atomic.Int64
+	maxLive  int    // 0 = unlimited
+	ckptDir  string // "" = sessions are memory-only (eviction disabled)
+	ringSize int    // per-session tracer ring; 0 disables per-session tracing
+
+	overload    float64
+	stepSeconds float64
+
+	gLive    *obs.Gauge
+	gDefined *obs.Gauge
+	cEvict   *obs.Counter
+	cRestore *obs.Counter
+}
+
+func newSessionManager(cfg Config, reg *obs.Registry) *sessionManager {
+	m := &sessionManager{
+		maxLive:     cfg.MaxSessions,
+		ckptDir:     cfg.CheckpointDir,
+		ringSize:    cfg.SessionRing,
+		overload:    cfg.OverloadThreshold,
+		stepSeconds: cfg.StepSeconds,
+		gLive: reg.Gauge("megh_sessions_live",
+			"Sessions whose learner is resident in memory.", nil),
+		gDefined: reg.Gauge("megh_sessions_defined",
+			"Sessions known to the service, resident or evicted.", nil),
+		cEvict: reg.Counter("megh_session_evictions_total",
+			"Learners checkpointed to disk and dropped from memory under the max-sessions cap.", nil),
+		cRestore: reg.Counter("megh_session_restores_total",
+			"Evicted learners restored lazily from their checkpoint file.", nil),
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*session)
+	}
+	return m
+}
+
+// shardFor hashes the session id with FNV-1a onto one of the shards.
+func (m *sessionManager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &m.shards[h.Sum32()%numShards]
+}
+
+// validSessionID accepts short, filename-safe names: an alphanumeric
+// first byte followed by alphanumerics, '.', '_' or '-'. The charset
+// excludes path separators, so ids embed safely in checkpoint filenames.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9':
+		case i > 0 && (c == '.' || c == '_' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkpointPath returns where session id persists, or "" when the
+// manager has no checkpoint directory.
+func (m *sessionManager) checkpointPath(id string) string {
+	if m.ckptDir == "" {
+		return ""
+	}
+	return filepath.Join(m.ckptDir, id+".ckpt")
+}
+
+// touch advances the LRU clock for the session.
+func (m *sessionManager) touch(s *session) { s.lastTouch.Store(m.clock.Add(1)) }
+
+// get looks a session up without creating or restoring anything.
+func (m *sessionManager) get(id string) (*session, error) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s := sh.m[id]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", errSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// put creates (or idempotently re-acknowledges) a session. A new session
+// starts from its checkpoint file when one already exists on disk — that
+// is how learning survives a service restart — and from a fresh learner
+// otherwise. Returns the session and whether it was newly created.
+func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session, bool, error) {
+	if !validSessionID(id) {
+		return nil, false, fmt.Errorf("%w: %q", errInvalidSessionID, id)
+	}
+	spec = spec.normalized(m.overload, m.stepSeconds)
+	if err := spec.validate(); err != nil {
+		return nil, false, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	if existing := sh.m[id]; existing != nil {
+		sh.mu.Unlock()
+		if existing.spec != spec {
+			return nil, false, fmt.Errorf("%w: %q is %d×%d (seed %d), request wants %d×%d (seed %d)",
+				errSessionExists, id,
+				existing.spec.NumVMs, existing.spec.NumHosts, existing.spec.Seed,
+				spec.NumVMs, spec.NumHosts, spec.Seed)
+		}
+		return existing, false, nil
+	}
+
+	s := &session{
+		id:       id,
+		spec:     spec,
+		pinned:   pinned,
+		reg:      obs.NewRegistry(),
+		ckptPath: m.checkpointPath(id),
+	}
+	if m.ringSize > 0 {
+		tr, err := trace.New(trace.Options{RingSize: m.ringSize})
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, false, err
+		}
+		s.tracer = tr
+	}
+
+	var learner *core.Megh
+	if s.ckptPath != "" {
+		l, err := core.LoadStateFile(s.ckptPath)
+		switch {
+		case err == nil:
+			if lc := l.Config(); lc.NumVMs != spec.NumVMs || lc.NumHosts != spec.NumHosts {
+				sh.mu.Unlock()
+				return nil, false, fmt.Errorf("%w: checkpoint %s holds a %d×%d learner, request wants %d×%d",
+					errSessionExists, s.ckptPath, lc.NumVMs, lc.NumHosts, spec.NumVMs, spec.NumHosts)
+			}
+			learner = l
+			s.restores++
+			m.cRestore.Inc()
+		case errors.Is(err, fs.ErrNotExist):
+			// First life of this session: build below.
+		default:
+			sh.mu.Unlock()
+			return nil, false, fmt.Errorf("restoring session %q: %w", id, err)
+		}
+	}
+	if learner == nil {
+		lc := core.DefaultConfig(spec.NumVMs, spec.NumHosts, spec.Seed)
+		l, err := core.New(lc)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, false, err
+		}
+		learner = l
+	}
+	learner.Instrument(s.reg)
+	learner.Trace(s.tracer)
+	s.learner = learner
+	sh.m[id] = s
+	sh.mu.Unlock()
+
+	m.touch(s)
+	m.gDefined.Add(1)
+	m.noteResident(1)
+	m.enforceCap(s)
+	return s, true, nil
+}
+
+// delete removes a session and its checkpoint file. Pinned sessions (the
+// /v1 default) are reserved and refuse deletion.
+func (m *sessionManager) delete(id string) error {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s := sh.m[id]
+	if s == nil {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", errSessionNotFound, id)
+	}
+	if s.pinned {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q backs the /v1 shim", errSessionReserved, id)
+	}
+	delete(sh.m, id)
+	sh.mu.Unlock()
+
+	s.mu.Lock()
+	s.deleted = true
+	wasLive := s.learner != nil
+	s.learner = nil
+	path := s.ckptPath
+	s.mu.Unlock()
+
+	m.gDefined.Add(-1)
+	if wasLive {
+		m.noteResident(-1)
+	}
+	if path != "" {
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// list snapshots every session, sorted by id.
+func (m *sessionManager) list() []SessionInfo {
+	var out []SessionInfo
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			out = append(out, s.info())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// noteResident tracks the live-learner count and mirrors it into the
+// gauge.
+func (m *sessionManager) noteResident(delta int64) {
+	m.gLive.Set(float64(m.live.Add(delta)))
+}
+
+// withLearner is the one learner access path: it bumps the session's LRU
+// stamp, runs fn under the session lock — lazily restoring an evicted
+// learner from its checkpoint file first — and re-runs cap enforcement
+// when the restore pushed residency over the cap.
+func (m *sessionManager) withLearner(s *session, fn func(l *core.Megh) error) error {
+	m.touch(s)
+	s.mu.Lock()
+	if s.deleted {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", errSessionDeleted, s.id)
+	}
+	restored := false
+	if s.learner == nil {
+		l, err := core.LoadStateFile(s.ckptPath)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("restoring session %q: %w", s.id, err)
+		}
+		if lc := l.Config(); lc.NumVMs != s.spec.NumVMs || lc.NumHosts != s.spec.NumHosts {
+			s.mu.Unlock()
+			return fmt.Errorf("session %q checkpoint holds a %d×%d learner, spec says %d×%d",
+				s.id, lc.NumVMs, lc.NumHosts, s.spec.NumVMs, s.spec.NumHosts)
+		}
+		l.Instrument(s.reg)
+		l.Trace(s.tracer)
+		s.learner = l
+		s.restores++
+		restored = true
+		m.cRestore.Inc()
+		m.noteResident(1)
+	}
+	// The closure's deferred unlock releases the session even if fn panics
+	// (the HTTP panic guard turns that into a 500).
+	err := func() error {
+		defer s.mu.Unlock()
+		return fn(s.learner)
+	}()
+	if restored {
+		m.enforceCap(s)
+	}
+	return err
+}
+
+// enforceCap evicts least-recently-used sessions until residency is back
+// under the cap. The session that triggered enforcement (keep) is exempt
+// this round — evicting what was just touched would thrash. Pinned
+// sessions and sessions without a checkpoint path are never evicted, so
+// residency may exceed the cap when nothing else is evictable; the cap is
+// a memory target, not an admission limit.
+func (m *sessionManager) enforceCap(keep *session) {
+	if m.maxLive <= 0 {
+		return
+	}
+	for m.live.Load() > int64(m.maxLive) {
+		victim := m.lruVictim(keep)
+		if victim == nil {
+			return
+		}
+		if !m.evict(victim) {
+			// Lost a race (victim touched, deleted, or already evicted) or
+			// its checkpoint failed; rescan. lruVictim re-reads lastTouch,
+			// so a touched victim falls out of the candidate ordering.
+			if m.lruVictim(keep) == victim {
+				return
+			}
+		}
+	}
+}
+
+// lruVictim scans all shards for the evictable session with the oldest
+// touch stamp. O(sessions), which is fine: eviction happens at most once
+// per create/restore and session counts are administrative, not per-VM.
+func (m *sessionManager) lruVictim(keep *session) *session {
+	var victim *session
+	var oldest int64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			if s == keep || s.pinned || s.ckptPath == "" {
+				continue
+			}
+			s.mu.Lock()
+			live := s.learner != nil && !s.deleted
+			s.mu.Unlock()
+			if !live {
+				continue
+			}
+			if t := s.lastTouch.Load(); victim == nil || t < oldest {
+				victim, oldest = s, t
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return victim
+}
+
+// evict checkpoints the victim and drops its learner. The checkpoint
+// write happens under the session lock, so an in-flight decide finishes
+// first and the image is consistent; a failed write aborts the eviction
+// (state loss is worse than an over-cap learner).
+func (m *sessionManager) evict(s *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.learner == nil || s.deleted || s.pinned || s.ckptPath == "" {
+		return false
+	}
+	if err := s.learner.SaveStateFile(s.ckptPath); err != nil {
+		return false
+	}
+	s.learner = nil
+	s.evictions++
+	m.cEvict.Inc()
+	m.noteResident(-1)
+	return true
+}
+
+// checkpointAll persists every resident session that has a checkpoint
+// path (evicted sessions are already on disk). Used by meghd's periodic
+// and shutdown checkpoints. Returns how many files were written and the
+// first error.
+func (m *sessionManager) checkpointAll() (int, error) {
+	var n int
+	var firstErr error
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		sessions := make([]*session, 0, len(sh.m))
+		for _, s := range sh.m {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			s.mu.Lock()
+			if s.learner != nil && !s.deleted && s.ckptPath != "" {
+				if err := s.learner.SaveStateFile(s.ckptPath); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("session %q: %w", s.id, err)
+					}
+				} else {
+					n++
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	return n, firstErr
+}

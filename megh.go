@@ -30,8 +30,12 @@
 package megh
 
 import (
+	"net/http"
+
 	"megh/internal/core"
+	"megh/internal/invariant"
 	"megh/internal/mdp"
+	"megh/internal/server"
 	"megh/internal/sim"
 	"megh/internal/trace"
 )
@@ -112,3 +116,74 @@ type (
 // NewTracer builds a Tracer. The zero TraceOptions value keeps an
 // in-memory ring of recent events without writing anywhere.
 func NewTracer(o TraceOptions) (*Tracer, error) { return trace.New(o) }
+
+// Runtime invariant checking, re-exported from internal/invariant.
+type (
+	// Checker validates simulator state after each step; attach one via
+	// SimConfig.Checker. Any non-nil CheckStep return aborts the run.
+	Checker = sim.Checker
+	// StepCheck bundles what a Checker may inspect after one step.
+	StepCheck = sim.StepCheck
+	// SimChecker is the stock Checker: it audits the simulator's
+	// conservation laws (placement bijection, occupancy sums, migration
+	// accounting, cost decomposition) as a pure observer — a checked run
+	// is byte-identical to an unchecked one.
+	SimChecker = invariant.SimChecker
+)
+
+// NewSimChecker returns a fresh conservation-law checker for one Run.
+func NewSimChecker() *SimChecker { return invariant.NewSimChecker() }
+
+// HTTP service and client, re-exported from internal/server: the same
+// scheduler as a deployable component (cmd/meghd) or embedded handler.
+type (
+	// Service hosts learners over HTTP: the versioned /v2 multi-session
+	// API plus the deprecated /v1 shim bound to the "default" session.
+	Service = server.Service
+	// ServiceConfig parameterises a Service (dimensions, checkpointing,
+	// session cap, admission limit).
+	ServiceConfig = server.Config
+	// ServiceClient is the typed HTTP client for a meghd endpoint. All
+	// methods have context-accepting forms and retry transient failures
+	// (5xx and 429) with exponential backoff.
+	ServiceClient = server.Client
+	// SessionClient is a ServiceClient view scoped to one named /v2
+	// session; obtain one with ServiceClient.Session(id).
+	SessionClient = server.SessionClient
+	// SessionSpec declares a session's dimensions and hyper-parameters.
+	SessionSpec = server.SessionSpec
+	// SessionInfo reports one session's spec, residency, and counters.
+	SessionInfo = server.SessionInfo
+	// RemotePolicy adapts a ServiceClient (or SessionClient) into a
+	// sim.Policy, so a simulation can drive a remote learner.
+	RemotePolicy = server.RemotePolicy
+	// StateRequest is one monitoring interval's snapshot on the wire.
+	StateRequest = server.StateRequest
+	// HostState and VMState are a StateRequest's constituents.
+	HostState = server.HostState
+	VMState   = server.VMState
+	// DecideResponse carries the migration decisions for a snapshot.
+	DecideResponse = server.DecideResponse
+	// FeedbackRequest reports the realised cost of an interval.
+	FeedbackRequest = server.FeedbackRequest
+	// StatsResponse reports a learner's internals over the wire.
+	StatsResponse = server.StatsResponse
+)
+
+// NewService builds an HTTP service hosting Megh learners.
+func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
+
+// NewServiceClient returns a client for a meghd base URL. A nil
+// httpClient uses http.DefaultClient.
+func NewServiceClient(baseURL string, httpClient *http.Client) *ServiceClient {
+	return server.NewClient(baseURL, httpClient)
+}
+
+// NewRemotePolicy adapts a v1 client into a simulator Policy.
+func NewRemotePolicy(c *ServiceClient) *RemotePolicy { return server.NewRemotePolicy(c) }
+
+// NewRemoteSessionPolicy adapts a session-scoped client into a Policy,
+// so one simulator process can drive many named remote learners.
+func NewRemoteSessionPolicy(sc *SessionClient) *RemotePolicy {
+	return server.NewRemoteSessionPolicy(sc)
+}
