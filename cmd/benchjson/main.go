@@ -12,10 +12,20 @@
 // named benchmarks report exactly 0 allocs/op — `make check` uses this as a
 // regression gate on the allocation-free decide path.
 //
+// With -check FILE, benchjson compares the freshly parsed results against
+// the committed baseline document instead of writing one: any benchmark
+// present in both whose ns/op regressed by more than -check-tolerance
+// (default 0.20, i.e. 20%) fails the run, listing every offender —
+// `make bench-check` uses this as the performance regression gate against
+// BENCH_megh.json. Benchmarks new in this run (absent from the baseline)
+// are skipped, so adding a benchmark never requires regenerating the
+// baseline in the same change.
+//
 // Usage:
 //
 //	go test -run=- -bench=. -benchmem ./... | benchjson -commit $(git rev-parse --short HEAD) -o BENCH_megh.json
 //	go test -run=- -bench=Decide/no-tracer-nocost -benchmem ./internal/core | benchjson -assert-zero-alloc BenchmarkDecide/no-tracer-nocost
+//	go test -run=- -bench=. -benchmem ./... | benchjson -check BENCH_megh.json
 package main
 
 import (
@@ -63,7 +73,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 // parse consumes benchmark text and returns the parsed results plus the
-// "cpu:" header line, if present.
+// "cpu:" header line, if present. Repetitions of one benchmark (-count=N)
+// collapse to the fastest rep by ns/op: the minimum is the noise-robust
+// estimate a regression gate wants — scheduler interference and frequency
+// scaling only ever make a run slower, never faster.
 func parse(r io.Reader) ([]Result, string, error) {
 	var results []Result
 	var cpu string
@@ -114,6 +127,19 @@ func parse(r io.Reader) ([]Result, string, error) {
 	if err := sc.Err(); err != nil {
 		return nil, "", err
 	}
+	best := make(map[string]int, len(results))
+	deduped := results[:0]
+	for _, r := range results {
+		if at, ok := best[r.Name]; ok {
+			if r.NsPerOp < deduped[at].NsPerOp {
+				deduped[at] = r
+			}
+			continue
+		}
+		best[r.Name] = len(deduped)
+		deduped = append(deduped, r)
+	}
+	results = deduped
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 	return results, cpu, nil
 }
@@ -138,7 +164,51 @@ func assertZeroAlloc(results []Result, names []string) error {
 	return nil
 }
 
-func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc string) error {
+// checkRegressions compares fresh results against the committed baseline:
+// each benchmark present in both must keep ns/op within (1+tolerance)× its
+// baseline value. Every offender is reported, not just the first, so one
+// run shows the full damage. Benchmarks missing from the baseline pass
+// (they are new); benchmarks missing from the fresh run are ignored (the
+// caller chose what to re-run).
+func checkRegressions(results []Result, baselinePath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("benchjson: reading baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchjson: parsing baseline %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range results {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("  %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+					r.Name, r.NsPerOp, b.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, tolerance*100))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("benchjson: no benchmark in the input matches the baseline %s (%d baseline entries)",
+			baselinePath, len(base.Benchmarks))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchjson: %d of %d benchmarks regressed beyond the %.0f%% tolerance vs %s:\n%s",
+			len(regressions), compared, tolerance*100, baselinePath, strings.Join(regressions, "\n"))
+	}
+	return nil
+}
+
+func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc, checkPath string, checkTol float64) error {
 	results, cpu, err := parse(in)
 	if err != nil {
 		return err
@@ -157,6 +227,19 @@ func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc string) e
 			return err
 		}
 		fmt.Fprintf(out, "benchjson: zero-alloc gate passed for %s\n", zeroAlloc)
+		if outPath == "" && checkPath == "" {
+			return nil
+		}
+	}
+	if checkPath != "" {
+		if checkTol <= 0 {
+			return fmt.Errorf("benchjson: -check-tolerance %g must be positive", checkTol)
+		}
+		if err := checkRegressions(results, checkPath, checkTol); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchjson: regression gate passed against %s (tolerance %.0f%%)\n",
+			checkPath, checkTol*100)
 		if outPath == "" {
 			return nil
 		}
@@ -193,8 +276,12 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the output")
 	zeroAlloc := flag.String("assert-zero-alloc", "",
 		"comma-separated benchmark names that must report 0 allocs/op; exit 1 otherwise")
+	checkPath := flag.String("check", "",
+		"baseline BENCH JSON file to compare against; exit 1 when any shared benchmark's ns/op regresses beyond -check-tolerance")
+	checkTol := flag.Float64("check-tolerance", 0.20,
+		"allowed fractional ns/op regression for -check (0.20 = 20%)")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *commit, *outPath, *note, *zeroAlloc); err != nil {
+	if err := run(os.Stdin, os.Stdout, *commit, *outPath, *note, *zeroAlloc, *checkPath, *checkTol); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,6 +49,25 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseKeepsFastestRep: -count=N repetitions collapse to the rep with
+// the lowest ns/op — the noise-robust estimate the regression gate compares.
+func TestParseKeepsFastestRep(t *testing.T) {
+	reps := `BenchmarkDecide/no-tracer-8	10000	52000 ns/op	412 B/op	1 allocs/op
+BenchmarkDecide/no-tracer-8	10000	50041 ns/op	412 B/op	1 allocs/op
+BenchmarkDecide/no-tracer-8	10000	61000 ns/op	412 B/op	1 allocs/op
+`
+	results, _, err := parse(strings.NewReader(reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1 after rep collapse", len(results))
+	}
+	if results[0].NsPerOp != 50041 {
+		t.Fatalf("kept %v ns/op, want the fastest rep 50041", results[0].NsPerOp)
+	}
+}
+
 func TestAssertZeroAlloc(t *testing.T) {
 	results, _, err := parse(strings.NewReader(sample))
 	if err != nil {
@@ -65,7 +86,7 @@ func TestAssertZeroAlloc(t *testing.T) {
 
 func TestRunWritesJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader(sample), &out, "abc1234", "-", "", ""); err != nil {
+	if err := run(strings.NewReader(sample), &out, "abc1234", "-", "", "", "", 0.20); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -78,7 +99,79 @@ func TestRunWritesJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader("PASS\n"), &out, "", "-", "", ""); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &out, "", "-", "", "", "", 0.20); err == nil {
 		t.Fatal("empty benchmark input accepted")
+	}
+}
+
+// writeBaseline produces a baseline document from benchmark text via run(),
+// exactly as `make bench-json` would.
+func writeBaseline(t *testing.T, benchText string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var out strings.Builder
+	if err := run(strings.NewReader(benchText), &out, "base", path, "", "", "", 0.20); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, sample)
+	// Fresh run 10% slower on one benchmark: inside the 20% budget.
+	fresh := strings.Replace(sample, "2648 ns/op", "2900 ns/op", 1)
+	var out strings.Builder
+	if err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "regression gate passed") {
+		t.Fatalf("missing pass message:\n%s", out.String())
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, sample)
+	// 2648 → 4000 ns/op is a 51% regression; the error must name the
+	// benchmark and both values.
+	fresh := strings.Replace(sample, "2648 ns/op", "4000 ns/op", 1)
+	var out strings.Builder
+	err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20)
+	if err == nil {
+		t.Fatal("51% regression passed the 20% gate")
+	}
+	for _, want := range []string{"BenchmarkDecide/no-tracer-nocost", "4000", "2648"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestCheckSkipsBenchmarksNewInThisRun(t *testing.T) {
+	base := writeBaseline(t, sample)
+	fresh := sample + "BenchmarkDecideBatch/deferred-n64-8\t10000\t999999 ns/op\t0 B/op\t0 allocs/op\n"
+	var out strings.Builder
+	if err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20); err != nil {
+		t.Fatalf("benchmark absent from the baseline failed the gate: %v", err)
+	}
+}
+
+func TestCheckRejectsDisjointBaseline(t *testing.T) {
+	other := `BenchmarkSomethingElse-8	100	50 ns/op
+`
+	base := writeBaseline(t, other)
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out, "", "", "", "", base, 0.20); err == nil {
+		t.Fatal("gate passed with zero benchmarks compared")
+	}
+}
+
+func TestCheckRejectsMissingBaselineFile(t *testing.T) {
+	var out strings.Builder
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := run(strings.NewReader(sample), &out, "", "", "", "", missing, 0.20); err == nil {
+		t.Fatal("gate passed without a baseline file")
+	}
+	if _, err := os.Stat(missing); err == nil {
+		t.Fatal("check mode created the baseline file")
 	}
 }

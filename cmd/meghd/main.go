@@ -21,6 +21,7 @@
 //	GET    /v2/sessions/{id}            session info (spec, residency, counters)
 //	DELETE /v2/sessions/{id}            delete a session and its checkpoint
 //	POST   /v2/sessions/{id}/decide     migration decision for that session
+//	POST   /v2/sessions/{id}/decide/batch  many observe→decide steps in one request
 //	POST   /v2/sessions/{id}/feedback   observed step cost for that session
 //	GET    /v2/sessions/{id}/stats      learner internals for that session
 //	POST   /v2/sessions/{id}/checkpoint persist that session now
@@ -92,6 +93,10 @@ func run() error {
 			"periodic checkpoint interval; 0 disables (needs -checkpoint or -checkpoint-dir)")
 		drain = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to wait for in-flight requests on shutdown")
+		deferThreshold = flag.Float64("defer-threshold", 0,
+			"defer/merge LSPI updates whose influence is below this threshold; 0 = exact mode (apply every update immediately)")
+		deferMaxAge = flag.Int("defer-maxage", 0,
+			"max decides a deferred update may wait before the queue is flushed; 0 = default cadence (only meaningful with -defer-threshold)")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
 		traceOut  = flag.String("trace", "", "append structured trace events (JSONL) to this file")
 		traceRing = flag.Int("trace-ring", trace.DefaultRingSize,
@@ -143,6 +148,8 @@ func run() error {
 		MaxSessions:       *maxSessions,
 		MaxInFlight:       *maxInFlight,
 		SessionRing:       *sessionRing,
+		DeferThreshold:    *deferThreshold,
+		DeferMaxAge:       *deferMaxAge,
 		Seed:              *seed,
 		Tracer:            tracer,
 	})

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"megh/internal/obs"
+	"megh/internal/sim"
+	"megh/internal/sparse"
+	"megh/internal/trace"
+)
+
+func TestValidateRejectsBadDeferParameters(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"nan-defer-threshold":      func(c *Config) { c.DeferThreshold = math.NaN() },
+		"inf-defer-threshold":      func(c *Config) { c.DeferThreshold = math.Inf(1) },
+		"negative-defer-threshold": func(c *Config) { c.DeferThreshold = -1 },
+		"negative-defer-max-age":   func(c *Config) { c.DeferMaxAge = -1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(2, 2, 1)
+			mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("invalid defer parameter accepted")
+			}
+		})
+	}
+}
+
+func TestDeferMaxAgeResolution(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.deferMaxAge(); got != DefaultDeferMaxAge {
+		t.Fatalf("zero DeferMaxAge resolved to %d, want DefaultDeferMaxAge %d", got, DefaultDeferMaxAge)
+	}
+	cfg := DefaultConfig(2, 2, 1)
+	cfg.DeferMaxAge = 3
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.deferMaxAge(); got != 3 {
+		t.Fatalf("explicit DeferMaxAge resolved to %d, want 3", got)
+	}
+}
+
+// TestInstrumentNilDetaches: a nil registry disables instrumentation, and a
+// subsequent Decide must not touch the detached instruments.
+func TestInstrumentNilDetaches(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+	m.Instrument(nil)
+	if m.metrics != nil {
+		t.Fatal("nil registry left instruments attached")
+	}
+	m.Decide(tinySnapshot(t, 2, 2))
+	if got := reg.Histogram("megh_decide_seconds", "", nil).Count(); got != 0 {
+		t.Fatalf("detached registry still observed %d decides", got)
+	}
+}
+
+// TestObserveReusesRejectedScratch: the second rejection-bearing Observe
+// must reuse (clear) the scratch map the first one allocated.
+func TestObserveReusesRejectedScratch(t *testing.T) {
+	m := trainedLearner(t)
+	snaps := snapshotStream(t, 6, 3, 2)
+	fb := &sim.Feedback{StepCost: 0.2, Rejected: []sim.Migration{{VM: 0, Dest: 1}}}
+	m.Decide(snaps[0])
+	m.Observe(fb)
+	if m.rejectedScratch == nil {
+		t.Fatal("first rejection-bearing Observe did not allocate the scratch map")
+	}
+	m.Decide(snaps[1])
+	m.Observe(fb)
+}
+
+// TestFitsExcludesBlockedAndInactiveHosts exercises the destination filter
+// directly: a failed host is never a destination, and an empty host is
+// excluded only from active-only scans.
+func TestFitsExcludesBlockedAndInactiveHosts(t *testing.T) {
+	m, err := New(DefaultConfig(2, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tinySnapshot(t, 2, 3) // round-robin: hosts 0 and 1 hold a VM, host 2 is empty
+	s.HostFailed = make([]bool, 3)
+	s.HostFailed[1] = true
+	m.refreshHostAggregates(s)
+	if m.fits(s, 0, 1, false) {
+		t.Fatal("failed host accepted as destination")
+	}
+	if m.fits(s, 0, 2, true) {
+		t.Fatal("inactive host accepted in an active-only scan")
+	}
+	if !m.fits(s, 0, 2, false) {
+		t.Fatal("healthy empty host rejected without active-only")
+	}
+}
+
+// TestDecideRecordsTimingSpans: a Timings-enabled tracer switches Decide
+// onto the span-recording path.
+func TestDecideWithTimingsTracer(t *testing.T) {
+	m, err := New(DefaultConfig(4, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.New(trace.Options{W: io.Discard, RingSize: -1, Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trace(tr)
+	m.Decide(tinySnapshot(t, 4, 3))
+	if m.spans == nil {
+		t.Fatal("Timings tracer did not arm span recording")
+	}
+}
+
+func TestXrandStateEdgeCases(t *testing.T) {
+	x := newXrand(1)
+	x.setState(0, 0)
+	if s0, s1 := x.state(); s0|s1 == 0 {
+		t.Fatal("all-zero state accepted; the generator would be stuck")
+	}
+	if v := x.Int63(); v < 0 {
+		t.Fatalf("Int63 = %d, want non-negative", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	x.Intn(0)
+}
+
+// reencode round-trips a (possibly corrupted) persisted image back into the
+// byte form LoadState consumes.
+func reencode(t *testing.T, st persistedState) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// decodeState extracts the persisted image of m for corruption tests.
+func decodeState(t *testing.T, m *Megh) persistedState {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st persistedState
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestLoadStateRejectsCorruptSparseState(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := decodeState(t, m)
+	d := base.B.Dim
+	for name, mutate := range map[string]func(*persistedState){
+		"corrupt-B": func(st *persistedState) { st.B.Dim = -1 },
+		"corrupt-z": func(st *persistedState) {
+			st.Z = sparse.VectorState{Dim: d, Index: []int{d + 1}, Value: []float64{1}}
+		},
+		"corrupt-theta": func(st *persistedState) {
+			st.Theta = sparse.VectorState{Dim: d, Index: []int{-1}, Value: []float64{1}}
+		},
+		// A self-consistent matrix of the wrong dimension must be refused,
+		// not silently adopted.
+		"dim-mismatch": func(st *persistedState) { st.B.Dim = d + 1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := base
+			mutate(&st)
+			if _, err := LoadState(reencode(t, st)); err == nil {
+				t.Fatal("corrupt persisted state loaded without error")
+			}
+		})
+	}
+}
+
+// TestLoadStateTrimsLegacyNNZHistory: a checkpoint written before the
+// history ring existed may carry an arbitrarily long series; loading keeps
+// only the newest cap entries.
+func TestLoadStateTrimsLegacyNNZHistory(t *testing.T) {
+	cfg := DefaultConfig(2, 2, 1)
+	cfg.NNZHistoryCap = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeState(t, m)
+	st.NNZHistory = []int{1, 2, 3, 4, 5, 6, 7}
+	got, err := LoadState(reencode(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(got.NNZHistory(), want) {
+		t.Fatalf("restored history %v, want newest-cap %v", got.NNZHistory(), want)
+	}
+}
+
+// TestLoadStateMergesDuplicateDeferredEntries: duplicate (a, b) rows in a
+// hand-edited image collapse into one queue slot, exactly as deferPush
+// would have produced.
+func TestLoadStateMergesDuplicateDeferredEntries(t *testing.T) {
+	cfg := DefaultConfig(2, 2, 1)
+	cfg.DeferThreshold = math.MaxFloat64
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.deferPush(1, 2, 0.5)
+	st := decodeState(t, m)
+	st.Deferred = append(st.Deferred, deferredUpdate{A: 1, B: 2, N: 2, C: 0.25})
+	got, err := LoadState(reencode(t, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeferredUpdates() != 3 {
+		t.Fatalf("restored %d deferred transitions, want 3 merged", got.DeferredUpdates())
+	}
+	want := []deferredUpdate{{A: 1, B: 2, N: 3, C: 0.75}}
+	if !reflect.DeepEqual(got.deferQ, want) {
+		t.Fatalf("restored queue %+v, want %+v", got.deferQ, want)
+	}
+}

@@ -52,7 +52,45 @@ type Config struct {
 	ExplorationRate float64
 	// Seed drives exploration randomness.
 	Seed int64
+
+	// NNZHistoryCap bounds the per-step Q-table-size history (Figure 7's
+	// series): once the cap is reached the history becomes a ring and the
+	// oldest entries are overwritten, so a long-lived meghd session holds
+	// a fixed amount of bookkeeping instead of leaking one int per step.
+	// 0 selects DefaultNNZHistoryCap; a negative value opts into unbounded
+	// retention (the experiments harness, which needs the full series for
+	// a bounded run, sets this).
+	NNZHistoryCap int
+
+	// DeferThreshold, when positive, enables the deferred-update decide
+	// mode: a pending LSPI transition whose influence on the score vector,
+	// |θ[a] − γ·θ[b]| + |c|, falls below the threshold is queued instead
+	// of applied, and repeats of the same (a, b) pair merge into a single
+	// scaled Sherman–Morrison update (sparse.ShermanMorrisonBasisScaled).
+	// Queued transitions are applied after at most DeferMaxAge decides, so
+	// staleness is bounded; θ = B·z continues to hold exactly at all times
+	// because B, z and θ age together. Use math.MaxFloat64 to defer every
+	// transition (pure cadence batching). Zero (the default) keeps the
+	// exact mode: every update applies immediately and the decide path is
+	// bit-for-bit the historical one.
+	DeferThreshold float64
+
+	// DeferMaxAge caps how many Decide calls a deferred transition may wait
+	// before the queue is flushed. 0 selects DefaultDeferMaxAge. Only
+	// meaningful when DeferThreshold > 0.
+	DeferMaxAge int
 }
+
+// DefaultNNZHistoryCap is the NNZHistory ring size when Config.NNZHistoryCap
+// is zero: large enough to cover every figure in the paper's experiments at
+// full resolution, small enough (512 KiB of ints) to be irrelevant to a
+// server's footprint.
+const DefaultNNZHistoryCap = 65536
+
+// DefaultDeferMaxAge is the deferred-update flush cadence when
+// Config.DeferMaxAge is zero: a queued transition is applied after at most
+// this many Decide calls.
+const DefaultDeferMaxAge = 8
 
 // DefaultConfig returns the paper's §6.1 parameters for an N-VM, M-host
 // data center.
@@ -83,6 +121,7 @@ func (c Config) Validate() error {
 		{"MaxMigrationsFrac", c.MaxMigrationsFrac},
 		{"UnderloadThreshold", c.UnderloadThreshold},
 		{"ExplorationRate", c.ExplorationRate},
+		{"DeferThreshold", c.DeferThreshold},
 	} {
 		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
 			return fmt.Errorf("core: %s %g is not finite", f.name, f.v)
@@ -105,6 +144,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: UnderloadThreshold %g out of [0,1]", c.UnderloadThreshold)
 	case c.ExplorationRate < 0 || c.ExplorationRate > 1:
 		return fmt.Errorf("core: ExplorationRate %g out of [0,1]", c.ExplorationRate)
+	case c.DeferThreshold < 0:
+		return fmt.Errorf("core: DeferThreshold %g must be non-negative", c.DeferThreshold)
+	case c.DeferMaxAge < 0:
+		return fmt.Errorf("core: DeferMaxAge %d must be non-negative", c.DeferMaxAge)
 	}
 	return nil
 }
@@ -130,18 +173,36 @@ type Megh struct {
 	rng  *xrand
 
 	// pending holds the action indices chosen last step, awaiting the
-	// observed cost to complete their LSPI update.
-	pending  []int
-	stepCost float64
-	haveCost bool
+	// observed cost to complete their LSPI update. pendingTotal remembers
+	// how many actions were chosen before Observe reconciled away any the
+	// environment rejected: the interval's cost was generated by the full
+	// intended action set, so each survivor's share is stepCost divided by
+	// pendingTotal, not by the post-reconcile count (which would inflate
+	// every survivor's share whenever a sibling was rejected).
+	pending      []int
+	pendingTotal int
+	stepCost     float64
+	haveCost     bool
 
-	// nnzHistory records b.NNZ() after each Decide — Figure 7's series.
+	// nnzHistory records b.NNZ() after each Decide — Figure 7's series —
+	// bounded by Config.NNZHistoryCap as a ring: once full, nnzStart is the
+	// index of the oldest (next-overwritten) entry and the chronological
+	// series wraps around it.
 	nnzHistory []int
+	nnzStart   int
 
-	// updateHook, when non-nil, observes every LSPI transition the learner
-	// attempts (SetUpdateHook). The verification layer (internal/invariant)
-	// uses it to maintain an independent dense mirror of T and z.
-	updateHook func(a, b int, gamma, c float64, applied bool)
+	// deferQ holds queued low-magnitude LSPI transitions in deferred-update
+	// mode, merged by (a, b) pair; deferIdx maps a*d+b to its queue slot and
+	// deferAge counts Decide calls since the oldest entry was queued.
+	deferQ   []deferredUpdate
+	deferIdx map[int64]int
+	deferAge int
+
+	// updateHook, when non-nil, observes every rank-1 LSPI update the
+	// learner attempts (SetUpdateHook). The verification layer
+	// (internal/invariant) uses it to maintain an independent dense mirror
+	// of T and z.
+	updateHook func(a, b, n int, gamma, c float64, applied bool)
 
 	// metrics, when non-nil, mirrors the learner internals into an obs
 	// registry (Instrument).
@@ -165,7 +226,10 @@ type Megh struct {
 	// per destination.
 	hostRAM         []float64
 	hostMIPS        []float64
+	hostRAMCap      []float64 // static host RAM capacities, refreshed per step
+	hostMIPSCap     []float64 // static host MIPS capacities, refreshed per step
 	hostActive      []bool
+	hostBlocked     []bool // failed hosts, refreshed per step
 	feasibleScratch []int
 	qScratch        []float64
 	seenScratch     []bool          // candidate dedup, one flag per VM
@@ -202,7 +266,10 @@ func New(cfg Config) (*Megh, error) {
 		rng:         newXrand(cfg.Seed),
 		hostRAM:     make([]float64, cfg.NumHosts),
 		hostMIPS:    make([]float64, cfg.NumHosts),
+		hostRAMCap:  make([]float64, cfg.NumHosts),
+		hostMIPSCap: make([]float64, cfg.NumHosts),
 		hostActive:  make([]bool, cfg.NumHosts),
+		hostBlocked: make([]bool, cfg.NumHosts),
 		seenScratch: make([]bool, cfg.NumVMs),
 	}, nil
 }
@@ -253,17 +320,26 @@ func (m *Megh) Instrument(reg *obs.Registry) {
 // decisions.
 func (m *Megh) Trace(t *trace.Tracer) { m.tracer = t }
 
-// SetUpdateHook installs an observer called once per attempted LSPI
-// transition, after the Sherman–Morrison update: a and b are the action
-// indices of Eq. 10, gamma the discount, c the cost share added to z[a],
-// and applied reports whether the update was applied (false when it was
-// skipped as numerically singular, in which case z and θ were left
-// untouched too). A nil hook (the default) costs one pointer test.
+// SetUpdateHook installs an observer called once per attempted rank-1 LSPI
+// update, after the Sherman–Morrison step: a and b are the action indices
+// of Eq. 10, n the multiplicity (how many identical logical transitions the
+// rank-1 update folds together — always 1 in exact mode), gamma the
+// discount, c the total cost added to z[a], and applied reports whether the
+// update was applied (false when it was skipped as numerically singular, in
+// which case z and θ were left untouched too). A nil hook (the default)
+// costs one pointer test.
 //
 // The hook exists for the verification layer (internal/invariant), which
 // shadows the sparse recursion with an independent dense accumulation of T
 // and z and periodically checks ‖B·T − I‖∞.
-func (m *Megh) SetUpdateHook(h func(a, b int, gamma, c float64, applied bool)) {
+//
+// In deferred-update mode the hook fires when a queued transition is
+// *applied* (at flush), not when it is queued, with n carrying the merged
+// multiplicity. It fires once per rank-1 application — never mid-update —
+// so B, z, θ and the n·(e_a e_aᵀ − γ·e_a e_bᵀ) the hook describes are
+// always mutually consistent, and a probe run from inside the hook sees a
+// coherent state.
+func (m *Megh) SetUpdateHook(h func(a, b, n int, gamma, c float64, applied bool)) {
 	m.updateHook = h
 }
 
@@ -277,8 +353,47 @@ func (m *Megh) Temperature() float64 { return m.temp }
 // "non-zero elements in the Q-table" metric (Figure 7).
 func (m *Megh) QTableNNZ() int { return m.b.NNZ() }
 
-// NNZHistory returns the per-step Q-table sizes recorded so far.
-func (m *Megh) NNZHistory() []int { return m.nnzHistory }
+// NNZHistory returns the per-step Q-table sizes recorded so far, oldest
+// first. Until the Config.NNZHistoryCap ring wraps this is the learner's
+// live slice (callers must copy anything they keep, as the experiments
+// harness does); once wrapped it is a freshly allocated chronological copy
+// of the most recent cap entries.
+func (m *Megh) NNZHistory() []int {
+	if m.nnzStart == 0 {
+		return m.nnzHistory
+	}
+	out := make([]int, 0, len(m.nnzHistory))
+	out = append(out, m.nnzHistory[m.nnzStart:]...)
+	return append(out, m.nnzHistory[:m.nnzStart]...)
+}
+
+// nnzCap resolves Config.NNZHistoryCap: 0 means DefaultNNZHistoryCap,
+// negative means unbounded (returns -1).
+func (m *Megh) nnzCap() int {
+	switch {
+	case m.cfg.NNZHistoryCap < 0:
+		return -1
+	case m.cfg.NNZHistoryCap == 0:
+		return DefaultNNZHistoryCap
+	default:
+		return m.cfg.NNZHistoryCap
+	}
+}
+
+// recordNNZ appends one Q-table-size sample, overwriting the oldest entry
+// once the configured cap is reached so a long-lived learner's bookkeeping
+// stays bounded.
+func (m *Megh) recordNNZ(v int) {
+	if cap_ := m.nnzCap(); cap_ < 0 || len(m.nnzHistory) < cap_ {
+		m.nnzHistory = append(m.nnzHistory, v)
+		return
+	}
+	m.nnzHistory[m.nnzStart] = v
+	m.nnzStart++
+	if m.nnzStart == len(m.nnzHistory) {
+		m.nnzStart = 0
+	}
+}
 
 // Q returns the learned cost-to-go estimate θᵀφ_a for an action.
 func (m *Megh) Q(a mdp.Action) float64 {
@@ -374,9 +489,28 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 		if len(actions) > 0 {
 			next = actions[0]
 		}
-		share := m.stepCost / float64(len(m.pending))
+		// The interval's cost was generated by every action chosen last
+		// step, including any the environment rejected and Observe
+		// reconciled away — dividing by the survivor count alone would
+		// inflate each survivor's share. pendingTotal is the pre-reconcile
+		// count; the max guard covers learners whose pending predates the
+		// field (legacy checkpoints record zero).
+		total := m.pendingTotal
+		if total < len(m.pending) {
+			total = len(m.pending)
+		}
+		share := m.stepCost / float64(total)
 		for _, a := range m.pending {
 			m.update(a, next, share)
+		}
+	}
+	// Bounded staleness for deferred updates: any queued transition is
+	// applied after at most DeferMaxAge decides. In exact mode the queue
+	// is always empty and this is one length test.
+	if len(m.deferQ) > 0 {
+		m.deferAge++
+		if m.deferAge >= m.deferMaxAge() {
+			m.FlushUpdates()
 		}
 	}
 	m.spans.Mark("update")
@@ -386,13 +520,14 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 		// pending needs its own backing so the copy survives the step.
 		m.pendingBuf = append(m.pendingBuf[:0], actions...)
 		m.pending = m.pendingBuf
+		m.pendingTotal = len(actions)
 	}
 	// When a step produces no decisions, the previous actions stay
 	// pending: the configuration they created remains in effect, so
 	// subsequent interval costs keep informing their value (a sequence of
 	// implicit self-transitions, v = (1−γ)·φ_a).
 
-	m.nnzHistory = append(m.nnzHistory, m.b.NNZ())
+	m.recordNNZ(m.b.NNZ())
 	if m.tracer != nil {
 		m.traceEv = trace.Event{
 			Kind:        trace.KindDecide,
@@ -419,23 +554,48 @@ func (m *Megh) DecideAppend(dst []sim.Migration, s *sim.Snapshot) []sim.Migratio
 	return append(dst, m.Decide(s)...)
 }
 
-// update applies one LSPI transition (a taken, b the policy's next action,
-// c the per-stage cost share), maintaining B, z and θ = B·z incrementally:
+// update routes one LSPI transition (a taken, b the policy's next action,
+// c the per-stage cost share): in exact mode (DeferThreshold == 0) it
+// applies immediately; in deferred mode a transition whose influence on the
+// score vector, |θ[a] − γ·θ[b]| + |c|, is below the threshold is queued and
+// merged with repeats of the same (a, b) pair instead (Decide flushes the
+// queue on the DeferMaxAge cadence).
+func (m *Megh) update(a, b int, c float64) {
+	if m.cfg.DeferThreshold > 0 {
+		if math.Abs(m.theta[a]-m.cfg.Gamma*m.theta[b])+math.Abs(c) < m.cfg.DeferThreshold {
+			m.deferPush(a, b, c)
+			return
+		}
+	}
+	m.applyUpdate(a, b, 1, c)
+}
+
+// applyUpdate applies n merged repetitions of one LSPI transition with
+// summed cost c, maintaining B, z and θ = B·z incrementally:
 //
-//	B' = B − (B·u)(vᵀB)/den          u = φ_a, v = φ_a − γφ_b
+//	B' = B − (B·u)(vᵀB)/den          u = φ_a, v = n·(φ_a − γφ_b)
 //	θ' = B'·(z + c·φ_a) = θ − (B·u)(vᵀθ)/den + c·col_a(B')
 //
-// B·u is column a of B and v has two non-zeros, so the whole transition runs
-// through the structure-exploiting ShermanMorrisonBasis kernel, and θ is
-// maintained from the column snapshots the kernel already took
-// (LastUpdateScaledCol / LastUpdateNewCol) — no vector allocations and no
-// extra column walks. A numerically singular update is skipped (the operator
-// would lose invertibility), matching the guarded inverse of §5.2.
-func (m *Megh) update(a, b int, c float64) {
-	vTheta := m.theta[a] - m.cfg.Gamma*m.theta[b]
-	if _, err := m.b.ShermanMorrisonBasis(a, b, m.cfg.Gamma); err != nil {
+// which is exact for T + n·φ_a(φ_a − γφ_b)ᵀ — n identical transitions in
+// one rank-1 pass. B·u is column a of B and v has two non-zeros, so the
+// whole transition runs through the structure-exploiting
+// ShermanMorrisonBasisScaled kernel, and θ is maintained from the column
+// snapshots the kernel already took (LastUpdateScaledCol /
+// LastUpdateNewCol) — no vector allocations and no extra column walks.
+// With n = 1 every scaling multiply is by exactly 1.0, so the exact-mode
+// path is bit-for-bit the historical unscaled update. A numerically
+// singular update is skipped (the operator would lose invertibility),
+// matching the guarded inverse of §5.2.
+//
+// The update hook observes the rank-1 application once, with its full
+// multiplicity and summed cost, so the invariant layer's dense T/z shadow
+// stays in lockstep.
+func (m *Megh) applyUpdate(a, b, n int, c float64) {
+	scale := float64(n)
+	vTheta := scale * (m.theta[a] - m.cfg.Gamma*m.theta[b])
+	if _, err := m.b.ShermanMorrisonBasisScaled(a, b, m.cfg.Gamma, scale); err != nil {
 		if m.updateHook != nil {
-			m.updateHook(a, b, m.cfg.Gamma, c, false)
+			m.updateHook(a, b, n, m.cfg.Gamma, c, false)
 		}
 		return
 	}
@@ -455,7 +615,7 @@ func (m *Megh) update(a, b int, c float64) {
 		}
 	}
 	if m.updateHook != nil {
-		m.updateHook(a, b, m.cfg.Gamma, c, true)
+		m.updateHook(a, b, n, m.cfg.Gamma, c, true)
 	}
 }
 
@@ -483,37 +643,62 @@ func (m *Megh) selectActions(s *sim.Snapshot) (actions []int, migrations []sim.M
 	m.refreshHostAggregates(s)
 	candidates := m.candidates(s, maxMig)
 	m.spans.Mark("project")
-	if len(candidates) == 0 {
-		m.spans.Mark("sample")
-		return nil, nil
-	}
-
-	actions = m.actionScratch[:0]
-	migrations = m.migScratch[:0]
-	migBudget := maxMig
-	for _, c := range candidates {
-		dest, act := m.sampleDestination(s, c)
-		actions = append(actions, act)
-		if dest != s.VMHost[c.vm] && migBudget > 0 {
-			migrations = append(migrations, sim.Migration{VM: c.vm, Dest: dest})
-			m.hostRAM[dest] += s.VMSpecs[c.vm].RAMMB
-			m.hostMIPS[dest] += s.VMMIPS[c.vm]
-			m.hostActive[dest] = true
-			migBudget--
-		}
-	}
-	m.actionScratch = actions
-	m.migScratch = migrations
+	actions, migrations = m.chooseFromCandidates(s, candidates, maxMig)
 	m.spans.Mark("sample")
 	return actions, migrations
 }
 
-// refreshHostAggregates rebuilds the O(1)-feasibility tables for this step.
+// chooseFromCandidates samples one destination per candidate and emits at
+// most migBudget migrations. A candidate whose sampled move arrives after
+// the budget is exhausted is recorded as its *stay-put* action: no
+// migration is requested for it, so the VM factually stays where it is,
+// and recording the sampled move instead would feed the LSPI update a
+// transition that never executed — the next interval's cost would be
+// credited to a state-action pair that was never visited, and the host
+// aggregates (already charged for the move) would diverge from the action
+// list. The invariant is pending ⊆ emitted ∪ stay-put, pinned by
+// TestChooseFromCandidatesClipsToStayPut.
+func (m *Megh) chooseFromCandidates(s *sim.Snapshot, candidates []candidate, migBudget int) (actions []int, migrations []sim.Migration) {
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	actions = m.actionScratch[:0]
+	migrations = m.migScratch[:0]
+	for _, c := range candidates {
+		dest, act := m.sampleDestination(s, c)
+		if dest != s.VMHost[c.vm] {
+			if migBudget > 0 {
+				migrations = append(migrations, sim.Migration{VM: c.vm, Dest: dest})
+				m.hostRAM[dest] += s.VMSpecs[c.vm].RAMMB
+				m.hostMIPS[dest] += s.VMMIPS[c.vm]
+				m.hostActive[dest] = true
+				migBudget--
+			} else {
+				act = c.vm*m.cfg.NumHosts + s.VMHost[c.vm]
+			}
+		}
+		actions = append(actions, act)
+	}
+	m.actionScratch = actions
+	m.migScratch = migrations
+	return actions, migrations
+}
+
+// refreshHostAggregates rebuilds the O(1)-feasibility tables for this step:
+// committed RAM / demanded MIPS per host, the active and failed flags, and
+// flat copies of the static capacities. Everything scanRow's sweep reads is
+// a plain float64/bool slice indexed by host, so the per-destination
+// feasibility test compiles to branch-light slice arithmetic with no struct
+// loads.
 func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
+	failed := len(s.HostFailed) > 0
 	for i := 0; i < s.NumHosts(); i++ {
 		m.hostRAM[i] = 0
 		m.hostMIPS[i] = 0
 		m.hostActive[i] = len(s.HostVMs[i]) > 0
+		m.hostRAMCap[i] = s.HostSpecs[i].RAMMB
+		m.hostMIPSCap[i] = s.HostSpecs[i].MIPS
+		m.hostBlocked[i] = failed && s.HostFailed[i]
 	}
 	for j := 0; j < s.NumVMs(); j++ {
 		h := s.VMHost[j]
@@ -594,28 +779,9 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 	// Collect feasible destinations and their Q values. Active hosts are
 	// preferred; an overload shed may wake a sleeping machine, but only
 	// when no active host can absorb the VM.
-	feasible := m.feasibleScratch[:0]
-	qs := m.qScratch[:0]
-	minQ := math.Inf(1)
-	collect := func(activeOnly bool) {
-		for k := 0; k < s.NumHosts(); k++ {
-			if k != cur && !m.fits(s, j, k, activeOnly) {
-				continue
-			}
-			q := m.theta[base+k]
-			feasible = append(feasible, k)
-			qs = append(qs, q)
-			if q < minQ {
-				minQ = q
-			}
-		}
-	}
-	collect(true)
+	feasible, qs, minQ := m.scanRow(s, j, cur, base, true)
 	if c.overload() && len(feasible) <= 1 { // only the stay option found
-		feasible = feasible[:0]
-		qs = qs[:0]
-		minQ = math.Inf(1)
-		collect(false)
+		feasible, qs, minQ = m.scanRow(s, j, cur, base, false)
 	}
 	m.feasibleScratch = feasible
 	m.qScratch = qs
@@ -659,26 +825,68 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 	return chosen, base + chosen
 }
 
+// scanRow is the candidate-scoring sweep: one pass over VM j's contiguous
+// θ row θ[base:base+M], gathering the feasible destinations, their Q
+// values and the row minimum. Feasibility reads only the flat per-host
+// aggregate arrays refreshHostAggregates filled (committed RAM/MIPS,
+// capacities, active/blocked flags), with arithmetic identical to fits, so
+// the loop body is slice indexing and float compares with no function
+// calls or struct loads — the shape the compiler keeps in registers, and
+// the reason DecideBatch's scoring cost stays flat while rank-1 updates
+// are deferred. Returned slices alias the learner's scratch.
+func (m *Megh) scanRow(s *sim.Snapshot, j, cur, base int, activeOnly bool) (feasible []int, qs []float64, minQ float64) {
+	n := m.cfg.NumHosts
+	row := m.theta[base : base+n : base+n]
+	ramJ := s.VMSpecs[j].RAMMB
+	mipsJ := s.VMMIPS[j]
+	beta := s.OverloadThreshold
+	hostRAM := m.hostRAM[:n]
+	hostMIPS := m.hostMIPS[:n]
+	ramCap := m.hostRAMCap[:n]
+	mipsCap := m.hostMIPSCap[:n]
+	blocked := m.hostBlocked[:n]
+	active := m.hostActive[:n]
+	feasible = m.feasibleScratch[:0]
+	qs = m.qScratch[:0]
+	minQ = math.Inf(1)
+	for k := 0; k < n; k++ {
+		if k != cur {
+			if blocked[k] || (activeOnly && !active[k]) ||
+				hostRAM[k]+ramJ > ramCap[k] ||
+				(hostMIPS[k]+mipsJ)/mipsCap[k] > beta {
+				continue
+			}
+		}
+		q := row[k]
+		feasible = append(feasible, k)
+		qs = append(qs, q)
+		if q < minQ {
+			minQ = q
+		}
+	}
+	return feasible, qs, minQ
+}
+
 // fits checks whether VM j can move to host k: the host not being failed,
 // RAM capacity, the overload threshold β after placement (a policy must not
 // manufacture overloads), and — for consolidation/exploration moves — that
 // the destination is already active. Aggregates include this step's earlier
-// choices.
+// choices; refreshHostAggregates must have run for this snapshot. scanRow
+// inlines the same tests (kept in exact sync) for the hot sweep.
 func (m *Megh) fits(s *sim.Snapshot, j, k int, activeOnly bool) bool {
 	// A failed host delivers no capacity; proposing it burns the per-step
 	// migration budget on a guaranteed rejection and feeds the LSPI update
 	// an action that never executed.
-	if len(s.HostFailed) > 0 && s.HostFailed[k] {
+	if m.hostBlocked[k] {
 		return false
 	}
 	if activeOnly && !m.hostActive[k] {
 		return false
 	}
-	spec := s.HostSpecs[k]
-	if m.hostRAM[k]+s.VMSpecs[j].RAMMB > spec.RAMMB {
+	if m.hostRAM[k]+s.VMSpecs[j].RAMMB > m.hostRAMCap[k] {
 		return false
 	}
-	after := (m.hostMIPS[k] + s.VMMIPS[j]) / spec.MIPS
+	after := (m.hostMIPS[k] + s.VMMIPS[j]) / m.hostMIPSCap[k]
 	return after <= s.OverloadThreshold
 }
 

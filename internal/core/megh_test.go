@@ -581,6 +581,7 @@ func TestObserveReconcilesRejectedActions(t *testing.T) {
 	aKept := mdp.Action{VM: 0, Host: 1}.Index(2)     // executed migration
 	aRejected := mdp.Action{VM: 1, Host: 0}.Index(2) // rejected migration
 	m.pending = []int{aKept, aRejected}
+	m.pendingTotal = 2
 	m.Observe(&sim.Feedback{
 		Step:     0,
 		StepCost: 5,
@@ -590,14 +591,34 @@ func TestObserveReconcilesRejectedActions(t *testing.T) {
 	if len(m.pending) != 1 || m.pending[0] != aKept {
 		t.Fatalf("pending after reconcile = %v, want [%d]", m.pending, aKept)
 	}
-	// The next Decide completes the update: the full cost goes to the
-	// surviving action, none to the rejected one.
+	// The next Decide completes the update: the rejected action accrues
+	// nothing, and the survivor gets its pre-reconcile share — the cost was
+	// generated while two actions were intended, so the survivor's slice is
+	// stepCost/2, not the whole interval (the cost-share skew bug gave it
+	// all 5).
 	m.Decide(tinySnapshot(t, 2, 2))
 	if got := m.z.Get(aRejected); got != 0 {
 		t.Fatalf("rejected action accrued cost z=%g, want 0", got)
 	}
-	if got := m.z.Get(aKept); got != 5 {
-		t.Fatalf("executed action accrued z=%g, want the full cost 5", got)
+	if got := m.z.Get(aKept); got != 2.5 {
+		t.Fatalf("executed action accrued z=%g, want the pre-reconcile share 2.5", got)
+	}
+}
+
+// TestCostShareLegacyPendingFallsBack pins the compatibility path: a learner
+// whose pending predates pendingTotal (a legacy checkpoint restores it as
+// zero) divides by the surviving count, the historical behaviour.
+func TestCostShareLegacyPendingFallsBack(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mdp.Action{VM: 0, Host: 1}.Index(2)
+	m.pending = []int{a} // pendingTotal left at zero, as a legacy restore would
+	m.Observe(&sim.Feedback{Step: 0, StepCost: 3})
+	m.Decide(tinySnapshot(t, 2, 2))
+	if got := m.z.Get(a); got != 3 {
+		t.Fatalf("legacy pending accrued z=%g, want the full cost 3", got)
 	}
 }
 

@@ -23,19 +23,26 @@ const stateVersion = 1
 // RngState holds the two xoroshiro128+ words. RngSeed is the legacy field:
 // checkpoints written before exact RNG persistence carry only a reseed
 // value there, which LoadState still honours when RngState is absent.
+// PendingTotal, Deferred and DeferAge were added after version 1 shipped;
+// gob tolerates their absence (they decode as zero values, which LoadState
+// maps to the historical behaviour), so the version number is unchanged
+// and old checkpoints keep loading.
 type persistedState struct {
-	Version    int
-	Config     Config
-	Temp       float64
-	B          sparse.MatrixState
-	Z          sparse.VectorState
-	Theta      sparse.VectorState
-	Pending    []int
-	StepCost   float64
-	HaveCost   bool
-	NNZHistory []int
-	RngSeed    int64
-	RngState   []uint64
+	Version      int
+	Config       Config
+	Temp         float64
+	B            sparse.MatrixState
+	Z            sparse.VectorState
+	Theta        sparse.VectorState
+	Pending      []int
+	PendingTotal int
+	StepCost     float64
+	HaveCost     bool
+	NNZHistory   []int
+	Deferred     []deferredUpdate
+	DeferAge     int
+	RngSeed      int64
+	RngState     []uint64
 }
 
 // SaveState serialises the learner so it can resume in a later process —
@@ -47,16 +54,21 @@ type persistedState struct {
 func (m *Megh) SaveState(w io.Writer) error {
 	s0, s1 := m.rng.state()
 	st := persistedState{
-		Version:    stateVersion,
-		Config:     m.cfg,
-		Temp:       m.temp,
-		B:          m.b.State(),
-		Z:          m.z.State(),
-		Theta:      thetaVector(m.theta).State(),
-		Pending:    append([]int(nil), m.pending...),
-		StepCost:   m.stepCost,
-		HaveCost:   m.haveCost,
-		NNZHistory: append([]int(nil), m.nnzHistory...),
+		Version:      stateVersion,
+		Config:       m.cfg,
+		Temp:         m.temp,
+		B:            m.b.State(),
+		Z:            m.z.State(),
+		Theta:        thetaVector(m.theta).State(),
+		Pending:      append([]int(nil), m.pending...),
+		PendingTotal: m.pendingTotal,
+		StepCost:     m.stepCost,
+		HaveCost:     m.haveCost,
+		// NNZHistory() linearises the ring, so the image is chronological
+		// regardless of where nnzStart points.
+		NNZHistory: append([]int(nil), m.NNZHistory()...),
+		Deferred:   append([]deferredUpdate(nil), m.deferQ...),
+		DeferAge:   m.deferAge,
 		RngState:   []uint64{s0, s1},
 	}
 	if err := gob.NewEncoder(w).Encode(st); err != nil {
@@ -153,14 +165,55 @@ func LoadState(r io.Reader) (*Megh, error) {
 			return nil, fmt.Errorf("core: pending action %d out of range [0,%d)", a, m.d)
 		}
 	}
+	for i := range st.Deferred {
+		du := &st.Deferred[i]
+		switch {
+		case du.A < 0 || du.A >= m.d || du.B < 0 || du.B >= m.d:
+			return nil, fmt.Errorf("core: deferred update (%d,%d) out of range [0,%d)", du.A, du.B, m.d)
+		case du.N < 1:
+			return nil, fmt.Errorf("core: deferred update multiplicity %d must be positive", du.N)
+		case math.IsNaN(du.C) || math.IsInf(du.C, 0):
+			return nil, fmt.Errorf("core: deferred update cost %g is not finite", du.C)
+		}
+	}
 	m.temp = st.Temp
 	m.b = b
 	m.z = z
 	m.theta = theta.Dense()
 	m.pending = st.Pending
+	m.pendingTotal = st.PendingTotal
+	if m.pendingTotal < len(m.pending) {
+		// Legacy checkpoint (no PendingTotal): the historical divisor was
+		// the surviving pending count, which this floor reproduces.
+		m.pendingTotal = len(m.pending)
+	}
 	m.stepCost = st.StepCost
 	m.haveCost = st.HaveCost
+	// The persisted series is chronological; the restored ring starts
+	// unwrapped. A history longer than this config's cap (a legacy
+	// unbounded checkpoint) keeps its newest cap entries.
 	m.nnzHistory = st.NNZHistory
+	m.nnzStart = 0
+	if cap_ := m.nnzCap(); cap_ >= 0 && len(m.nnzHistory) > cap_ {
+		m.nnzHistory = append([]int(nil), m.nnzHistory[len(m.nnzHistory)-cap_:]...)
+	}
+	for i := range st.Deferred {
+		du := st.Deferred[i]
+		key := int64(du.A)*int64(m.d) + int64(du.B)
+		if j, ok := m.deferIdx[key]; ok {
+			// Duplicate (a, b) entries in a hand-edited image merge, matching
+			// what deferPush would have produced.
+			m.deferQ[j].N += du.N
+			m.deferQ[j].C += du.C
+			continue
+		}
+		if m.deferIdx == nil {
+			m.deferIdx = make(map[int64]int)
+		}
+		m.deferIdx[key] = len(m.deferQ)
+		m.deferQ = append(m.deferQ, du)
+	}
+	m.deferAge = st.DeferAge
 	if len(st.RngState) == 2 {
 		m.rng.setState(st.RngState[0], st.RngState[1])
 	} else {

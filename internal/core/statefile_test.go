@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"megh/internal/sim"
+)
+
+// trainedLearner runs a short workload through a fresh learner so its
+// checkpoint carries non-trivial B, θ, z, and history.
+func trainedLearner(t *testing.T) *Megh {
+	t.Helper()
+	m, err := New(DefaultConfig(6, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range snapshotStream(t, 6, 3, 12) {
+		if i > 0 {
+			m.Observe(&sim.Feedback{Step: i - 1, StepCost: 0.4})
+		}
+		m.Decide(s)
+	}
+	return m
+}
+
+func TestSaveStateFileRoundTrip(t *testing.T) {
+	m := trainedLearner(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "learner.ckpt")
+	if err := m.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != m.Config() {
+		t.Fatalf("restored config %+v, want %+v", got.Config(), m.Config())
+	}
+	if !reflect.DeepEqual(got.DebugTriplets(), m.DebugTriplets()) {
+		t.Fatal("restored B differs from the saved learner")
+	}
+	if !reflect.DeepEqual(got.DebugTheta().Dense(), m.DebugTheta().Dense()) {
+		t.Fatal("restored θ differs from the saved learner")
+	}
+	if !reflect.DeepEqual(got.DebugZ().Dense(), m.DebugZ().Dense()) {
+		t.Fatal("restored z differs from the saved learner")
+	}
+	// The atomic write must not leave its temp file behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "learner.ckpt" {
+		t.Fatalf("checkpoint directory holds %v, want only learner.ckpt", entries)
+	}
+}
+
+// TestSaveStateFileBareFilename: a path with no directory component writes
+// into the current directory (the temp file needs an explicit "." there).
+func TestSaveStateFileBareFilename(t *testing.T) {
+	m := trainedLearner(t)
+	t.Chdir(t.TempDir())
+	if err := m.SaveStateFile("learner.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("learner.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveStateFileErrors(t *testing.T) {
+	m := trainedLearner(t)
+	// The destination directory does not exist: temp-file creation fails.
+	missing := filepath.Join(t.TempDir(), "missing", "x.ckpt")
+	if err := m.SaveStateFile(missing); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+	// The destination path is an existing directory: the rename fails and
+	// the already-written temp file must be cleaned up.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "isdir")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveStateFile(blocked); err == nil {
+		t.Fatal("save onto a directory path succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind after failed rename: %v", entries)
+	}
+}
+
+func TestLoadStateFileErrors(t *testing.T) {
+	// A missing checkpoint keeps fs.ErrNotExist semantics so callers can
+	// distinguish "no checkpoint yet" from a corrupt one.
+	if _, err := LoadStateFile(filepath.Join(t.TempDir(), "none.ckpt")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing checkpoint error = %v, want fs.ErrNotExist", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStateFile(bad); err == nil {
+		t.Fatal("corrupt checkpoint loaded")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestSaveStatePropagatesWriteError(t *testing.T) {
+	m, err := New(DefaultConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SaveState(failWriter{}); err == nil {
+		t.Fatal("encode onto a failing writer succeeded")
+	}
+}

@@ -17,6 +17,7 @@
 //	GET    /v2/sessions/{id}              → SessionInfo (never restores an evicted learner)
 //	DELETE /v2/sessions/{id}              → 204 (removes the checkpoint file too)
 //	POST   /v2/sessions/{id}/decide       StateRequest → DecideResponse
+//	POST   /v2/sessions/{id}/decide/batch BatchDecideRequest → BatchDecideResponse
 //	POST   /v2/sessions/{id}/feedback     FeedbackRequest → 204
 //	GET    /v2/sessions/{id}/stats        → SessionStatsResponse
 //	POST   /v2/sessions/{id}/checkpoint   → CheckpointResponse

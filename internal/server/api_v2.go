@@ -71,3 +71,33 @@ type SessionStatsResponse struct {
 	Evictions int    `json:"evictions"`
 	Restores  int    `json:"restores"`
 }
+
+// MaxBatchItems caps one POST /v2/sessions/{id}/decide/batch request. The
+// bound keeps a single request's lock hold time and response size sane;
+// larger workloads split into several requests (the learner's state
+// threads through identically).
+const MaxBatchItems = 1024
+
+// BatchDecideItem is one observe→decide step of a batch: an optional
+// feedback for the interval preceding the snapshot, then the snapshot to
+// decide on — exactly what a sequential caller would POST as one feedback
+// and one decide request.
+type BatchDecideItem struct {
+	// Feedback, when present, is observed before this item's decide.
+	Feedback *FeedbackRequest `json:"feedback,omitempty"`
+	State    StateRequest     `json:"state"`
+}
+
+// BatchDecideRequest is the POST /v2/sessions/{id}/decide/batch body:
+// items run in order against the session's learner under one lock
+// acquisition, one admission-gate slot and one request decode, and are
+// decision-identical to posting them one at a time.
+type BatchDecideRequest struct {
+	Items []BatchDecideItem `json:"items"`
+}
+
+// BatchDecideResponse carries one DecideResponse per request item, in
+// order.
+type BatchDecideResponse struct {
+	Results []DecideResponse `json:"results"`
+}

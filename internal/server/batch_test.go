@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// batchSteps builds the N-step observe→decide stream both the sequential
+// and the batched tests replay: varying worlds plus per-step cost feedback
+// for the previous step.
+func batchSteps(nVMs, nHosts, steps int) []BatchDecideItem {
+	items := make([]BatchDecideItem, steps)
+	for i := range items {
+		items[i].State = sessionWorld(nVMs, nHosts, i)
+		if i > 0 {
+			items[i].Feedback = &FeedbackRequest{
+				Step:     i - 1,
+				StepCost: 0.3 + 0.05*float64(i%7),
+			}
+		}
+	}
+	return items
+}
+
+// TestSessionDecideBatchMatchesSequential drives two identically-specced
+// sessions — one through N single decide/feedback requests, one through a
+// single batch request — and requires identical decisions: the batch
+// endpoint amortises HTTP round-trips and lock acquisitions, never
+// semantics.
+func TestSessionDecideBatchMatchesSequential(t *testing.T) {
+	const nVMs, nHosts, steps = 6, 7, 25
+	_, ts := newSessionService(t, 0)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+	spec := SessionSpec{NumVMs: nVMs, NumHosts: nHosts, Seed: 42}
+
+	seq := c.Session("seq")
+	if _, err := seq.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	bat := c.Session("bat")
+	if _, err := bat.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	items := batchSteps(nVMs, nHosts, steps)
+	seqOut := make([]DecideResponse, steps)
+	for i, it := range items {
+		if it.Feedback != nil {
+			if err := seq.Feedback(ctx, *it.Feedback); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := seq.Decide(ctx, it.State)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqOut[i] = out
+	}
+
+	batOut, err := bat.DecideBatchCtx(ctx, BatchDecideRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batOut.Results, seqOut) {
+		t.Fatalf("batched decisions diverged from sequential:\nbatch %+v\nseq   %+v",
+			batOut.Results, seqOut)
+	}
+	migrations := 0
+	for _, r := range batOut.Results {
+		migrations += len(r.Migrations)
+	}
+	if migrations == 0 {
+		t.Fatal("stream produced no migrations — the comparison exercised nothing")
+	}
+
+	// Both learners consumed the same number of decisions, and the batch
+	// session's bookkeeping reflects the last step.
+	for _, sc := range []*SessionClient{seq, bat} {
+		info, err := sc.Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Decisions != steps || info.LastStep != steps-1 {
+			t.Fatalf("session info %+v, want %d decisions ending at step %d",
+				info, steps, steps-1)
+		}
+	}
+}
+
+// TestSessionDecideBatchValidation pins the 400 paths — and that a
+// rejected batch leaves the learner completely untouched (validation runs
+// before the learner is locked, so a 400 never half-consumes a batch).
+func TestSessionDecideBatchValidation(t *testing.T) {
+	const nVMs, nHosts = 6, 7
+	_, ts := newSessionService(t, 0)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+	sc := c.Session("tenant-v")
+	if _, err := sc.Create(ctx, SessionSpec{NumVMs: nVMs, NumHosts: nHosts, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v2/sessions/tenant-v/decide/batch"
+
+	badState := batchSteps(nVMs, nHosts, 2)
+	badState[1].State.Hosts = badState[1].State.Hosts[:nHosts-1] // wrong world size
+
+	badCost := batchSteps(nVMs, nHosts, 2)
+	badCost[1].Feedback.StepCost = -1
+
+	cases := []struct {
+		name    string
+		req     BatchDecideRequest
+		errLike string
+	}{
+		{"empty", BatchDecideRequest{}, "no items"},
+		{"oversized", BatchDecideRequest{Items: make([]BatchDecideItem, MaxBatchItems+1)},
+			fmt.Sprintf("limit %d", MaxBatchItems)},
+		{"wrong-world-size", BatchDecideRequest{Items: badState}, "batch item 1"},
+		{"negative-cost", BatchDecideRequest{Items: badCost}, "batch item 1: negative step cost"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := rawPost(t, url, tc.req)
+			if status != 400 {
+				t.Fatalf("status %d, want 400; body %s", status, body)
+			}
+			if !strings.Contains(string(body), tc.errLike) {
+				t.Fatalf("body %s missing %q", body, tc.errLike)
+			}
+		})
+	}
+
+	// None of the rejected batches reached the learner.
+	stats, err := sc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Decisions != 0 {
+		t.Fatalf("rejected batches consumed %d decisions", stats.Decisions)
+	}
+
+	// Unknown session ids 404 like every other session route.
+	status, _ := rawPost(t, ts.URL+"/v2/sessions/nope/decide/batch",
+		BatchDecideRequest{Items: batchSteps(nVMs, nHosts, 1)})
+	if status != 404 {
+		t.Fatalf("unknown session answered %d, want 404", status)
+	}
+}

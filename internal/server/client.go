@@ -328,6 +328,19 @@ func (s *SessionClient) Decide(ctx context.Context, req StateRequest) (DecideRes
 	return out, err
 }
 
+// DecideBatchCtx posts a whole batch of observe→decide steps in one
+// request and returns one DecideResponse per item, in order. The server
+// runs the items back-to-back under a single learner lock acquisition, so
+// the result is decision-identical to calling Feedback and Decide per item
+// — what the batch saves is per-step HTTP round-trips, request decodes and
+// lock traffic. Batches beyond MaxBatchItems are refused with 400; a batch
+// rejected by validation leaves the learner untouched.
+func (s *SessionClient) DecideBatchCtx(ctx context.Context, req BatchDecideRequest) (BatchDecideResponse, error) {
+	var out BatchDecideResponse
+	err := s.c.send(ctx, http.MethodPost, s.prefix+"/decide/batch", req, &out)
+	return out, err
+}
+
 // Feedback reports the realised cost of an interval to the session.
 func (s *SessionClient) Feedback(ctx context.Context, fb FeedbackRequest) error {
 	return s.c.send(ctx, http.MethodPost, s.prefix+"/feedback", fb, nil)

@@ -53,8 +53,18 @@ type Config struct {
 	// sessions; excess requests are refused with 429 and a Retry-After
 	// header instead of queueing without bound. 0 means unlimited.
 	MaxInFlight int
+	// DeferThreshold and DeferMaxAge configure the deferred/merged
+	// Sherman–Morrison update mode for every learner the service builds
+	// (core.Config.DeferThreshold / DeferMaxAge): transitions whose
+	// influence falls below the threshold are queued and merged, and
+	// applied after at most DeferMaxAge decides. Zero threshold (the
+	// default) keeps the exact mode. Learners restored from a checkpoint
+	// keep the mode persisted with them.
+	DeferThreshold float64
+	DeferMaxAge    int
 	// Learner optionally overrides the default core configuration for the
-	// default session.
+	// default session (DeferThreshold/DeferMaxAge above are ignored for
+	// the default session in that case).
 	Learner *core.Config
 	// Seed drives the default learner configuration; sessions carry their
 	// own seed in their spec.
@@ -147,6 +157,8 @@ func New(cfg Config) (*Service, error) {
 	}
 	if learner == nil {
 		lc := core.DefaultConfig(cfg.NumVMs, cfg.NumHosts, cfg.Seed)
+		lc.DeferThreshold = cfg.DeferThreshold
+		lc.DeferMaxAge = cfg.DeferMaxAge
 		if cfg.Learner != nil {
 			lc = *cfg.Learner
 		}
@@ -245,6 +257,7 @@ func (s *Service) Handler() http.Handler {
 	handle("GET /v2/sessions/{id}", s.handleSessionGet)
 	handle("DELETE /v2/sessions/{id}", s.handleSessionDelete)
 	handle("POST /v2/sessions/{id}/decide", s.withSession(s.decideSession))
+	handle("POST /v2/sessions/{id}/decide/batch", s.withSession(s.decideBatchSession))
 	handle("POST /v2/sessions/{id}/feedback", s.withSession(s.feedbackSession))
 	handle("POST /v2/sessions/{id}/checkpoint", s.withSession(
 		func(w http.ResponseWriter, _ *http.Request, sess *session) {
@@ -521,6 +534,89 @@ func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *se
 		return
 	}
 	writeJSON(w, http.StatusOK, DecideResponse{Step: req.Step, Migrations: decisions})
+}
+
+// decideBatchSession is the batched decide path: many observe→decide steps
+// validated up front, then run back-to-back against the session's learner
+// under a single lock acquisition and admission-gate slot via
+// core.DecideBatch. The whole batch is validated before the learner is
+// touched, so a 400 never leaves the learner having consumed half a batch.
+func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var req BatchDecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no items"))
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d items, limit %d", len(req.Items), MaxBatchItems))
+		return
+	}
+	items := make([]core.BatchItem, len(req.Items))
+	feedbacks := make([]sim.Feedback, len(req.Items))
+	for i := range req.Items {
+		it := &req.Items[i]
+		if err := it.State.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch item %d: %w", i, err))
+			return
+		}
+		if len(it.State.VMs) != sess.spec.NumVMs || len(it.State.Hosts) != sess.spec.NumHosts {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("batch item %d snapshot is %d×%d, session %q configured for %d×%d",
+					i, len(it.State.VMs), len(it.State.Hosts), sess.id,
+					sess.spec.NumVMs, sess.spec.NumHosts))
+			return
+		}
+		if fb := it.Feedback; fb != nil {
+			if fb.StepCost < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("batch item %d: negative step cost %g", i, fb.StepCost))
+				return
+			}
+			feedbacks[i] = sim.Feedback{
+				Step:         fb.Step,
+				StepCost:     fb.StepCost,
+				EnergyCost:   fb.EnergyCost,
+				SLACost:      fb.SLACost,
+				ResourceCost: fb.ResourceCost,
+			}
+			items[i].Feedback = &feedbacks[i]
+		}
+		// snapshot() allocates fresh storage per item, so no Clone is needed.
+		items[i].Snap = it.State.snapshot(sess.spec.OverloadThreshold, sess.spec.StepSeconds)
+	}
+
+	results := make([]DecideResponse, len(items))
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		// DecideBatch returns caller-owned slices, so unlike the single
+		// decide path nothing here races the lock release — the copy into
+		// the response shape is just the wire conversion.
+		for i, migs := range l.DecideBatch(items) {
+			decisions := make([]MigrationDecision, 0, len(migs))
+			for _, m := range migs {
+				decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
+			}
+			results[i] = DecideResponse{Step: items[i].Snap.Step, Migrations: decisions}
+		}
+		sess.decisions += len(items)
+		sess.lastStep = items[len(items)-1].Snap.Step
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchDecideResponse{Results: results})
 }
 
 func (s *Service) feedbackSession(w http.ResponseWriter, r *http.Request, sess *session) {

@@ -102,6 +102,11 @@ type sessionManager struct {
 	overload    float64
 	stepSeconds float64
 
+	// deferThreshold/deferMaxAge configure the deferred-update mode of
+	// every fresh learner this manager builds (Config.DeferThreshold).
+	deferThreshold float64
+	deferMaxAge    int
+
 	gLive    *obs.Gauge
 	gDefined *obs.Gauge
 	cEvict   *obs.Counter
@@ -110,11 +115,13 @@ type sessionManager struct {
 
 func newSessionManager(cfg Config, reg *obs.Registry) *sessionManager {
 	m := &sessionManager{
-		maxLive:     cfg.MaxSessions,
-		ckptDir:     cfg.CheckpointDir,
-		ringSize:    cfg.SessionRing,
-		overload:    cfg.OverloadThreshold,
-		stepSeconds: cfg.StepSeconds,
+		maxLive:        cfg.MaxSessions,
+		ckptDir:        cfg.CheckpointDir,
+		ringSize:       cfg.SessionRing,
+		overload:       cfg.OverloadThreshold,
+		stepSeconds:    cfg.StepSeconds,
+		deferThreshold: cfg.DeferThreshold,
+		deferMaxAge:    cfg.DeferMaxAge,
 		gLive: reg.Gauge("megh_sessions_live",
 			"Sessions whose learner is resident in memory.", nil),
 		gDefined: reg.Gauge("megh_sessions_defined",
@@ -244,6 +251,8 @@ func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session
 	}
 	if learner == nil {
 		lc := core.DefaultConfig(spec.NumVMs, spec.NumHosts, spec.Seed)
+		lc.DeferThreshold = m.deferThreshold
+		lc.DeferMaxAge = m.deferMaxAge
 		l, err := core.New(lc)
 		if err != nil {
 			sh.mu.Unlock()

@@ -463,3 +463,48 @@ func TestDefaultSessionReserved(t *testing.T) {
 		t.Fatalf("v2 view of default session missed the /v1 decide: %+v", stats)
 	}
 }
+
+// TestCheckpointAllPersistsResidentSessions: the periodic/shutdown sweep
+// writes one checkpoint per resident session (the pinned default session
+// included) and leaves the files where per-session restore expects them.
+func TestCheckpointAllPersistsResidentSessions(t *testing.T) {
+	svc, ts := newSessionService(t, 0)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+	for _, id := range []string{"tenant-a", "tenant-b"} {
+		sc := c.Session(id)
+		if sc.ID() != id {
+			t.Fatalf("session client ID = %q, want %q", sc.ID(), id)
+		}
+		if _, err := sc.Create(ctx, SessionSpec{NumVMs: 4, NumHosts: 3, Seed: 9}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Decide(ctx, testWorld(4, 3, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := svc.CheckpointAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // default + tenant-a + tenant-b
+		t.Fatalf("checkpointed %d sessions, want 3", n)
+	}
+	for _, name := range []string{"tenant-a.ckpt", "tenant-b.ckpt"} {
+		if _, err := os.Stat(filepath.Join(svc.cfg.CheckpointDir, name)); err != nil {
+			t.Fatalf("missing checkpoint after CheckpointAll: %v", err)
+		}
+	}
+	// The single-session variant reports the default session's file.
+	resp, err := svc.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Path == "" || resp.Bytes <= 0 {
+		t.Fatalf("default-session checkpoint response %+v", resp)
+	}
+	// A session view also wraps into the sim policy adapter.
+	if got := NewRemoteSessionPolicy(c.Session("tenant-a")).Name(); got != "Megh(remote:tenant-a)" {
+		t.Fatalf("remote session policy name %q", got)
+	}
+}

@@ -42,6 +42,41 @@ type Snapshot struct {
 	migModel MigrationTimeModel
 }
 
+// Clone returns a deep copy of the snapshot that shares no mutable storage
+// with the original. The simulator reuses every slice across steps, so a
+// snapshot is only valid inside the Decide call it was passed to; callers
+// that queue snapshots for later — most importantly producers building a
+// core.DecideBatch request across several steps — must clone each one
+// first. Static spec slices are copied too (cheap relative to the history
+// windows, and it keeps the contract simple: a clone is always safe).
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	c.VMHost = append([]int(nil), s.VMHost...)
+	c.VMUtil = append([]float64(nil), s.VMUtil...)
+	c.VMMIPS = append([]float64(nil), s.VMMIPS...)
+	c.VMSpecs = append([]VMSpec(nil), s.VMSpecs...)
+	c.HostUtil = append([]float64(nil), s.HostUtil...)
+	c.HostVMs = cloneNested(s.HostVMs)
+	c.HostSpecs = append([]HostSpec(nil), s.HostSpecs...)
+	c.HostHistory = cloneNested(s.HostHistory)
+	c.VMHistory = cloneNested(s.VMHistory)
+	c.HostFailed = append([]bool(nil), s.HostFailed...)
+	return &c
+}
+
+// cloneNested deep-copies a slice of slices, preserving nil-ness of both
+// levels.
+func cloneNested[E any](src [][]E) [][]E {
+	if src == nil {
+		return nil
+	}
+	out := make([][]E, len(src))
+	for i, row := range src {
+		out[i] = append([]E(nil), row...)
+	}
+	return out
+}
+
 // NumVMs returns the number of VMs.
 func (s *Snapshot) NumVMs() int { return len(s.VMHost) }
 

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCloneIsDeep: the simulator reuses all snapshot slices across
+// steps, so Clone must share no mutable storage — mutating the original
+// afterwards (as the next step does) must not show through.
+func TestSnapshotCloneIsDeep(t *testing.T) {
+	orig := &Snapshot{
+		Step: 3, StepSeconds: 300, OverloadThreshold: 0.8,
+		VMHost:      []int{0, 1},
+		VMUtil:      []float64{0.5, 0.25},
+		VMMIPS:      []float64{500, 250},
+		VMSpecs:     []VMSpec{{MIPS: 1000, RAMMB: 1024}, {MIPS: 1000, RAMMB: 2048}},
+		HostUtil:    []float64{0.125, 0.0625},
+		HostVMs:     [][]int{{0}, {1}},
+		HostSpecs:   []HostSpec{{MIPS: 4000, RAMMB: 8192}, {MIPS: 4000, RAMMB: 8192}},
+		HostHistory: [][]float64{{0.1, 0.125}, {0.05, 0.0625}},
+		VMHistory:   [][]float64{{0.4, 0.5}, {0.2, 0.25}},
+		HostFailed:  []bool{false, true},
+	}
+	c := orig.Clone()
+	want := orig.Clone() // pristine reference copy
+
+	// Step-advance-style mutations on every reused slice.
+	orig.Step = 99
+	orig.VMHost[0] = 1
+	orig.VMUtil[0] = 0.9
+	orig.VMMIPS[0] = 900
+	orig.VMSpecs[0].RAMMB = 512
+	orig.HostUtil[0] = 0.5
+	orig.HostVMs[0][0] = 1
+	orig.HostVMs[1] = append(orig.HostVMs[1], 0)
+	orig.HostSpecs[0].MIPS = 1
+	orig.HostHistory[0][0] = -1
+	orig.VMHistory[1][1] = -1
+	orig.HostFailed[1] = false
+
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("clone changed when the original was mutated:\ngot  %+v\nwant %+v", c, want)
+	}
+}
+
+// TestSnapshotClonePreservesNil: optional slices (histories, failure flags)
+// stay nil through Clone — code distinguishes nil from empty.
+func TestSnapshotClonePreservesNil(t *testing.T) {
+	orig := &Snapshot{
+		VMHost:   []int{0},
+		VMUtil:   []float64{0.5},
+		VMMIPS:   []float64{500},
+		VMSpecs:  []VMSpec{{MIPS: 1000, RAMMB: 1024}},
+		HostUtil: []float64{0.125},
+		HostVMs:  [][]int{{0}, nil},
+		HostSpecs: []HostSpec{
+			{MIPS: 4000, RAMMB: 8192}, {MIPS: 4000, RAMMB: 8192},
+		},
+	}
+	c := orig.Clone()
+	if c.HostHistory != nil || c.VMHistory != nil || c.HostFailed != nil {
+		t.Fatal("clone materialised a slice that was nil in the original")
+	}
+	if c.HostVMs[1] != nil {
+		t.Fatal("clone materialised a nil inner slice")
+	}
+}

@@ -362,9 +362,27 @@ func (m *Matrix) ShermanMorrison(u, v *Vector) (float64, error) {
 // A numerically zero denominator leaves the matrix unchanged and returns
 // ErrSingularUpdate, exactly as the general form does.
 func (m *Matrix) ShermanMorrisonBasis(a, b int, gamma float64) (float64, error) {
+	return m.ShermanMorrisonBasisScaled(a, b, gamma, 1)
+}
+
+// ShermanMorrisonBasisScaled is ShermanMorrisonBasis with a scaled v:
+// u = e_a, v = scale·(e_a − γ·e_b). One call with scale = n maintains the
+// inverse of T + n·e_a(e_a − γ·e_b)ᵀ, i.e. it folds n repetitions of the
+// same Megh transition into a single kernel pass — the primitive the
+// deferred-update mode in internal/core amortises rank-1 work with.
+//
+// scale = 1 reproduces ShermanMorrisonBasis bit for bit: every extra
+// multiply the scaling introduces is by exactly 1.0, an identity in
+// IEEE-754, so the exact-mode decide path keeps its determinism contract.
+// A non-finite or zero scale is rejected (zero would be a no-op update
+// that still invalidated the column snapshots).
+func (m *Matrix) ShermanMorrisonBasisScaled(a, b int, gamma, scale float64) (float64, error) {
 	m.check(a, b)
+	if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return 0, fmt.Errorf("sparse: sherman-morrison scale %g must be finite and non-zero", scale)
+	}
 	vm := &m.vmRow
-	m.buildVMRow(a, b, gamma)
+	m.buildVMRow(a, b, gamma, scale)
 
 	vma, vmaOK := 0.0, false
 	if p, ok := vm.find(a); ok {
@@ -456,16 +474,19 @@ func (m *Matrix) LastUpdateNewCol() ([]int, []float64) {
 	return m.colANew.idx, m.colANew.val
 }
 
-// buildVMRow assembles vᵀM = row_a − γ·row_b (implicit diagonals included)
-// into m.vmRow, merging the two sorted rows; exact-zero results are skipped,
-// matching what the generic path's Add-based accumulation stores.
-func (m *Matrix) buildVMRow(a, b int, gamma float64) {
+// buildVMRow assembles vᵀM = scale·(row_a − γ·row_b) (implicit diagonals
+// included) into m.vmRow, merging the two sorted rows; exact-zero results
+// are skipped, matching what the generic path's Add-based accumulation
+// stores. With scale == 1 every multiplication by scale (and the folded
+// scale·γ factor) is a multiply by exactly 1.0, so the arithmetic — and
+// therefore the stored bits — match the historical unscaled kernel.
+func (m *Matrix) buildVMRow(a, b int, gamma, scale float64) {
 	m.rowA.reset()
 	m.rowA.idx, m.rowA.val = m.appendRow(a, m.rowA.idx, m.rowA.val)
 	vm := &m.vmRow
 	vm.reset()
 	if a == b {
-		s := 1 - gamma
+		s := scale * (1 - gamma)
 		for p, j := range m.rowA.idx {
 			if x := s * m.rowA.val[p]; x != 0 {
 				vm.push(j, x)
@@ -479,21 +500,22 @@ func (m *Matrix) buildVMRow(a, b int, gamma float64) {
 	m.rowB.reset()
 	m.rowB.idx, m.rowB.val = m.appendRow(b, m.rowB.idx, m.rowB.val)
 	ra, rb := &m.rowA, &m.rowB
+	g := scale * gamma
 	p, q := 0, 0
 	for p < len(ra.idx) && q < len(rb.idx) {
 		switch {
 		case ra.idx[p] < rb.idx[q]:
-			if ra.val[p] != 0 {
-				vm.push(ra.idx[p], ra.val[p])
+			if x := scale * ra.val[p]; x != 0 {
+				vm.push(ra.idx[p], x)
 			}
 			p++
 		case ra.idx[p] > rb.idx[q]:
-			if x := -gamma * rb.val[q]; x != 0 {
+			if x := -g * rb.val[q]; x != 0 {
 				vm.push(rb.idx[q], x)
 			}
 			q++
 		default:
-			if x := ra.val[p] - gamma*rb.val[q]; x != 0 {
+			if x := scale*ra.val[p] - g*rb.val[q]; x != 0 {
 				vm.push(ra.idx[p], x)
 			}
 			p++
@@ -501,12 +523,12 @@ func (m *Matrix) buildVMRow(a, b int, gamma float64) {
 		}
 	}
 	for ; p < len(ra.idx); p++ {
-		if ra.val[p] != 0 {
-			vm.push(ra.idx[p], ra.val[p])
+		if x := scale * ra.val[p]; x != 0 {
+			vm.push(ra.idx[p], x)
 		}
 	}
 	for ; q < len(rb.idx); q++ {
-		if x := -gamma * rb.val[q]; x != 0 {
+		if x := -g * rb.val[q]; x != 0 {
 			vm.push(rb.idx[q], x)
 		}
 	}
