@@ -1,19 +1,26 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-check bench-alloc-gate fuzz-short routes-golden cover
+.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-check bench-alloc-gate fuzz-short routes-golden metriclint cover
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Full gate: formatting, vet, the route-table golden check, the whole
-# suite under the race detector, a short run of the trace-overhead
-# benchmark (compare the disabled sub-benchmark against no-tracer: they
-# must match in ns/op and allocs/op), the allocation-regression gate on
-# the untraced decide path, and a short fuzz pass over the fuzz targets.
-check: fmt-check vet routes-golden race bench-trace bench-alloc-gate fuzz-short
+# Full gate: formatting, vet, the route-table golden check, the
+# metric-naming lint, the whole suite under the race detector, a short
+# run of the trace-overhead benchmark (compare the disabled sub-benchmark
+# against no-tracer: they must match in ns/op and allocs/op), the
+# allocation-regression gate on the untraced decide path, and a short
+# fuzz pass over the fuzz targets.
+check: fmt-check vet routes-golden metriclint race bench-trace bench-alloc-gate fuzz-short
+
+# Metric-naming conventions (megh_ prefix, _total on counters, unit
+# suffixes on histograms, no cross-registry type conflicts), enforced
+# against the registries the real components build. See cmd/metriclint.
+metriclint:
+	$(GO) run ./cmd/metriclint
 
 # The service's HTTP surface is pinned: the live mux patterns must match
 # the committed internal/server/routes.golden. Regenerate deliberately
@@ -30,9 +37,12 @@ fmt-check:
 	fi
 
 # Short-mode trace-overhead benchmark (also asserts the decide path
-# builds and runs; full numbers need a longer -benchtime).
+# builds and runs; full numbers need a longer -benchtime), plus the
+# health-layer overhead pair: "on-default-cadence" must stay within a few
+# percent of "off" (DESIGN.md's health overhead budget).
 bench-trace:
 	$(GO) test -run=- -bench=BenchmarkDecide -benchtime=100x ./internal/core/
+	$(GO) test -run=- -bench=BenchmarkDecideHealth -benchtime=100x ./internal/health/
 
 # Allocation-regression gate: the untraced decide path with no pending cost
 # must stay at exactly 0 allocs/op. Short (300 iterations) so `make check`

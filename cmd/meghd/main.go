@@ -27,6 +27,9 @@
 //	POST   /v2/sessions/{id}/checkpoint persist that session now
 //	GET    /v2/sessions/{id}/trace/tail newest buffered trace events
 //	GET    /v2/sessions/{id}/metrics    per-session Prometheus text
+//	GET    /v2/sessions/{id}/health     learning-health snapshot (never thaws an evicted session)
+//	GET    /v2/health                   fleet roll-up: verdict histogram, worst-N sessions,
+//	                                    decide-latency SLO burn rates, latency exemplars
 //
 //	POST /v1/decide      {"step":0,"hosts":[…],"vms":[…]} → {"migrations":[…]}
 //	POST /v1/feedback    {"step":0,"step_cost":0.61}       → 204
@@ -97,6 +100,12 @@ func run() error {
 			"defer/merge LSPI updates whose influence is below this threshold; 0 = exact mode (apply every update immediately)")
 		deferMaxAge = flag.Int("defer-maxage", 0,
 			"max decides a deferred update may wait before the queue is flushed; 0 = default cadence (only meaningful with -defer-threshold)")
+		healthProbeEvery = flag.Int("health-probe-every", 0,
+			"decides between sampled learning-health probes (theta and inverse-drift spot checks) per session; 0 = default cadence, <0 disables probing")
+		sloDecideP99 = flag.Float64("slo-decide-p99", 0,
+			"decide-latency SLO objective in seconds for the burn-rate tracking on /v2/health and /metrics; 0 = default, <0 disables")
+		metricsTopK = flag.Int("metrics-session-topk", 0,
+			"sessions keeping their own label on the fleet /metrics block (busiest by decisions; the rest fold into session=\"other\"); 0 = default, <0 unbounded")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
 		traceOut  = flag.String("trace", "", "append structured trace events (JSONL) to this file")
 		traceRing = flag.Int("trace-ring", trace.DefaultRingSize,
@@ -139,19 +148,22 @@ func run() error {
 	}
 
 	svc, err := server.New(server.Config{
-		NumVMs:            *vms,
-		NumHosts:          *hosts,
-		OverloadThreshold: *overload,
-		StepSeconds:       *step,
-		CheckpointPath:    *checkpoint,
-		CheckpointDir:     *ckptDir,
-		MaxSessions:       *maxSessions,
-		MaxInFlight:       *maxInFlight,
-		SessionRing:       *sessionRing,
-		DeferThreshold:    *deferThreshold,
-		DeferMaxAge:       *deferMaxAge,
-		Seed:              *seed,
-		Tracer:            tracer,
+		NumVMs:             *vms,
+		NumHosts:           *hosts,
+		OverloadThreshold:  *overload,
+		StepSeconds:        *step,
+		CheckpointPath:     *checkpoint,
+		CheckpointDir:      *ckptDir,
+		MaxSessions:        *maxSessions,
+		MaxInFlight:        *maxInFlight,
+		SessionRing:        *sessionRing,
+		DeferThreshold:     *deferThreshold,
+		DeferMaxAge:        *deferMaxAge,
+		Seed:               *seed,
+		Tracer:             tracer,
+		HealthProbeEvery:   *healthProbeEvery,
+		SLODecideP99:       *sloDecideP99,
+		MetricsSessionTopK: *metricsTopK,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,100 @@
+// Command meghtop is a polling terminal dashboard over meghd's fleet
+// health API — "top" for a Megh deployment. Every refresh interval it
+// fetches GET /v2/health from one meghd and redraws a plain-text frame:
+//
+//   - the session census and learning-health verdict histogram
+//     (healthy / degraded / diverging),
+//   - decide-latency SLO burn rates per window, flagging the multi-window
+//     fast-burn page condition,
+//   - the worst-N sessions (most severe verdict first, diverging rows
+//     marked with "!"), with the scoring reason,
+//   - the latest decide-latency exemplars: one recent X-Request-ID per
+//     histogram bucket, so a slow bucket links to a concrete request.
+//
+// Usage:
+//
+//	meghtop -addr http://localhost:8080
+//	meghtop -addr http://localhost:8080 -n 20 -every 5s
+//	meghtop -once            # print a single frame and exit (no redraw)
+//
+// -once suppresses the screen-clear escape codes, so the output is pipe-
+// and script-friendly; the interactive mode clears the terminal between
+// frames like top(1).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"megh/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "meghtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meghtop", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "http://localhost:8080", "meghd base URL")
+		n     = fs.Int("n", 10, "worst sessions to show")
+		every = fs.Duration("every", 2*time.Second, "refresh interval")
+		once  = fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for {
+		resp, err := fetchFleet(client, *addr, *n)
+		if !*once {
+			// Clear and home, like top(1); emitted only in interactive
+			// mode so piped output stays clean.
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		if err != nil {
+			if *once {
+				return err
+			}
+			renderError(out, *addr, err)
+		} else {
+			renderFleet(out, *addr, resp)
+		}
+		if *once {
+			return nil
+		}
+		time.Sleep(*every)
+	}
+}
+
+// fetchFleet polls GET /v2/health?n= and decodes the fleet roll-up.
+func fetchFleet(client *http.Client, addr string, n int) (*server.FleetHealthResponse, error) {
+	url := addr + "/v2/health?n=" + strconv.Itoa(n)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	var fleet server.FleetHealthResponse
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &fleet, nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"megh/internal/server"
+)
+
+// renderFleet writes one plain-text frame of the dashboard: the fleet
+// header, the verdict histogram, the decide-latency SLO burn rates, the
+// worst-N session table, and the slowest recent decides (exemplars). It
+// is a pure function of the response — no clock reads, no terminal
+// control — so tests can assert on its exact output and main can wrap it
+// in whatever refresh loop it wants.
+func renderFleet(w io.Writer, source string, r *server.FleetHealthResponse) {
+	fmt.Fprintf(w, "megh fleet health — %s\n", source)
+	fmt.Fprintf(w, "sessions: %d defined, %d live    verdicts: %d healthy / %d degraded / %d diverging\n",
+		r.SessionsDefined, r.SessionsLive,
+		r.Verdicts["healthy"], r.Verdicts["degraded"], r.Verdicts["diverging"])
+
+	if r.SLO != nil && len(r.SLO.Windows) > 0 {
+		fmt.Fprintf(w, "slo %s: latency < %s, target %.3f%%",
+			r.SLO.Name, fmtSeconds(r.SLO.Objective), 100*r.SLO.Target)
+		for _, win := range r.SLO.Windows {
+			fmt.Fprintf(w, "    %s burn %.2f (%d/%d good)",
+				win.Window, win.BurnRate, win.Good, win.Total)
+		}
+		if r.SLO.FastBurn {
+			fmt.Fprint(w, "    ** FAST BURN **")
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %-20s %-8s %-10s %10s  %s\n",
+		"SESSION", "STATE", "VERDICT", "DECIDES", "REASON")
+	if len(r.Worst) == 0 {
+		fmt.Fprintln(w, "  (no sessions)")
+	}
+	for _, row := range r.Worst {
+		marker := " "
+		switch row.Verdict {
+		case "diverging":
+			marker = "!"
+		case "degraded":
+			marker = "~"
+		}
+		fmt.Fprintf(w, "%s %-20s %-8s %-10s %10d  %s\n",
+			marker, row.ID, row.State, row.Verdict, row.Decides, row.Reason)
+	}
+
+	if len(r.DecideExemplars) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "recent decides by latency bucket:")
+		for _, ex := range r.DecideExemplars {
+			bucket := "+Inf"
+			if !math.IsInf(ex.Bucket, 1) {
+				bucket = fmtSeconds(ex.Bucket)
+			}
+			fmt.Fprintf(w, "  ≤%-8s %10s  req=%s\n", bucket, fmtSeconds(ex.Value), ex.Label)
+		}
+	}
+}
+
+// fmtSeconds renders a duration given in seconds compactly (1.5ms, 2s).
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// renderError is the frame shown when a poll fails; the dashboard keeps
+// running so a meghd restart comes back on its own.
+func renderError(w io.Writer, source string, err error) {
+	fmt.Fprintf(w, "megh fleet health — %s\n", source)
+	fmt.Fprintf(w, "poll failed: %v\n", err)
+	fmt.Fprintln(w, strings.Repeat("-", 40))
+}

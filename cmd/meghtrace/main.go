@@ -11,6 +11,13 @@
 // state, and — when the trace was recorded with timings — per-phase decide
 // latency percentiles (p50/p90/p99/max).
 //
+// summary is batch-aware: traces from meghd's batched decide path
+// (POST /v2/sessions/{id}/decide/batch) carry one batch event per request
+// recording how many observe→decide items it served. The report counts
+// batch requests and items, and with timings adds a "decide/item" latency
+// row — each batch request's wall time divided by its item count — so
+// batched and single-decide runs compare per decision, not per request.
+//
 // diff compares two traces step by step, ignoring wall-clock timing
 // fields, and reports every divergence (different chosen action, executed
 // migration, cost, digest, …). It exits 0 and prints "zero divergence"
@@ -71,8 +78,12 @@ func runSummary(args []string) error {
 	s := trace.Summarize(events)
 
 	fmt.Printf("trace: %s\n", fs.Arg(0))
-	fmt.Printf("events: %d (%d decide, %d step), steps %d..%d\n",
-		s.Events, s.DecideEvents, s.StepEvents, s.FirstStep, s.LastStep)
+	fmt.Printf("events: %d (%d decide, %d step, %d batch), steps %d..%d\n",
+		s.Events, s.DecideEvents, s.StepEvents, s.BatchEvents, s.FirstStep, s.LastStep)
+	if s.BatchEvents > 0 {
+		fmt.Printf("batches: %d requests carrying %d items (%.1f items/request)\n",
+			s.BatchEvents, s.BatchItems, float64(s.BatchItems)/float64(s.BatchEvents))
+	}
 	fmt.Printf("cost: total %.4f (energy %.4f, sla %.4f, resource %.4f)\n",
 		s.TotalCost, s.EnergyCost, s.SLACost, s.ResourceCost)
 
@@ -88,15 +99,20 @@ func runSummary(args []string) error {
 			s.FinalQTableNNZ, s.FinalTemperature)
 	}
 
-	if s.DecideTotal.Count > 0 || len(s.Spans) > 0 {
+	if s.DecideTotal.Count > 0 || len(s.Spans) > 0 || s.BatchPerItem.Count > 0 {
 		fmt.Println("decide latency (recorded with timings):")
-		fmt.Printf("  %-10s %8s %10s %10s %10s %10s\n",
+		fmt.Printf("  %-11s %8s %10s %10s %10s %10s\n",
 			"phase", "count", "p50", "p90", "p99", "max")
 		for _, sp := range s.Spans {
 			printSpanStat(sp)
 		}
 		if s.DecideTotal.Count > 0 {
 			printSpanStat(s.DecideTotal)
+		}
+		if s.BatchPerItem.Count > 0 {
+			// Wall time per batch request ÷ items in it: the amortized
+			// per-decision latency of the batched path.
+			printSpanStat(s.BatchPerItem)
 		}
 	} else {
 		fmt.Println("decide latency: not recorded (rerun with -trace-timings)")
@@ -105,7 +121,7 @@ func runSummary(args []string) error {
 }
 
 func printSpanStat(sp trace.SpanStat) {
-	fmt.Printf("  %-10s %8d %10s %10s %10s %10s\n", sp.Name, sp.Count,
+	fmt.Printf("  %-11s %8d %10s %10s %10s %10s\n", sp.Name, sp.Count,
 		fmtNanos(sp.P50), fmtNanos(sp.P90), fmtNanos(sp.P99), fmtNanos(sp.Max))
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintRules(t *testing.T) {
+	fams := []familyRef{
+		{"megh_good_total", "counter", "a"},
+		{"megh_lat_seconds", "histogram", "a"},
+		{"megh_size_bytes", "histogram", "a"},
+		{"megh_gauge", "gauge", "a"},
+		{"bad_prefix_total", "counter", "a"},
+		{"megh_Upper_total", "counter", "a"},
+		{"megh_requests", "counter", "a"},
+		{"megh_latency", "histogram", "a"},
+		{"megh_thing_count", "gauge", "a"},
+		{"megh_thing_sum", "gauge", "a"},
+		{"megh_thing_bucket", "gauge", "a"},
+		{"megh_gauge_total", "gauge", "a"},
+		{"megh_dup", "gauge", "a"},
+		{"megh_dup", "counter", "b"},
+	}
+	got := strings.Join(lint(fams), "\n")
+	for _, want := range []string{
+		`"bad_prefix_total" must match`,
+		`"megh_Upper_total" must match`,
+		`counter "megh_requests" must end in _total`,
+		`histogram "megh_latency" must end in a unit suffix`,
+		`"megh_thing_count" ends in reserved exposition suffix "_count"`,
+		`"megh_thing_sum" ends in reserved exposition suffix "_sum"`,
+		`"megh_thing_bucket" ends in reserved exposition suffix "_bucket"`,
+		`gauge "megh_gauge_total" must not end in _total`,
+		`duplicate registration: "megh_dup" is a gauge in a but a counter in b`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("violations missing %q:\n%s", want, got)
+		}
+	}
+	for _, clean := range []string{"megh_good_total", "megh_lat_seconds", "megh_size_bytes", `"megh_gauge"`} {
+		if strings.Contains(got, clean+`"`) || strings.Contains(got, clean+" ") {
+			t.Errorf("clean family %s flagged:\n%s", clean, got)
+		}
+	}
+}
+
+func TestLintDeduplicatesRepeatedViolations(t *testing.T) {
+	fams := []familyRef{
+		{"megh_requests", "counter", "a"},
+		{"megh_requests", "counter", "a"},
+	}
+	if v := lint(fams); len(v) != 1 {
+		t.Fatalf("repeated identical violation not deduplicated: %v", v)
+	}
+}
+
+// TestRealRegistriesAreClean is the check the binary performs, run as a
+// test so `go test ./...` catches a misnamed metric even without make.
+func TestRealRegistriesAreClean(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("metriclint on the real registries: %v", err)
+	}
+}

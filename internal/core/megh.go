@@ -208,6 +208,11 @@ type Megh struct {
 	// registry (Instrument).
 	metrics *meghMetrics
 
+	// learnStats, when non-nil, accumulates the learning-health sums the
+	// health layer polls (EnableLearnStats). Nil costs one pointer test on
+	// the update path and nothing on the decide path.
+	learnStats *LearnStats
+
 	// tracer, when non-nil, receives one structured event per Decide
 	// (Trace). spans points at spanScratch while a timed Decide is in
 	// flight and is nil otherwise; traceCands and traceEv are reused
@@ -528,6 +533,9 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 	// implicit self-transitions, v = (1−γ)·φ_a).
 
 	m.recordNNZ(m.b.NNZ())
+	if m.learnStats != nil {
+		m.learnStats.Decides++
+	}
 	if m.tracer != nil {
 		m.traceEv = trace.Event{
 			Kind:        trace.KindDecide,
@@ -594,24 +602,72 @@ func (m *Megh) applyUpdate(a, b, n int, c float64) {
 	scale := float64(n)
 	vTheta := scale * (m.theta[a] - m.cfg.Gamma*m.theta[b])
 	if _, err := m.b.ShermanMorrisonBasisScaled(a, b, m.cfg.Gamma, scale); err != nil {
+		if m.learnStats != nil {
+			m.learnStats.Skipped += int64(n)
+		}
 		if m.updateHook != nil {
 			m.updateHook(a, b, n, m.cfg.Gamma, c, false)
 		}
 		return
 	}
+	ls := m.learnStats
+	if ls != nil {
+		// Bellman residual of the transition against the pre-update θ; c is
+		// the merged cost of n identical transitions, so the per-transition
+		// residual uses c/n (vTheta/scale is θ[a] − γθ[b] pre-update).
+		resid := (vTheta - c) / scale
+		if resid < 0 {
+			resid = -resid
+		}
+		if isBad(resid) {
+			ls.NonFinite++
+		} else {
+			ls.ResidualAbsSum += resid
+		}
+		ls.ResidualCount++
+		ls.Applied += int64(n)
+	}
 	if vTheta != 0 {
 		// θ needs (B·u)/den with B from *before* the rank-1 update; the
 		// kernel snapshotted exactly that column, already scaled.
 		idx, val := m.b.LastUpdateScaledCol()
-		for k, i := range idx {
-			m.theta[i] -= vTheta * val[k]
+		if ls != nil {
+			var dsq float64
+			for k, i := range idx {
+				d := vTheta * val[k]
+				m.theta[i] -= d
+				dsq += d * d
+			}
+			if isBad(dsq) {
+				ls.NonFinite++
+			} else {
+				ls.DriftSqSum += dsq
+			}
+		} else {
+			for k, i := range idx {
+				m.theta[i] -= vTheta * val[k]
+			}
 		}
 	}
 	m.z.Add(a, c)
 	if c != 0 {
 		idx, val := m.b.LastUpdateNewCol()
-		for k, i := range idx {
-			m.theta[i] += c * val[k]
+		if ls != nil {
+			var dsq float64
+			for k, i := range idx {
+				d := c * val[k]
+				m.theta[i] += d
+				dsq += d * d
+			}
+			if isBad(dsq) {
+				ls.NonFinite++
+			} else {
+				ls.DriftSqSum += dsq
+			}
+		} else {
+			for k, i := range idx {
+				m.theta[i] += c * val[k]
+			}
 		}
 	}
 	if m.updateHook != nil {

@@ -1,0 +1,73 @@
+package health_test
+
+import (
+	"testing"
+
+	"megh/internal/core"
+	"megh/internal/health"
+	"megh/internal/sim"
+)
+
+// BenchmarkDecideHealth prices the always-on health layer against the
+// production decide cycle (Decide plus cost feedback, so the
+// Sherman–Morrison update runs every iteration) on the same 150-VM ×
+// 100-host world core's BenchmarkDecide uses. Compare the sub-benchmarks:
+// "on-default-cadence" must stay within a few percent of "off" — the
+// overhead budget DESIGN.md's health section commits to — because the
+// per-decide work is one cumulative-stats diff and a handful of EWMAs;
+// the O(sample·row) probes amortize across the cadence.
+func BenchmarkDecideHealth(b *testing.B) {
+	const nVMs, nHosts = 150, 100
+	snap := testWorld(b, nVMs, nHosts)
+	fb := sim.Feedback{StepCost: 0.5, EnergyCost: 0.4, SLACost: 0.1}
+
+	b.Run("off", func(b *testing.B) {
+		m, err := core.New(core.DefaultConfig(nVMs, nHosts, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Decide(snap)
+			m.Observe(&fb)
+		}
+	})
+	b.Run("on-default-cadence", func(b *testing.B) {
+		m, err := core.New(core.DefaultConfig(nVMs, nHosts, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := health.NewTracker(m, true, health.Config{Seed: 7})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Decide(snap)
+			m.Observe(&fb)
+			tr.AfterDecide()
+		}
+	})
+}
+
+// TestAfterDecideStaysCheapOffProbe pins the per-decide cost of the health
+// layer between probes: after warm-up, a non-probe AfterDecide must not
+// allocate at all — the stats diff and EWMA updates run on struct fields.
+func TestAfterDecideStaysCheapOffProbe(t *testing.T) {
+	m, snap := newLearner(t, 7)
+	// A cadence far beyond the measured window keeps every measured call on
+	// the cheap path.
+	tr := health.NewTracker(m, true, health.Config{ProbeEvery: 1 << 20, Seed: 7})
+	drive(m, tr, snap, 8, 1.0)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Observe(&sim.Feedback{StepCost: 1.0})
+		m.Decide(snap)
+		tr.AfterDecide()
+	})
+	base := testing.AllocsPerRun(200, func() {
+		m.Observe(&sim.Feedback{StepCost: 1.0})
+		m.Decide(snap)
+	})
+	if allocs > base {
+		t.Fatalf("off-probe AfterDecide allocates: %.1f allocs/op vs %.1f without health", allocs, base)
+	}
+}

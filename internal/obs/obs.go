@@ -79,6 +79,48 @@ type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars holds, per bucket, the most recent exemplar recorded via
+	// ObserveExemplar — a link from a latency bucket back to the request
+	// (X-Request-ID / trace offset) that landed in it. Plain Observe never
+	// touches it, so the hot path stays allocation-free.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete observation: the
+// request ID (or trace offset) and value that most recently landed in it.
+type Exemplar struct {
+	// Bucket is the bucket's upper bound; math.Inf(1) for the overflow
+	// bucket.
+	Bucket float64 `json:"bucket_le"`
+	// Value is the observed sample.
+	Value float64 `json:"value"`
+	// Label identifies the request: an X-Request-ID or trace offset.
+	Label string `json:"label"`
+}
+
+// ObserveExemplar records a sample like Observe and additionally stores an
+// exemplar for the bucket it lands in. It allocates (one Exemplar per
+// call), so use it on request-scoped paths — middleware, not kernels.
+func (h *Histogram) ObserveExemplar(v float64, label string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	bound := math.Inf(1)
+	if i < len(h.bounds) {
+		bound = h.bounds[i]
+	}
+	h.exemplars[i].Store(&Exemplar{Bucket: bound, Value: v, Label: label})
+	h.Observe(v)
+}
+
+// Exemplars returns the recorded exemplars in ascending bucket order,
+// skipping buckets that never received one.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Observe records one sample.
@@ -191,6 +233,7 @@ func (r *Registry) HistogramBuckets(name, help string, buckets []float64, labels
 	inst := r.instanceWith(name, help, typeHistogram, buckets, labels, func() any {
 		h := &Histogram{bounds: fam.buckets}
 		h.counts = make([]atomic.Int64, len(fam.buckets)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(fam.buckets)+1)
 		return h
 	}, &fam)
 	return inst.(*Histogram)

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"megh/internal/health"
+	"megh/internal/obs"
+)
+
+// SessionHealthResponse is the GET /v2/sessions/{id}/health body: the
+// session's learning-health snapshot plus its residency state. Serving it
+// never restores an evicted learner — the tracker caches every telemetry
+// stream across eviction, so health checks don't churn the LRU.
+type SessionHealthResponse struct {
+	ID string `json:"id"`
+	// State is "live" while the learner is resident, "evicted" while its
+	// state lives only in the checkpoint file.
+	State  string          `json:"state"`
+	Pinned bool            `json:"pinned,omitempty"`
+	Health health.Snapshot `json:"health"`
+}
+
+// FleetSessionHealth is one row of the fleet health roll-up.
+type FleetSessionHealth struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason,omitempty"`
+	Decides int64  `json:"decides"`
+}
+
+// FleetHealthResponse is the GET /v2/health body: a verdict histogram
+// over every session, the worst-N sessions (most severe verdict first),
+// the decide-latency SLO status, and the latest decide-latency exemplars
+// (one per histogram bucket, linking the bucket back to the X-Request-ID
+// that most recently landed in it).
+type FleetHealthResponse struct {
+	SessionsDefined int `json:"sessions_defined"`
+	SessionsLive    int `json:"sessions_live"`
+	// Verdicts counts sessions per verdict; all three keys are always
+	// present.
+	Verdicts map[string]int       `json:"verdicts"`
+	Worst    []FleetSessionHealth `json:"worst"`
+	SLO      *obs.SLOStatus       `json:"slo,omitempty"`
+	// DecideExemplars come from the decide-route latency histograms; the
+	// Prometheus text format (0.0.4) cannot carry exemplars, so they
+	// surface here instead of on /metrics.
+	DecideExemplars []obs.Exemplar `json:"decide_exemplars,omitempty"`
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"megh/internal/core"
+	"megh/internal/health"
 	"megh/internal/obs"
 	"megh/internal/sim"
 	"megh/internal/trace"
@@ -75,7 +76,31 @@ type Config struct {
 	// endpoint then reports enabled=false). /v2 sessions each get their own
 	// ring tracer regardless (see SessionRing).
 	Tracer *trace.Tracer
+	// HealthProbeEvery is the cadence, in decides, of every session health
+	// tracker's sampled consistency probes (θ = B·z spot checks and the
+	// ‖B·T − I‖∞ inverse-drift probe). 0 means health.DefProbeEvery;
+	// negative disables probing (the streaming EWMAs and queue telemetry
+	// still run and still score the verdict).
+	HealthProbeEvery int
+	// SLODecideP99 is the decide-latency objective in seconds backing the
+	// burn-rate SLO served on /v2/health and /metrics: a decide is "good"
+	// when it completes within the objective, and the SLO tracks the bad
+	// fraction against a 1% error budget over 5m/1h windows. 0 means
+	// DefSLODecideP99; negative disables SLO tracking.
+	SLODecideP99 float64
+	// MetricsSessionTopK bounds the session-label cardinality of the fleet
+	// block on GET /metrics: the K busiest sessions (by decisions) keep
+	// their own session label, the rest fold into session="other". 0 means
+	// DefMetricsSessionTopK; negative means unbounded.
+	MetricsSessionTopK int
 }
+
+// DefSLODecideP99 is the default decide-latency objective in seconds.
+const DefSLODecideP99 = 0.1
+
+// DefMetricsSessionTopK is the default session-label cardinality bound on
+// the fleet /metrics block.
+const DefMetricsSessionTopK = 10
 
 // Service is the HTTP scheduling service: a registry of named sessions,
 // each an independent data center with its own learner, tracer ring,
@@ -92,6 +117,13 @@ type Service struct {
 	// gate bounds concurrent decide/feedback work (nil = unlimited).
 	gate      chan struct{}
 	throttled *obs.Counter
+
+	// slo tracks the decide-latency objective (nil = disabled; every
+	// method on a nil SLO is a no-op).
+	slo *obs.SLO
+	// decideLats holds the decide-route latency histograms, set by
+	// Handler, so the fleet health endpoint can surface their exemplars.
+	decideLats atomic.Pointer[[]*obs.Histogram]
 
 	// reqEpoch/reqSeq generate X-Request-ID values unique across restarts.
 	reqEpoch int64
@@ -140,6 +172,7 @@ func New(cfg Config) (*Service, error) {
 	}
 
 	var learner *core.Megh
+	defaultFresh := true
 	if cfg.CheckpointPath != "" {
 		restored, err := core.LoadStateFile(cfg.CheckpointPath)
 		switch {
@@ -150,6 +183,7 @@ func New(cfg Config) (*Service, error) {
 					cfg.CheckpointPath, lc.NumVMs, lc.NumHosts, cfg.NumVMs, cfg.NumHosts)
 			}
 			learner = restored
+			defaultFresh = false
 		case os.IsNotExist(err):
 		default:
 			return nil, fmt.Errorf("server: restoring %s: %w", cfg.CheckpointPath, err)
@@ -179,6 +213,13 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.SLODecideP99 >= 0 {
+		objective := cfg.SLODecideP99
+		if objective == 0 {
+			objective = DefSLODecideP99
+		}
+		s.slo = obs.NewSLO(obs.SLOConfig{Name: "decide", Objective: objective})
+	}
 
 	// The default session backs the /v1 shim: pinned (never evicted),
 	// instrumented on the service registry, traced by the shared tracer,
@@ -202,6 +243,11 @@ func New(cfg Config) (*Service, error) {
 		reg:      reg,
 		ckptPath: ckptPath,
 	}
+	def.health = health.NewTracker(learner, defaultFresh, health.Config{
+		ProbeEvery: cfg.HealthProbeEvery,
+		Seed:       cfg.Seed,
+	})
+	def.health.Instrument(reg)
 	sh := s.mgr.shardFor(def.id)
 	sh.mu.Lock()
 	sh.m[def.id] = def
@@ -269,9 +315,24 @@ func (s *Service) Handler() http.Handler {
 		func(w http.ResponseWriter, r *http.Request, sess *session) {
 			sess.reg.Handler().ServeHTTP(w, r)
 		}))
+	handle("GET /v2/sessions/{id}/health", s.withSession(s.healthSession))
+	handle("GET /v2/health", s.handleFleetHealth)
 
+	// Like /v1's /metrics before it, the global scrape endpoint stays
+	// outside the instrument middleware so scrapes don't inflate the
+	// request metrics they collect.
 	patterns = append(patterns, "GET /metrics")
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	// Pin the decide-route latency histograms so the fleet health endpoint
+	// can surface their exemplars; the registry returns the same instances
+	// the middleware observes into.
+	decideLats := make([]*obs.Histogram, 0, 3)
+	for _, route := range []string{"/v1/decide", "/v2/sessions/:id/decide", "/v2/sessions/:id/decide/batch"} {
+		decideLats = append(decideLats, s.reg.Histogram("megh_http_request_seconds",
+			"HTTP request latency in seconds, by route.", obs.Labels{"route": route}))
+	}
+	s.decideLats.Store(&decideLats)
 	handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
@@ -400,7 +461,14 @@ func (s *Service) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 				}
 			}
 			inFlight.Add(-1)
-			lat.Observe(time.Since(start).Seconds())
+			// The envelope middleware stamped X-Request-ID before this
+			// handler ran; recording it as an exemplar links each latency
+			// bucket back to a concrete request.
+			if rid := w.Header().Get("X-Request-ID"); rid != "" {
+				lat.ObserveExemplar(time.Since(start).Seconds(), rid)
+			} else {
+				lat.Observe(time.Since(start).Seconds())
+			}
 			if sw.status >= 400 {
 				errs.Inc()
 			}
@@ -519,6 +587,7 @@ func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *se
 	// released, or a concurrent request overwrites the decisions mid-encoding
 	// (the bug TestDecideAppendReturnsOwnedCopy pins on the core side).
 	var decisions []MigrationDecision
+	start := time.Now()
 	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
 		migs := l.Decide(snap)
 		decisions = make([]MigrationDecision, 0, len(migs))
@@ -527,12 +596,16 @@ func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *se
 		}
 		sess.decisions++
 		sess.lastStep = req.Step
+		if sess.health != nil {
+			sess.health.AfterDecide()
+		}
 		return nil
 	})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	s.slo.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, DecideResponse{Step: req.Step, Migrations: decisions})
 }
 
@@ -597,6 +670,7 @@ func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, ses
 	}
 
 	results := make([]DecideResponse, len(items))
+	start := time.Now()
 	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
 		// DecideBatch returns caller-owned slices, so unlike the single
 		// decide path nothing here races the lock release — the copy into
@@ -610,11 +684,32 @@ func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, ses
 		}
 		sess.decisions += len(items)
 		sess.lastStep = items[len(items)-1].Snap.Step
+		if sess.health != nil {
+			// One call covers the whole batch: the tracker diffs the
+			// learner's cumulative stats, so deltas stay exact.
+			sess.health.AfterDecide()
+		}
 		return nil
 	})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	// The SLO sees the per-item amortized latency — the fair comparison
+	// against single decides, since one batch request answers N steps.
+	s.slo.ObserveN(time.Since(start).Seconds()/float64(len(items)), int64(len(items)))
+	if sess.tracer.Enabled() {
+		// The batch marker follows the per-item decide events so meghtrace
+		// can amortize the request's wall time across its items.
+		ev := trace.Event{
+			Kind:       trace.KindBatch,
+			Step:       items[len(items)-1].Snap.Step,
+			BatchItems: len(items),
+		}
+		if sess.tracer.Timings() {
+			ev.DecideNanos = time.Since(start).Nanoseconds()
+		}
+		sess.tracer.Emit(&ev)
 	}
 	writeJSON(w, http.StatusOK, BatchDecideResponse{Results: results})
 }

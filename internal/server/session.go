@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"megh/internal/core"
+	"megh/internal/health"
 	"megh/internal/obs"
 	"megh/internal/trace"
 )
@@ -51,7 +53,12 @@ type session struct {
 	mu sync.Mutex
 	// learner is nil while the session is evicted (its state lives in
 	// ckptPath); the next touch restores it lazily.
-	learner   *core.Megh
+	learner *core.Megh
+	// health rides alongside the learner for the session's whole lifetime:
+	// it detaches (keeping its accumulated telemetry and T shadow) when the
+	// learner is evicted and reattaches on lazy restore, so health reads on
+	// an evicted session never thaw it.
+	health    *health.Tracker
 	tracer    *trace.Tracer
 	reg       *obs.Registry
 	decisions int
@@ -107,6 +114,11 @@ type sessionManager struct {
 	deferThreshold float64
 	deferMaxAge    int
 
+	// healthProbeEvery is the sampled-probe cadence for every session's
+	// health tracker (health.Config.ProbeEvery): 0 means the package
+	// default, negative disables probing (EWMAs still run).
+	healthProbeEvery int
+
 	gLive    *obs.Gauge
 	gDefined *obs.Gauge
 	cEvict   *obs.Counter
@@ -122,6 +134,8 @@ func newSessionManager(cfg Config, reg *obs.Registry) *sessionManager {
 		stepSeconds:    cfg.StepSeconds,
 		deferThreshold: cfg.DeferThreshold,
 		deferMaxAge:    cfg.DeferMaxAge,
+
+		healthProbeEvery: cfg.HealthProbeEvery,
 		gLive: reg.Gauge("megh_sessions_live",
 			"Sessions whose learner is resident in memory.", nil),
 		gDefined: reg.Gauge("megh_sessions_defined",
@@ -230,6 +244,7 @@ func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session
 	}
 
 	var learner *core.Megh
+	freshLearner := true
 	if s.ckptPath != "" {
 		l, err := core.LoadStateFile(s.ckptPath)
 		switch {
@@ -240,6 +255,7 @@ func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session
 					errSessionExists, s.ckptPath, lc.NumVMs, lc.NumHosts, spec.NumVMs, spec.NumHosts)
 			}
 			learner = l
+			freshLearner = false
 			s.restores++
 			m.cRestore.Inc()
 		case errors.Is(err, fs.ErrNotExist):
@@ -262,6 +278,14 @@ func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session
 	}
 	learner.Instrument(s.reg)
 	learner.Trace(s.tracer)
+	// fresh=true arms the inverse-drift probe: the tracker will witness
+	// every update from here on. A learner restored from a checkpoint the
+	// tracker never saw gets the restore-safe θ = B·z probe only.
+	s.health = health.NewTracker(learner, freshLearner, health.Config{
+		ProbeEvery: m.healthProbeEvery,
+		Seed:       spec.Seed,
+	})
+	s.health.Instrument(s.reg)
 	s.learner = learner
 	sh.m[id] = s
 	sh.mu.Unlock()
@@ -324,6 +348,95 @@ func (m *sessionManager) list() []SessionInfo {
 	return out
 }
 
+// forEachSession calls fn for every registered session. The shard locks
+// are released before fn runs, so fn may take session locks freely (but
+// sees a snapshot of the membership, not a consistent cut).
+func (m *sessionManager) forEachSession(fn func(*session)) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		sessions := make([]*session, 0, len(sh.m))
+		for _, s := range sh.m {
+			sessions = append(sessions, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range sessions {
+			fn(s)
+		}
+	}
+}
+
+// fleetSnapshots re-exports every non-default session's metrics registry
+// as renamed families (megh_decide_seconds → megh_session_decide_seconds)
+// carrying a session label. Cardinality is bounded: the topK sessions by
+// decision traffic keep their own label value and the rest fold into
+// session="other" (counters and histogram buckets sum; summed gauges read
+// as fleet totals). The default session is skipped — its instruments live
+// unlabelled in the service registry already. Reading a registry never
+// touches the learner, so evicted sessions contribute without restoring.
+func (m *sessionManager) fleetSnapshots(topK int) []obs.FamilySnapshot {
+	type ranked struct {
+		s         *session
+		decisions int
+	}
+	var rows []ranked
+	m.forEachSession(func(s *session) {
+		if s.pinned {
+			return
+		}
+		s.mu.Lock()
+		deleted, decisions := s.deleted, s.decisions
+		s.mu.Unlock()
+		if deleted {
+			return
+		}
+		rows = append(rows, ranked{s, decisions})
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].decisions != rows[j].decisions {
+			return rows[i].decisions > rows[j].decisions
+		}
+		return rows[i].s.id < rows[j].s.id
+	})
+
+	dst := make(map[string]*obs.FamilySnapshot)
+	for i, r := range rows {
+		label := r.s.id
+		if topK > 0 && i >= topK {
+			label = "other"
+		}
+		obs.MergeSnapshots(dst, relabelForFleet(r.s.reg.Gather(), label))
+	}
+	out := make([]obs.FamilySnapshot, 0, len(dst))
+	for _, f := range dst {
+		out = append(out, *f)
+	}
+	return out
+}
+
+// relabelForFleet renames a session registry's families into the
+// fleet-level megh_session_* namespace (avoiding collisions with the same
+// families in the service registry) and prepends the session label to
+// every point.
+func relabelForFleet(fams []obs.FamilySnapshot, sessionLabel string) []obs.FamilySnapshot {
+	out := make([]obs.FamilySnapshot, len(fams))
+	for i, f := range fams {
+		nf := f
+		if rest, ok := strings.CutPrefix(f.Name, "megh_"); ok {
+			nf.Name = "megh_session_" + rest
+		} else {
+			nf.Name = "megh_session_" + f.Name
+		}
+		nf.Points = make([]obs.MetricPoint, len(f.Points))
+		for j, p := range f.Points {
+			p.LabelSig = obs.WithLabelFirst(p.LabelSig, "session", sessionLabel)
+			nf.Points[j] = p
+		}
+		out[i] = nf
+	}
+	return out
+}
+
 // noteResident tracks the live-learner count and mirrors it into the
 // gauge.
 func (m *sessionManager) noteResident(delta int64) {
@@ -356,6 +469,12 @@ func (m *sessionManager) withLearner(s *session, fn func(l *core.Megh) error) er
 		l.Instrument(s.reg)
 		l.Trace(s.tracer)
 		s.learner = l
+		if s.health != nil {
+			// The checkpoint is byte-identical to the state at eviction, so
+			// the tracker's T shadow still matches B and the inverse probe
+			// stays armed.
+			s.health.Reattach(l)
+		}
 		s.restores++
 		restored = true
 		m.cRestore.Inc()
@@ -441,6 +560,9 @@ func (m *sessionManager) evict(s *session) bool {
 		return false
 	}
 	s.learner = nil
+	if s.health != nil {
+		s.health.Detach()
+	}
 	s.evictions++
 	m.cEvict.Inc()
 	m.noteResident(-1)

@@ -121,6 +121,9 @@ func (s *Simulator) Run(p Policy) (*Result, error) {
 		if receiver != nil {
 			receiver.Observe(fb)
 		}
+		if s.cfg.Health != nil {
+			s.cfg.Health.ObserveStep(t, metrics.DecideSeconds)
+		}
 	}
 	res.VMDowntimeFrac = make([]float64, len(st.downtimeSec))
 	for j := range st.downtimeSec {
@@ -531,19 +534,19 @@ func newObsFeed(reg *obs.Registry, policy string) *obsFeed {
 	}
 	l := obs.Labels{"policy": policy}
 	return &obsFeed{
-		decideSeconds: reg.Histogram("sim_decide_seconds",
+		decideSeconds: reg.Histogram("megh_sim_decide_seconds",
 			"Wall-clock time the policy spent in Decide, per step.", l),
-		steps: reg.Counter("sim_steps_total",
+		steps: reg.Counter("megh_sim_steps_total",
 			"Simulated τ-intervals executed.", l),
-		migrations: reg.Counter("sim_migrations_total",
+		migrations: reg.Counter("megh_sim_migrations_total",
 			"Live migrations executed.", l),
-		rejections: reg.Counter("sim_rejections_total",
+		rejections: reg.Counter("megh_sim_rejections_total",
 			"Requested migrations refused by feasibility checks.", l),
-		overloadedSteps: reg.Counter("sim_overloaded_host_steps_total",
+		overloadedSteps: reg.Counter("megh_sim_overloaded_host_steps_total",
 			"Host-steps spent above the overload threshold β.", l),
-		failedSteps: reg.Counter("sim_failed_host_steps_total",
+		failedSteps: reg.Counter("megh_sim_failed_host_steps_total",
 			"Host-steps spent in an injected outage.", l),
-		activeHosts: reg.Gauge("sim_active_hosts",
+		activeHosts: reg.Gauge("megh_sim_active_hosts",
 			"Hosts running at least one VM after the step's migrations.", l),
 	}
 }

@@ -626,17 +626,17 @@ func TestMetricsFeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	l := obs.Labels{"policy": "script"}
-	if got := reg.Counter("sim_steps_total", "", l).Value(); got != 3 {
-		t.Fatalf("sim_steps_total = %d, want 3", got)
+	if got := reg.Counter("megh_sim_steps_total", "", l).Value(); got != 3 {
+		t.Fatalf("megh_megh_sim_steps_total = %d, want 3", got)
 	}
-	if got := reg.Histogram("sim_decide_seconds", "", l).Count(); got != 3 {
-		t.Fatalf("sim_decide_seconds count = %d, want 3", got)
+	if got := reg.Histogram("megh_sim_decide_seconds", "", l).Count(); got != 3 {
+		t.Fatalf("megh_megh_sim_decide_seconds count = %d, want 3", got)
 	}
-	if got := reg.Counter("sim_migrations_total", "", l).Value(); got != int64(res.TotalMigrations()) {
-		t.Fatalf("sim_migrations_total = %d, want %d", got, res.TotalMigrations())
+	if got := reg.Counter("megh_sim_migrations_total", "", l).Value(); got != int64(res.TotalMigrations()) {
+		t.Fatalf("megh_megh_sim_migrations_total = %d, want %d", got, res.TotalMigrations())
 	}
-	if got := reg.Counter("sim_rejections_total", "", l).Value(); got != 1 {
-		t.Fatalf("sim_rejections_total = %d, want 1", got)
+	if got := reg.Counter("megh_sim_rejections_total", "", l).Value(); got != 1 {
+		t.Fatalf("megh_megh_sim_rejections_total = %d, want 1", got)
 	}
 	var wantOverloaded int64
 	for _, m := range res.Steps {
@@ -645,12 +645,12 @@ func TestMetricsFeed(t *testing.T) {
 	if wantOverloaded == 0 {
 		t.Fatal("scenario never overloaded a host; test world broken")
 	}
-	if got := reg.Counter("sim_overloaded_host_steps_total", "", l).Value(); got != wantOverloaded {
-		t.Fatalf("sim_overloaded_host_steps_total = %d, want %d", got, wantOverloaded)
+	if got := reg.Counter("megh_sim_overloaded_host_steps_total", "", l).Value(); got != wantOverloaded {
+		t.Fatalf("megh_megh_sim_overloaded_host_steps_total = %d, want %d", got, wantOverloaded)
 	}
 	last := res.Steps[len(res.Steps)-1]
-	if got := reg.Gauge("sim_active_hosts", "", l).Value(); got != float64(last.ActiveHosts) {
-		t.Fatalf("sim_active_hosts = %g, want %d", got, last.ActiveHosts)
+	if got := reg.Gauge("megh_sim_active_hosts", "", l).Value(); got != float64(last.ActiveHosts) {
+		t.Fatalf("megh_megh_sim_active_hosts = %g, want %d", got, last.ActiveHosts)
 	}
 	// An unmetered run must keep working (nil feed).
 	cfg.Metrics = nil

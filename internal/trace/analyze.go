@@ -23,8 +23,13 @@ type Summary struct {
 	Events       int
 	DecideEvents int
 	StepEvents   int
+	BatchEvents  int
 	FirstStep    int
 	LastStep     int
+
+	// BatchItems is the total number of observe→decide items carried by
+	// batch events — the denominator for per-item amortization.
+	BatchItems int
 
 	TotalCost    float64
 	EnergyCost   float64
@@ -54,6 +59,12 @@ type Summary struct {
 	// distribution. Both are zero-valued when the trace has no timings.
 	Spans       []SpanStat
 	DecideTotal SpanStat
+
+	// BatchPerItem is the per-item amortized decide latency from batch
+	// events (request wall time ÷ items in that request), so batched and
+	// single-decide runs compare on equal footing. Zero-valued when the
+	// trace has no timed batch events.
+	BatchPerItem SpanStat
 }
 
 // Summarize aggregates a decoded trace.
@@ -67,6 +78,7 @@ func Summarize(events []Event) *Summary {
 	spanSamples := map[string][]int64{}
 	var spanOrder []string
 	var decideSamples []int64
+	var batchItemSamples []int64
 	// cause[(step,vm)] = candidate reason, filled from decide events and
 	// consumed by the same step's executed migrations.
 	cause := map[[2]int]string{}
@@ -131,6 +143,14 @@ func Summarize(events []Event) *Summary {
 			if ev.DecideNanos > 0 {
 				decideSamples = append(decideSamples, ev.DecideNanos)
 			}
+		case KindBatch:
+			s.BatchEvents++
+			s.BatchItems += ev.BatchItems
+			if ev.DecideNanos > 0 && ev.BatchItems > 0 {
+				// Amortize the request's wall time across its items so the
+				// sample is comparable to a single decide's latency.
+				batchItemSamples = append(batchItemSamples, ev.DecideNanos/int64(ev.BatchItems))
+			}
 		}
 	}
 	if s.FirstStep < 0 {
@@ -140,6 +160,7 @@ func Summarize(events []Event) *Summary {
 		s.Spans = append(s.Spans, spanStat(name, spanSamples[name]))
 	}
 	s.DecideTotal = spanStat("decide", decideSamples)
+	s.BatchPerItem = spanStat("decide/item", batchItemSamples)
 	return s
 }
 
@@ -321,6 +342,10 @@ func diffEvent(a, b *Event, add func(step int, kind, field string, va, vb any)) 
 		}
 		if a.OverloadedHosts != b.OverloadedHosts {
 			add(step, kind, "overloaded_hosts", a.OverloadedHosts, b.OverloadedHosts)
+		}
+	case KindBatch:
+		if a.BatchItems != b.BatchItems {
+			add(step, kind, "batch_items", a.BatchItems, b.BatchItems)
 		}
 	}
 }

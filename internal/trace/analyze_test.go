@@ -75,6 +75,47 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeBatchAware(t *testing.T) {
+	events := append(analyzeFixture(),
+		Event{Kind: KindBatch, Step: 1, BatchItems: 2, DecideNanos: 2000},
+		Event{Kind: KindBatch, Step: 3, BatchItems: 4, DecideNanos: 2000},
+		// Untimed batch marker: counted, but contributes no latency sample.
+		Event{Kind: KindBatch, Step: 5, BatchItems: 3},
+	)
+	s := Summarize(events)
+	if s.BatchEvents != 3 || s.BatchItems != 9 {
+		t.Fatalf("batch counts: events=%d items=%d", s.BatchEvents, s.BatchItems)
+	}
+	if s.Events != 7 || s.LastStep != 5 {
+		t.Fatalf("totals: events=%d last=%d", s.Events, s.LastStep)
+	}
+	// Per-item amortization: 2000/2=1000 and 2000/4=500.
+	if s.BatchPerItem.Name != "decide/item" || s.BatchPerItem.Count != 2 {
+		t.Fatalf("per-item stat: %+v", s.BatchPerItem)
+	}
+	if s.BatchPerItem.Max != 1000 || s.BatchPerItem.Total != 1500 {
+		t.Fatalf("per-item amortized samples: %+v", s.BatchPerItem)
+	}
+	// Decide-event stats are untouched by batch markers.
+	if s.DecideEvents != 2 || s.DecideTotal.Count != 2 {
+		t.Fatalf("decide stats changed: %+v", s)
+	}
+}
+
+func TestDiffBatchItems(t *testing.T) {
+	a := []Event{{Kind: KindBatch, Step: 2, BatchItems: 3, DecideNanos: 111}}
+	b := []Event{{Kind: KindBatch, Step: 2, BatchItems: 5, DecideNanos: 999}}
+	res := Diff(a, b, 0)
+	if len(res.Divergences) != 1 || res.Divergences[0].Field != "batch_items" {
+		t.Fatalf("divergences: %+v", res.Divergences)
+	}
+	// Timing-only differences must not diverge.
+	b[0].BatchItems = 3
+	if res := Diff(a, b, 0); !res.Identical() {
+		t.Fatalf("timing-only batch diff diverged: %+v", res.Divergences)
+	}
+}
+
 func TestSpanStatPercentiles(t *testing.T) {
 	samples := make([]int64, 100)
 	for i := range samples {

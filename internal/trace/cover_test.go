@@ -146,6 +146,7 @@ func TestDiffCoversEveryField(t *testing.T) {
 				ActiveHosts: 4, OverloadedHosts: 1,
 				Executed: []Migration{{VM: 1, From: 0, Dest: 2, Reason: "overload"}},
 				Rejected: []Migration{{VM: 3, From: 1, Dest: 0}}},
+			{Kind: KindBatch, Step: 0, BatchItems: 4},
 		}
 	}
 	cases := []struct {
@@ -169,6 +170,7 @@ func TestDiffCoversEveryField(t *testing.T) {
 		{"executed", func(e []Event) { e[1].Executed = nil }},
 		{"executed[0]", func(e []Event) { e[1].Executed[0].Dest = 9 }},
 		{"rejected[0]", func(e []Event) { e[1].Rejected[0].VM = 9 }},
+		{"batch_items", func(e []Event) { e[2].BatchItems = 9 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.field, func(t *testing.T) {

@@ -99,6 +99,10 @@ func appendEventJSON(b []byte, ev *Event) []byte {
 		b = append(b, `,"slept":`...)
 		b = appendInts(b, ev.Slept)
 	}
+	if ev.BatchItems != 0 {
+		b = append(b, `,"batch_items":`...)
+		b = strconv.AppendInt(b, int64(ev.BatchItems), 10)
+	}
 	if ev.DecideNanos != 0 {
 		b = append(b, `,"decide_ns":`...)
 		b = strconv.AppendInt(b, ev.DecideNanos, 10)

@@ -39,6 +39,11 @@ const (
 	// KindStep is emitted by the simulator (or meghd's feedback path)
 	// once per completed τ-interval.
 	KindStep = "step"
+	// KindBatch is emitted by the server's batched decide path once per
+	// POST /v2/sessions/{id}/decide/batch request, after the per-item
+	// decide events. It records how many observe→decide items the request
+	// carried, so analysis can amortize the request's wall time per item.
+	KindBatch = "batch"
 )
 
 // Candidate reasons — why a VM entered the decision set.
@@ -129,6 +134,11 @@ type Event struct {
 	// (empty→running and running→empty respectively).
 	Woken []int `json:"woken,omitempty"`
 	Slept []int `json:"slept,omitempty"`
+
+	// BatchItems is how many observe→decide items a batch event's request
+	// carried (KindBatch only). With timings enabled DecideNanos holds the
+	// whole request's decide wall time; per-item latency is the quotient.
+	BatchItems int `json:"batch_items,omitempty"`
 
 	// DecideNanos is the policy's wall time for this step; like Spans it
 	// is only recorded when timings are enabled.

@@ -37,7 +37,8 @@ func sampleStepEvent() Event {
 // The hand-rolled encoder must produce exactly what encoding/json can
 // decode back into an equal Event — reader.go and meghtrace depend on it.
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	for _, ev := range []Event{sampleDecideEvent(), sampleStepEvent(), {Kind: KindStep, Step: 0}} {
+	batch := Event{Kind: KindBatch, Step: 7, BatchItems: 32, DecideNanos: 64000}
+	for _, ev := range []Event{sampleDecideEvent(), sampleStepEvent(), batch, {Kind: KindStep, Step: 0}} {
 		b := appendEventJSON(nil, &ev)
 		var got Event
 		if err := json.Unmarshal(b, &got); err != nil {
