@@ -44,12 +44,16 @@ bench-trace:
 	$(GO) test -run=- -bench=BenchmarkDecide -benchtime=100x ./internal/core/
 	$(GO) test -run=- -bench=BenchmarkDecideHealth -benchtime=100x ./internal/health/
 
-# Allocation-regression gate: the untraced decide path with no pending cost
-# must stay at exactly 0 allocs/op. Short (300 iterations) so `make check`
-# stays fast; benchjson fails the build on any regression.
+# Allocation-regression gates: the untraced decide path with no pending cost
+# must stay at exactly 0 allocs/op, and the coalesced server decide path
+# (round + waiter + demux machinery per uncontended request) must stay within
+# its small fixed budget. Short iteration counts so `make check` stays fast;
+# benchjson fails the build on any regression.
 bench-alloc-gate:
 	$(GO) test -run=- -bench='BenchmarkDecide/no-tracer-nocost' -benchtime=300x -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -assert-zero-alloc BenchmarkDecide/no-tracer-nocost
+	$(GO) test -run=- -bench='BenchmarkCoalescedDecide/serial' -benchtime=300x -benchmem ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -assert-max-allocs BenchmarkCoalescedDecide/serial=16
 
 # Regenerate the tracked benchmark baseline. Decide benchmarks run a fixed
 # iteration count: the learner's Q-table densifies as updates accumulate, so
@@ -60,6 +64,7 @@ BENCH_REPS ?= 3
 bench-json:
 	@{ $(GO) test -run=- -bench='BenchmarkDecide' -benchtime=10000x -count=$(BENCH_REPS) -benchmem ./internal/core/ ; \
 	   $(GO) test -run=- -bench='BenchmarkShermanMorrison' -count=$(BENCH_REPS) -benchmem ./internal/sparse/ ; \
+	   $(GO) test -run=- -bench='BenchmarkCoalescedDecide' -benchtime=10000x -count=$(BENCH_REPS) -benchmem ./internal/server/ ; \
 	   $(GO) test -run=- -bench='BenchmarkFigure6_Megh|BenchmarkTable2_Megh' -count=$(BENCH_REPS) -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson -commit "$$(git rev-parse --short HEAD)" \
 			-note "Decide benchmarks use -benchtime=10000x (fixed iterations; see DESIGN.md Performance); fastest of $(BENCH_REPS) reps per benchmark" \
@@ -76,6 +81,7 @@ BENCH_TOLERANCE ?= 0.20
 bench-check:
 	@{ $(GO) test -run=- -bench='BenchmarkDecide' -benchtime=10000x -count=$(BENCH_REPS) -benchmem ./internal/core/ ; \
 	   $(GO) test -run=- -bench='BenchmarkShermanMorrison' -count=$(BENCH_REPS) -benchmem ./internal/sparse/ ; \
+	   $(GO) test -run=- -bench='BenchmarkCoalescedDecide' -benchtime=10000x -count=$(BENCH_REPS) -benchmem ./internal/server/ ; \
 	   $(GO) test -run=- -bench='BenchmarkFigure6_Megh|BenchmarkTable2_Megh' -count=$(BENCH_REPS) -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson -check BENCH_megh.json -check-tolerance $(BENCH_TOLERANCE)
 

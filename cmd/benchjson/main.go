@@ -10,7 +10,10 @@
 //
 // With -assert-zero-alloc, benchjson additionally fails (exit 1) unless the
 // named benchmarks report exactly 0 allocs/op — `make check` uses this as a
-// regression gate on the allocation-free decide path.
+// regression gate on the allocation-free decide path. -assert-max-allocs
+// generalises the gate to bounded-allocation paths: repeated NAME=N pairs
+// each fail the run when the named benchmark exceeds N allocs/op (`make
+// check` bounds the coalesced server decide path this way).
 //
 // With -check FILE, benchjson compares the freshly parsed results against
 // the committed baseline document instead of writing one: any benchmark
@@ -164,6 +167,34 @@ func assertZeroAlloc(results []Result, names []string) error {
 	return nil
 }
 
+// assertMaxAllocs fails unless every "NAME=N" entry names a present
+// benchmark reporting at most N allocs/op.
+func assertMaxAllocs(results []Result, specs []string) error {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, spec := range specs {
+		name, limitStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("benchjson: -assert-max-allocs entry %q is not NAME=N", spec)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil || limit < 0 {
+			return fmt.Errorf("benchjson: -assert-max-allocs entry %q has a bad limit", spec)
+		}
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("benchjson: benchmark %q not found in input (have %d results)", name, len(results))
+		}
+		if r.AllocsPerOp > limit {
+			return fmt.Errorf("benchjson: %s allocates %.0f allocs/op (%.0f B/op), limit %.0f — the bounded-allocation path regressed",
+				name, r.AllocsPerOp, r.BytesPerOp, limit)
+		}
+	}
+	return nil
+}
+
 // checkRegressions compares fresh results against the committed baseline:
 // each benchmark present in both must keep ns/op within (1+tolerance)× its
 // baseline value. Every offender is reported, not just the first, so one
@@ -208,7 +239,7 @@ func checkRegressions(results []Result, baselinePath string, tolerance float64) 
 	return nil
 }
 
-func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc, checkPath string, checkTol float64) error {
+func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc, maxAllocs, checkPath string, checkTol float64) error {
 	results, cpu, err := parse(in)
 	if err != nil {
 		return err
@@ -216,6 +247,7 @@ func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc, checkPat
 	if len(results) == 0 {
 		return fmt.Errorf("benchjson: no benchmark results on stdin")
 	}
+	gated := false
 	if zeroAlloc != "" {
 		var names []string
 		for _, n := range strings.Split(zeroAlloc, ",") {
@@ -227,9 +259,23 @@ func run(in io.Reader, out io.Writer, commit, outPath, note, zeroAlloc, checkPat
 			return err
 		}
 		fmt.Fprintf(out, "benchjson: zero-alloc gate passed for %s\n", zeroAlloc)
-		if outPath == "" && checkPath == "" {
-			return nil
+		gated = true
+	}
+	if maxAllocs != "" {
+		var specs []string
+		for _, n := range strings.Split(maxAllocs, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				specs = append(specs, n)
+			}
 		}
+		if err := assertMaxAllocs(results, specs); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchjson: max-allocs gate passed for %s\n", maxAllocs)
+		gated = true
+	}
+	if gated && outPath == "" && checkPath == "" {
+		return nil
 	}
 	if checkPath != "" {
 		if checkTol <= 0 {
@@ -276,12 +322,14 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the output")
 	zeroAlloc := flag.String("assert-zero-alloc", "",
 		"comma-separated benchmark names that must report 0 allocs/op; exit 1 otherwise")
+	maxAllocs := flag.String("assert-max-allocs", "",
+		"comma-separated NAME=N pairs; exit 1 when NAME reports more than N allocs/op")
 	checkPath := flag.String("check", "",
 		"baseline BENCH JSON file to compare against; exit 1 when any shared benchmark's ns/op regresses beyond -check-tolerance")
 	checkTol := flag.Float64("check-tolerance", 0.20,
 		"allowed fractional ns/op regression for -check (0.20 = 20%)")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *commit, *outPath, *note, *zeroAlloc, *checkPath, *checkTol); err != nil {
+	if err := run(os.Stdin, os.Stdout, *commit, *outPath, *note, *zeroAlloc, *maxAllocs, *checkPath, *checkTol); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

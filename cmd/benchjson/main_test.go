@@ -84,9 +84,31 @@ func TestAssertZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestAssertMaxAllocs(t *testing.T) {
+	results, _, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assertMaxAllocs(results, []string{"BenchmarkDecide/no-tracer=1"}); err != nil {
+		t.Fatalf("gate failed at the exact limit: %v", err)
+	}
+	if err := assertMaxAllocs(results, []string{"BenchmarkFigure6_Megh=100"}); err == nil {
+		t.Fatal("gate passed a benchmark far over its limit")
+	}
+	if err := assertMaxAllocs(results, []string{"BenchmarkMissing=5"}); err == nil {
+		t.Fatal("gate passed on missing benchmark")
+	}
+	if err := assertMaxAllocs(results, []string{"BenchmarkDecide/no-tracer"}); err == nil {
+		t.Fatal("gate accepted an entry without =N")
+	}
+	if err := assertMaxAllocs(results, []string{"BenchmarkDecide/no-tracer=-3"}); err == nil {
+		t.Fatal("gate accepted a negative limit")
+	}
+}
+
 func TestRunWritesJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader(sample), &out, "abc1234", "-", "", "", "", 0.20); err != nil {
+	if err := run(strings.NewReader(sample), &out, "abc1234", "-", "", "", "", "", 0.20); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -99,7 +121,7 @@ func TestRunWritesJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader("PASS\n"), &out, "", "-", "", "", "", 0.20); err == nil {
+	if err := run(strings.NewReader("PASS\n"), &out, "", "-", "", "", "", "", 0.20); err == nil {
 		t.Fatal("empty benchmark input accepted")
 	}
 }
@@ -110,7 +132,7 @@ func writeBaseline(t *testing.T, benchText string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "BENCH.json")
 	var out strings.Builder
-	if err := run(strings.NewReader(benchText), &out, "base", path, "", "", "", 0.20); err != nil {
+	if err := run(strings.NewReader(benchText), &out, "base", path, "", "", "", "", 0.20); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -121,7 +143,7 @@ func TestCheckPassesWithinTolerance(t *testing.T) {
 	// Fresh run 10% slower on one benchmark: inside the 20% budget.
 	fresh := strings.Replace(sample, "2648 ns/op", "2900 ns/op", 1)
 	var out strings.Builder
-	if err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20); err != nil {
+	if err := run(strings.NewReader(fresh), &out, "", "", "", "", "", base, 0.20); err != nil {
 		t.Fatalf("within-tolerance run failed the gate: %v", err)
 	}
 	if !strings.Contains(out.String(), "regression gate passed") {
@@ -135,7 +157,7 @@ func TestCheckFailsOnRegression(t *testing.T) {
 	// benchmark and both values.
 	fresh := strings.Replace(sample, "2648 ns/op", "4000 ns/op", 1)
 	var out strings.Builder
-	err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20)
+	err := run(strings.NewReader(fresh), &out, "", "", "", "", "", base, 0.20)
 	if err == nil {
 		t.Fatal("51% regression passed the 20% gate")
 	}
@@ -150,7 +172,7 @@ func TestCheckSkipsBenchmarksNewInThisRun(t *testing.T) {
 	base := writeBaseline(t, sample)
 	fresh := sample + "BenchmarkDecideBatch/deferred-n64-8\t10000\t999999 ns/op\t0 B/op\t0 allocs/op\n"
 	var out strings.Builder
-	if err := run(strings.NewReader(fresh), &out, "", "", "", "", base, 0.20); err != nil {
+	if err := run(strings.NewReader(fresh), &out, "", "", "", "", "", base, 0.20); err != nil {
 		t.Fatalf("benchmark absent from the baseline failed the gate: %v", err)
 	}
 }
@@ -160,7 +182,7 @@ func TestCheckRejectsDisjointBaseline(t *testing.T) {
 `
 	base := writeBaseline(t, other)
 	var out strings.Builder
-	if err := run(strings.NewReader(sample), &out, "", "", "", "", base, 0.20); err == nil {
+	if err := run(strings.NewReader(sample), &out, "", "", "", "", "", base, 0.20); err == nil {
 		t.Fatal("gate passed with zero benchmarks compared")
 	}
 }
@@ -168,7 +190,7 @@ func TestCheckRejectsDisjointBaseline(t *testing.T) {
 func TestCheckRejectsMissingBaselineFile(t *testing.T) {
 	var out strings.Builder
 	missing := filepath.Join(t.TempDir(), "nope.json")
-	if err := run(strings.NewReader(sample), &out, "", "", "", "", missing, 0.20); err == nil {
+	if err := run(strings.NewReader(sample), &out, "", "", "", "", "", missing, 0.20); err == nil {
 		t.Fatal("gate passed without a baseline file")
 	}
 	if _, err := os.Stat(missing); err == nil {

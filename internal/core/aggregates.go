@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"megh/internal/sim"
+)
+
+// This file holds snapshot-delta aggregate reuse: refreshHostAggregates
+// used to rebuild every per-host feasibility table from scratch on every
+// Decide — O(N+M) of float adds that, at 10k-host grids, dwarf the decision
+// itself. Three reuse tiers now sit in front of the full rebuild:
+//
+//   - trusted: inside one DecideBatch call, an item whose *Snapshot pointer
+//     equals the previous item's is reading the same memory the aggregates
+//     were just built from, so nothing is recomputed at all (the candidate
+//     base set is reused too). The trust window is scoped by aggEpoch,
+//     which every non-batch Decide bumps — a simulator mutating one
+//     snapshot in place between Decide calls can never hit this tier.
+//   - delta: a content diff of VM placement/size against privately stored
+//     previous values marks dirty hosts (old and new host of any changed
+//     VM); dirty hosts' sums are zeroed and recomputed by a second VM-major
+//     pass restricted to them. Because that pass adds each dirty host's
+//     VMs in the same ascending-VM order the full rebuild uses, the sums
+//     are bitwise identical to a rebuild's — float addition is not
+//     associative, so subtract-then-readd patching would NOT be.
+//   - rebuild: the historical full pass, taken on the first call, when a
+//     host failure is (or was) present, or when aggregate reuse is
+//     disabled (SetAggregateReuse(false), the differential-test baseline).
+//
+// Speculative per-step mutations (chooseFromCandidates charging a chosen
+// destination) are recorded in an undo log that restores the exact
+// pre-mutation values — again because (x+y)−y is not bitwise x — so the
+// next delta/trusted refresh starts from the clean snapshot-derived state.
+
+// aggUndo records one host's aggregate state before a speculative charge.
+type aggUndo struct {
+	host      int
+	ram, mips float64
+	active    bool
+	pen       float64 // penActive before the charge
+}
+
+// SetAggregateReuse toggles snapshot-delta aggregate reuse (default on).
+// With reuse off every refresh is a full rebuild — the reference behaviour
+// the differential tests compare against. Runtime-only state, like the
+// scan-kernel selection: not part of Config, not persisted, and unable to
+// change any decision.
+func (m *Megh) SetAggregateReuse(on bool) {
+	m.aggReuse = on
+	m.aggValid = false
+	m.candCacheOK = false
+}
+
+// refreshHostAggregates (re)establishes the flat per-host feasibility
+// tables for snapshot s, choosing the cheapest sound tier (see the file
+// comment). Postcondition, identical across tiers bit for bit: hostRAM /
+// hostMIPS hold each host's committed RAM and demanded MIPS, hostActive /
+// hostBlocked and their penalty mirrors match the snapshot, activeList is
+// the ascending list of active hosts, and all speculative charges from the
+// previous step are rolled back.
+func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
+	if !m.aggReuse {
+		m.undoLog = m.undoLog[:0]
+		m.candCacheOK = false
+		m.aggSnap = nil
+		m.rebuildHostAggregates(s)
+		return
+	}
+	if m.aggValid {
+		m.undoSpeculative()
+		if s == m.aggSnap && m.aggSnapEpoch == m.aggEpoch {
+			// Trusted: same pointer within the same batch window; the
+			// aggregates (and the cached candidate base set) still describe
+			// exactly this memory.
+			return
+		}
+	}
+	m.candCacheOK = false
+	if !m.aggValid || !m.deltaHostAggregates(s) {
+		m.rebuildHostAggregates(s)
+	}
+	m.aggSnap = s
+	m.aggSnapEpoch = m.aggEpoch
+	m.aggValid = true
+}
+
+// rebuildHostAggregates is the full O(N+M) pass, and the bitwise reference
+// the delta tier reproduces: per-host zeroing and flag/capacity refresh,
+// then one ascending-VM accumulation.
+func (m *Megh) rebuildHostAggregates(s *sim.Snapshot) {
+	failed := len(s.HostFailed) > 0
+	anyBlocked := false
+	inf := math.Inf(1)
+	m.activeList = m.activeList[:0]
+	for i := 0; i < s.NumHosts(); i++ {
+		m.hostRAM[i] = 0
+		m.hostMIPS[i] = 0
+		nVMs := len(s.HostVMs[i])
+		m.hostVMCount[i] = nVMs
+		act := nVMs > 0
+		m.hostActive[i] = act
+		m.hostRAMCap[i] = s.HostSpecs[i].RAMMB
+		m.hostMIPSCap[i] = s.HostSpecs[i].MIPS
+		blk := failed && s.HostFailed[i]
+		m.hostBlocked[i] = blk
+		anyBlocked = anyBlocked || blk
+		if blk {
+			m.penAll[i] = inf
+		} else {
+			m.penAll[i] = 0
+		}
+		if blk || !act {
+			m.penActive[i] = inf
+		} else {
+			m.penActive[i] = 0
+		}
+		if act {
+			m.activeList = append(m.activeList, i)
+		}
+	}
+	for j := 0; j < s.NumVMs(); j++ {
+		h := s.VMHost[j]
+		m.hostRAM[h] += s.VMSpecs[j].RAMMB
+		m.hostMIPS[h] += s.VMMIPS[j]
+		m.prevVMHost[j] = h
+		m.prevVMRAM[j] = s.VMSpecs[j].RAMMB
+		m.prevVMMIPS[j] = s.VMMIPS[j]
+	}
+	m.aggAnyBlocked = anyBlocked
+	m.prevHostSpecs = s.HostSpecs
+}
+
+// deltaHostAggregates patches the aggregates from the previous snapshot's
+// state to s by content diff, returning false when only a full rebuild is
+// sound (any host failure now or at the last rebuild — failures also flow
+// into penalties and candidate blocking, and are rare enough that the
+// rebuild is the right price). Capacities refresh by backing-array
+// identity: a caller may reuse a HostSpecs slice across snapshots only with
+// unchanged contents (the simulator's static specs), while per-request
+// decoders allocate fresh slices, which the pointer test catches.
+func (m *Megh) deltaHostAggregates(s *sim.Snapshot) bool {
+	if m.aggAnyBlocked || anyFailed(s.HostFailed) {
+		return false
+	}
+	if !sameHostSpecs(m.prevHostSpecs, s.HostSpecs) {
+		for i := 0; i < s.NumHosts(); i++ {
+			m.hostRAMCap[i] = s.HostSpecs[i].RAMMB
+			m.hostMIPSCap[i] = s.HostSpecs[i].MIPS
+		}
+		m.prevHostSpecs = s.HostSpecs
+	}
+	n := s.NumVMs()
+	m.dirtyEpoch++
+	m.dirtyHosts = m.dirtyHosts[:0]
+	for j := 0; j < n; j++ {
+		nh := s.VMHost[j]
+		nr := s.VMSpecs[j].RAMMB
+		nm := s.VMMIPS[j]
+		if nh == m.prevVMHost[j] && nr == m.prevVMRAM[j] && nm == m.prevVMMIPS[j] {
+			continue
+		}
+		m.markDirty(m.prevVMHost[j])
+		m.markDirty(nh)
+		m.prevVMHost[j] = nh
+		m.prevVMRAM[j] = nr
+		m.prevVMMIPS[j] = nm
+	}
+	if len(m.dirtyHosts) == 0 {
+		return true
+	}
+	for _, h := range m.dirtyHosts {
+		m.hostRAM[h] = 0
+		m.hostMIPS[h] = 0
+		m.hostVMCount[h] = 0
+	}
+	// Recompute dirty hosts' sums in ascending-VM order — the exact
+	// addition sequence the full rebuild would use, so the patched sums are
+	// bitwise identical to a rebuild's.
+	for j := 0; j < n; j++ {
+		h := s.VMHost[j]
+		if m.dirtyStamp[h] == m.dirtyEpoch {
+			m.hostRAM[h] += s.VMSpecs[j].RAMMB
+			m.hostMIPS[h] += s.VMMIPS[j]
+			m.hostVMCount[h]++
+		}
+	}
+	inf := math.Inf(1)
+	for _, h := range m.dirtyHosts {
+		act := m.hostVMCount[h] > 0
+		if act == m.hostActive[h] {
+			continue
+		}
+		m.hostActive[h] = act
+		if act {
+			m.penActive[h] = 0
+			m.activeInsert(h)
+		} else {
+			m.penActive[h] = inf
+			m.activeRemove(h)
+		}
+	}
+	return true
+}
+
+// markDirty stamps host h dirty for the current delta pass. Epoch stamps
+// avoid an O(M) clear per refresh.
+func (m *Megh) markDirty(h int) {
+	if m.dirtyStamp[h] != m.dirtyEpoch {
+		m.dirtyStamp[h] = m.dirtyEpoch
+		m.dirtyHosts = append(m.dirtyHosts, h)
+	}
+}
+
+// speculate charges VM vm's chosen migration against destination host dest
+// so later candidates this step see the post-move aggregates, logging the
+// pre-charge values for exact restoration at the next refresh.
+func (m *Megh) speculate(s *sim.Snapshot, vm, dest int) {
+	m.undoLog = append(m.undoLog, aggUndo{
+		host:   dest,
+		ram:    m.hostRAM[dest],
+		mips:   m.hostMIPS[dest],
+		active: m.hostActive[dest],
+		pen:    m.penActive[dest],
+	})
+	m.hostRAM[dest] += s.VMSpecs[vm].RAMMB
+	m.hostMIPS[dest] += s.VMMIPS[vm]
+	if !m.hostActive[dest] {
+		m.hostActive[dest] = true
+		m.penActive[dest] = 0
+		m.activeInsert(dest)
+	}
+}
+
+// undoSpeculative rolls the speculative charges back in reverse order,
+// restoring the exact recorded values — (x+y)−y is not bitwise x, so
+// arithmetic reversal would poison the delta tier's bitwise guarantee.
+func (m *Megh) undoSpeculative() {
+	for i := len(m.undoLog) - 1; i >= 0; i-- {
+		u := m.undoLog[i]
+		m.hostRAM[u.host] = u.ram
+		m.hostMIPS[u.host] = u.mips
+		if !u.active && m.hostActive[u.host] {
+			m.hostActive[u.host] = false
+			m.activeRemove(u.host)
+		}
+		m.penActive[u.host] = u.pen
+	}
+	m.undoLog = m.undoLog[:0]
+}
+
+// activeInsert adds host h to the sorted active list.
+func (m *Megh) activeInsert(h int) {
+	i := sort.SearchInts(m.activeList, h)
+	if i < len(m.activeList) && m.activeList[i] == h {
+		return
+	}
+	m.activeList = append(m.activeList, 0)
+	copy(m.activeList[i+1:], m.activeList[i:])
+	m.activeList[i] = h
+}
+
+// activeRemove drops host h from the sorted active list.
+func (m *Megh) activeRemove(h int) {
+	i := sort.SearchInts(m.activeList, h)
+	if i < len(m.activeList) && m.activeList[i] == h {
+		m.activeList = append(m.activeList[:i], m.activeList[i+1:]...)
+	}
+}
+
+// anyFailed reports whether any host is marked failed.
+func anyFailed(failed []bool) bool {
+	for _, f := range failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// sameHostSpecs reports whether two spec slices share identical backing
+// (same length, same first element address).
+func sameHostSpecs(a, b []sim.HostSpec) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}

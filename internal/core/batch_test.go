@@ -365,6 +365,7 @@ func BenchmarkDecideBatch(b *testing.B) {
 		for i := 0; i < b.N; i += batch {
 			m.DecideBatch(items)
 		}
+		reportGridDims(b, nVMs, nHosts)
 	}
 	// Sub-benchmark names avoid a trailing "-<digits>" (n64, not 64):
 	// benchjson strips the GOMAXPROCS suffix go test appends, and a bare
@@ -373,6 +374,63 @@ func BenchmarkDecideBatch(b *testing.B) {
 	b.Run("deferred-n16", func(b *testing.B) { bench(b, 16, true) })
 	b.Run("deferred-n64", func(b *testing.B) { bench(b, 64, true) })
 	b.Run("deferred-n256", func(b *testing.B) { bench(b, 256, true) })
+
+	// The ROADMAP's scaling target: amortized decide cost on a 10k-host
+	// grid. The world sits at a consolidation steady state (every active
+	// host at 12.5% utilisation — no overload or underload candidates), and
+	// the batch reuses one snapshot pointer per call, the serving shape the
+	// trusted aggregate tier and candidate cache exist for: the measured
+	// amortized cost is fixed bookkeeping plus the exploration-rate share
+	// of active-list sweeps.
+	b.Run("deferred-grid10k", func(b *testing.B) {
+		const gVMs, gHosts, batch = 1000, 10000, 256
+		snap := steadySnapshot(b, gVMs, gHosts, 0.5)
+		cfg := DefaultConfig(gVMs, gHosts, 7)
+		cfg.DeferThreshold = math.MaxFloat64
+		cfg.DeferMaxAge = batch
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb := sim.Feedback{StepCost: 0.5, EnergyCost: 0.4, SLACost: 0.1}
+		items := make([]BatchItem, batch)
+		for i := range items {
+			items[i] = BatchItem{Snap: snap, Feedback: &fb}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			m.DecideBatch(items)
+		}
+		reportGridDims(b, gVMs, gHosts)
+	})
+}
+
+// steadySnapshot is tinySnapshotN at a chosen utilisation: util 0.5 parks
+// every occupied host between the underload and overload thresholds, so a
+// decide stream at that load has no structural candidates — the grid-scale
+// steady state.
+func steadySnapshot(t testing.TB, nVMs, nHosts int, util float64) *sim.Snapshot {
+	t.Helper()
+	var snap *sim.Snapshot
+	cfg := tinyConfig(t, nVMs, nHosts, util)
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(&snapGrabber{out: &snap}); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// reportGridDims attaches the world's dimensions to a Decide/DecideBatch
+// benchmark as custom metrics; benchjson lifts unknown units into the
+// BENCH_*.json extra map, keeping ns/op trajectories comparable across
+// grid-size changes.
+func reportGridDims(b *testing.B, nVMs, nHosts int) {
+	b.ReportMetric(float64(nHosts), "hosts")
+	b.ReportMetric(float64(nVMs), "vms")
 }
 
 // TestDecideBatchPanicsOnMismatchedWorld: the batch path must reject a

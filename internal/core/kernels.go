@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+
+	"megh/internal/sim"
+	"megh/internal/sparse"
+)
+
+// This file holds the candidate-scoring sweep (scanRow) and its kernels.
+// The scalar kernel is the historical loop, kept verbatim as the reference;
+// the unrolled kernels are 4-wide blocked rewrites that hoist bounds checks
+// and replace the blocked/active branches with a branch-free penalty mask,
+// and are pinned bitwise-identical to the scalar kernel by
+// TestScanKernelsBitwiseIdentical / TestScanKernelDecisionsIdentical.
+//
+// Bitwise identity rests on three IEEE-754 facts, each load-bearing:
+//
+//   - x + 0 == x bitwise for every finite x (the aggregates are finite by
+//     Config/StateRequest validation), so folding a 0-penalty into the RAM
+//     test changes nothing, while a +Inf penalty forces the test infeasible
+//     — exactly what the blocked/inactive branches did.
+//   - The MIPS test keeps its division form, (hostMIPS[k]+mipsJ)/mipsCap[k],
+//     never the multiplied-out one: a/b > c and a > c*b round differently.
+//   - The row minimum uses the same strict-less, sequential comparison
+//     order, via sparse.GatherMin.
+
+// ScanKernel selects the scanRow implementation.
+type ScanKernel int
+
+const (
+	// ScanAuto (the default) picks the unrolled kernel for worlds with at
+	// least unrolledMinHosts hosts and the scalar one below that, where the
+	// mask setup outweighs the sweep.
+	ScanAuto ScanKernel = iota
+	// ScanScalar forces the historical scalar sweep.
+	ScanScalar
+	// ScanUnrolled forces the 4-wide unrolled sweep.
+	ScanUnrolled
+)
+
+// unrolledMinHosts is the ScanAuto crossover: below it the scalar loop wins.
+const unrolledMinHosts = 16
+
+// SetScanKernel selects the scanRow kernel at runtime. The selection is
+// runtime-only state: it is not part of Config and is not persisted in
+// checkpoints (a restored learner starts back at ScanAuto), which it does
+// not need to be — every kernel is bitwise-identical, so the choice can
+// never change a decision, only its cost.
+func (m *Megh) SetScanKernel(k ScanKernel) { m.scanKernel = k }
+
+// scanRow is the candidate-scoring sweep: one pass over VM j's contiguous
+// θ row θ[base:base+M], gathering the feasible destinations, their Q
+// values and the row minimum. Feasibility reads only the flat per-host
+// aggregate arrays refreshHostAggregates filled (committed RAM/MIPS,
+// capacities, active/blocked flags and their penalty mirrors), with
+// arithmetic identical to fits. Returned slices alias the learner's
+// scratch. This dispatcher picks a kernel; every kernel returns bitwise
+// identical results.
+func (m *Megh) scanRow(s *sim.Snapshot, j, cur, base int, activeOnly bool) (feasible []int, qs []float64, minQ float64) {
+	switch m.scanKernel {
+	case ScanScalar:
+		return m.scanRowScalar(s, j, cur, base, activeOnly)
+	case ScanUnrolled:
+	default: // ScanAuto
+		if m.cfg.NumHosts < unrolledMinHosts {
+			return m.scanRowScalar(s, j, cur, base, activeOnly)
+		}
+	}
+	if activeOnly && m.hostActive[cur] {
+		return m.scanRowActive(s, j, cur, base)
+	}
+	return m.scanRowUnrolled(s, j, cur, base, activeOnly)
+}
+
+// scanRowScalar is the historical scalar sweep — the reference the
+// unrolled kernels are differential-tested against.
+func (m *Megh) scanRowScalar(s *sim.Snapshot, j, cur, base int, activeOnly bool) (feasible []int, qs []float64, minQ float64) {
+	n := m.cfg.NumHosts
+	row := m.theta[base : base+n : base+n]
+	ramJ := s.VMSpecs[j].RAMMB
+	mipsJ := s.VMMIPS[j]
+	beta := s.OverloadThreshold
+	hostRAM := m.hostRAM[:n]
+	hostMIPS := m.hostMIPS[:n]
+	ramCap := m.hostRAMCap[:n]
+	mipsCap := m.hostMIPSCap[:n]
+	blocked := m.hostBlocked[:n]
+	active := m.hostActive[:n]
+	feasible = m.feasibleScratch[:0]
+	qs = m.qScratch[:0]
+	minQ = math.Inf(1)
+	for k := 0; k < n; k++ {
+		if k != cur {
+			if blocked[k] || (activeOnly && !active[k]) ||
+				hostRAM[k]+ramJ > ramCap[k] ||
+				(hostMIPS[k]+mipsJ)/mipsCap[k] > beta {
+				continue
+			}
+		}
+		q := row[k]
+		feasible = append(feasible, k)
+		qs = append(qs, q)
+		if q < minQ {
+			minQ = q
+		}
+	}
+	m.feasibleScratch = feasible
+	m.qScratch = qs
+	return feasible, qs, minQ
+}
+
+// scanRowUnrolled is the 4-wide unrolled full-grid sweep. The penalty
+// arrays (penAll for blocked hosts, penActive additionally for inactive
+// ones) fold the boolean branches into the RAM comparison: +Inf makes the
+// test infeasible, 0 leaves it bit-for-bit unchanged. The k == cur escape
+// is OR'd per lane, mirroring the scalar loop's skip of all feasibility
+// tests for the stay destination.
+func (m *Megh) scanRowUnrolled(s *sim.Snapshot, j, cur, base int, activeOnly bool) (feasible []int, qs []float64, minQ float64) {
+	n := m.cfg.NumHosts
+	ramJ := s.VMSpecs[j].RAMMB
+	mipsJ := s.VMMIPS[j]
+	beta := s.OverloadThreshold
+	hostRAM := m.hostRAM[:n:n]
+	hostMIPS := m.hostMIPS[:n:n]
+	ramCap := m.hostRAMCap[:n:n]
+	mipsCap := m.hostMIPSCap[:n:n]
+	pen := m.penAll
+	if activeOnly {
+		pen = m.penActive
+	}
+	pen = pen[:n:n]
+	feasible = m.feasibleScratch[:0]
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		ok0 := k == cur || (!(hostRAM[k]+ramJ+pen[k] > ramCap[k]) &&
+			!((hostMIPS[k]+mipsJ)/mipsCap[k] > beta))
+		ok1 := k+1 == cur || (!(hostRAM[k+1]+ramJ+pen[k+1] > ramCap[k+1]) &&
+			!((hostMIPS[k+1]+mipsJ)/mipsCap[k+1] > beta))
+		ok2 := k+2 == cur || (!(hostRAM[k+2]+ramJ+pen[k+2] > ramCap[k+2]) &&
+			!((hostMIPS[k+2]+mipsJ)/mipsCap[k+2] > beta))
+		ok3 := k+3 == cur || (!(hostRAM[k+3]+ramJ+pen[k+3] > ramCap[k+3]) &&
+			!((hostMIPS[k+3]+mipsJ)/mipsCap[k+3] > beta))
+		if ok0 {
+			feasible = append(feasible, k)
+		}
+		if ok1 {
+			feasible = append(feasible, k+1)
+		}
+		if ok2 {
+			feasible = append(feasible, k+2)
+		}
+		if ok3 {
+			feasible = append(feasible, k+3)
+		}
+	}
+	for ; k < n; k++ {
+		if k == cur || (!(hostRAM[k]+ramJ+pen[k] > ramCap[k]) &&
+			!((hostMIPS[k]+mipsJ)/mipsCap[k] > beta)) {
+			feasible = append(feasible, k)
+		}
+	}
+	m.feasibleScratch = feasible
+	qs, minQ = m.gatherRow(base, feasible)
+	return feasible, qs, minQ
+}
+
+// scanRowActive is the activeOnly fast path at grid scale: instead of
+// masking all M hosts it walks the sorted active-host list, which at the
+// consolidation steady state is a small fraction of the grid. It is
+// bitwise-equivalent to the full activeOnly sweep because an inactive host
+// can never pass the active mask, cur is in the list (the dispatcher
+// checked hostActive[cur]; it holds whenever the snapshot's VMHost and
+// HostVMs agree, since VM j resides on cur), and the list is ascending —
+// the same visit order, hence the same feasible sequence and the same
+// minimum-comparison order. Active hosts satisfy the active test by
+// construction, so the mask collapses to penAll (the blocked test).
+func (m *Megh) scanRowActive(s *sim.Snapshot, j, cur, base int) (feasible []int, qs []float64, minQ float64) {
+	n := m.cfg.NumHosts
+	ramJ := s.VMSpecs[j].RAMMB
+	mipsJ := s.VMMIPS[j]
+	beta := s.OverloadThreshold
+	hostRAM := m.hostRAM[:n:n]
+	hostMIPS := m.hostMIPS[:n:n]
+	ramCap := m.hostRAMCap[:n:n]
+	mipsCap := m.hostMIPSCap[:n:n]
+	pen := m.penAll[:n:n]
+	list := m.activeList
+	feasible = m.feasibleScratch[:0]
+	i := 0
+	for ; i+4 <= len(list); i += 4 {
+		k0, k1, k2, k3 := list[i], list[i+1], list[i+2], list[i+3]
+		ok0 := k0 == cur || (!(hostRAM[k0]+ramJ+pen[k0] > ramCap[k0]) &&
+			!((hostMIPS[k0]+mipsJ)/mipsCap[k0] > beta))
+		ok1 := k1 == cur || (!(hostRAM[k1]+ramJ+pen[k1] > ramCap[k1]) &&
+			!((hostMIPS[k1]+mipsJ)/mipsCap[k1] > beta))
+		ok2 := k2 == cur || (!(hostRAM[k2]+ramJ+pen[k2] > ramCap[k2]) &&
+			!((hostMIPS[k2]+mipsJ)/mipsCap[k2] > beta))
+		ok3 := k3 == cur || (!(hostRAM[k3]+ramJ+pen[k3] > ramCap[k3]) &&
+			!((hostMIPS[k3]+mipsJ)/mipsCap[k3] > beta))
+		if ok0 {
+			feasible = append(feasible, k0)
+		}
+		if ok1 {
+			feasible = append(feasible, k1)
+		}
+		if ok2 {
+			feasible = append(feasible, k2)
+		}
+		if ok3 {
+			feasible = append(feasible, k3)
+		}
+	}
+	for ; i < len(list); i++ {
+		k := list[i]
+		if k == cur || (!(hostRAM[k]+ramJ+pen[k] > ramCap[k]) &&
+			!((hostMIPS[k]+mipsJ)/mipsCap[k] > beta)) {
+			feasible = append(feasible, k)
+		}
+	}
+	m.feasibleScratch = feasible
+	qs, minQ = m.gatherRow(base, feasible)
+	return feasible, qs, minQ
+}
+
+// gatherRow fills qScratch with the feasible destinations' Q values and
+// their minimum, in the same order and with the same comparison sequence
+// as the scalar sweep's inline gather.
+func (m *Megh) gatherRow(base int, feasible []int) ([]float64, float64) {
+	if cap(m.qScratch) < len(feasible) {
+		m.qScratch = make([]float64, len(feasible))
+	}
+	qs := m.qScratch[:len(feasible)]
+	m.qScratch = qs
+	minQ := sparse.GatherMin(qs, m.theta[base:base+m.cfg.NumHosts], feasible)
+	return qs, minQ
+}

@@ -243,6 +243,34 @@ type Megh struct {
 	migScratch      []sim.Migration // Decide's returned migrations
 	pendingBuf      []int           // backing array for pending
 	rejectedScratch map[int]bool    // Observe's rejected-action set
+
+	// Aggregate-reuse and kernel-selection state (aggregates.go,
+	// kernels.go). All of it is runtime-only — never persisted — and none
+	// of it can change a decision: every reuse tier and every kernel is
+	// pinned bitwise identical to the rebuild/scalar reference, so this
+	// block only changes what a decision costs.
+	scanKernel    ScanKernel
+	aggReuse      bool          // snapshot-delta reuse enabled (default true)
+	aggValid      bool          // aggregates describe aggSnap's state
+	aggAnyBlocked bool          // last rebuild saw a failed host
+	aggEpoch      uint64        // bumped per standalone Decide and per DecideBatch
+	aggSnap       *sim.Snapshot // snapshot the aggregates were built from
+	aggSnapEpoch  uint64        // epoch at which aggSnap was recorded
+	inBatch       bool          // inside DecideBatch (epoch held for the batch)
+	prevVMHost    []int         // per-VM placement/size at the last (re)build,
+	prevVMRAM     []float64     // the delta tier's diff baseline
+	prevVMMIPS    []float64
+	prevHostSpecs []sim.HostSpec // backing identity of the last-seen HostSpecs
+	hostVMCount   []int
+	penAll        []float64 // +Inf iff blocked, else 0 (scanRow feasibility mask)
+	penActive     []float64 // +Inf iff blocked or inactive, else 0
+	activeList    []int     // ascending active hosts (scanRowActive's walk)
+	dirtyStamp    []int     // per-host dirty epoch stamps for the delta diff
+	dirtyEpoch    int
+	dirtyHosts    []int
+	undoLog       []aggUndo   // speculative charges to roll back next refresh
+	candCache     []candidate // candidate base set reused in the trusted tier
+	candCacheOK   bool
 }
 
 var (
@@ -276,6 +304,14 @@ func New(cfg Config) (*Megh, error) {
 		hostActive:  make([]bool, cfg.NumHosts),
 		hostBlocked: make([]bool, cfg.NumHosts),
 		seenScratch: make([]bool, cfg.NumVMs),
+		hostVMCount: make([]int, cfg.NumHosts),
+		penAll:      make([]float64, cfg.NumHosts),
+		penActive:   make([]float64, cfg.NumHosts),
+		dirtyStamp:  make([]int, cfg.NumHosts),
+		prevVMHost:  make([]int, cfg.NumVMs),
+		prevVMRAM:   make([]float64, cfg.NumVMs),
+		prevVMMIPS:  make([]float64, cfg.NumVMs),
+		aggReuse:    true,
 	}, nil
 }
 
@@ -461,6 +497,13 @@ func (m *Megh) Decide(s *sim.Snapshot) []sim.Migration {
 		panic(fmt.Sprintf("core: snapshot %d×%d does not match Megh config %d×%d",
 			s.NumVMs(), s.NumHosts(), m.cfg.NumVMs, m.cfg.NumHosts))
 	}
+	// Every standalone Decide opens a fresh aggregate trust window, so a
+	// caller mutating one snapshot in place between calls can never hit the
+	// trusted reuse tier. DecideBatch bumps once for the whole batch
+	// instead: within one call the snapshots are immutable by contract.
+	if !m.inBatch {
+		m.aggEpoch++
+	}
 	if m.metrics != nil {
 		start := time.Now()
 		defer func() {
@@ -629,45 +672,34 @@ func (m *Megh) applyUpdate(a, b, n int, c float64) {
 	}
 	if vTheta != 0 {
 		// θ needs (B·u)/den with B from *before* the rank-1 update; the
-		// kernel snapshotted exactly that column, already scaled.
+		// kernel snapshotted exactly that column, already scaled. The
+		// subtraction routes through the scatter kernel with a negated
+		// scale: x += (−a)·v is bitwise x −= a·v, and (−d)² == d², pinned by
+		// sparse's TestScatterNegatedScaleMatchesSubtraction.
 		idx, val := m.b.LastUpdateScaledCol()
 		if ls != nil {
-			var dsq float64
-			for k, i := range idx {
-				d := vTheta * val[k]
-				m.theta[i] -= d
-				dsq += d * d
-			}
+			dsq := sparse.ScatterAddScaledSq(m.theta, idx, val, -vTheta)
 			if isBad(dsq) {
 				ls.NonFinite++
 			} else {
 				ls.DriftSqSum += dsq
 			}
 		} else {
-			for k, i := range idx {
-				m.theta[i] -= vTheta * val[k]
-			}
+			sparse.ScatterAddScaled(m.theta, idx, val, -vTheta)
 		}
 	}
 	m.z.Add(a, c)
 	if c != 0 {
 		idx, val := m.b.LastUpdateNewCol()
 		if ls != nil {
-			var dsq float64
-			for k, i := range idx {
-				d := c * val[k]
-				m.theta[i] += d
-				dsq += d * d
-			}
+			dsq := sparse.ScatterAddScaledSq(m.theta, idx, val, c)
 			if isBad(dsq) {
 				ls.NonFinite++
 			} else {
 				ls.DriftSqSum += dsq
 			}
 		} else {
-			for k, i := range idx {
-				m.theta[i] += c * val[k]
-			}
+			sparse.ScatterAddScaled(m.theta, idx, val, c)
 		}
 	}
 	if m.updateHook != nil {
@@ -725,9 +757,7 @@ func (m *Megh) chooseFromCandidates(s *sim.Snapshot, candidates []candidate, mig
 		if dest != s.VMHost[c.vm] {
 			if migBudget > 0 {
 				migrations = append(migrations, sim.Migration{VM: c.vm, Dest: dest})
-				m.hostRAM[dest] += s.VMSpecs[c.vm].RAMMB
-				m.hostMIPS[dest] += s.VMMIPS[c.vm]
-				m.hostActive[dest] = true
+				m.speculate(s, c.vm, dest)
 				migBudget--
 			} else {
 				act = c.vm*m.cfg.NumHosts + s.VMHost[c.vm]
@@ -740,29 +770,6 @@ func (m *Megh) chooseFromCandidates(s *sim.Snapshot, candidates []candidate, mig
 	return actions, migrations
 }
 
-// refreshHostAggregates rebuilds the O(1)-feasibility tables for this step:
-// committed RAM / demanded MIPS per host, the active and failed flags, and
-// flat copies of the static capacities. Everything scanRow's sweep reads is
-// a plain float64/bool slice indexed by host, so the per-destination
-// feasibility test compiles to branch-light slice arithmetic with no struct
-// loads.
-func (m *Megh) refreshHostAggregates(s *sim.Snapshot) {
-	failed := len(s.HostFailed) > 0
-	for i := 0; i < s.NumHosts(); i++ {
-		m.hostRAM[i] = 0
-		m.hostMIPS[i] = 0
-		m.hostActive[i] = len(s.HostVMs[i]) > 0
-		m.hostRAMCap[i] = s.HostSpecs[i].RAMMB
-		m.hostMIPSCap[i] = s.HostSpecs[i].MIPS
-		m.hostBlocked[i] = failed && s.HostFailed[i]
-	}
-	for j := 0; j < s.NumVMs(); j++ {
-		h := s.VMHost[j]
-		m.hostRAM[h] += s.VMSpecs[j].RAMMB
-		m.hostMIPS[h] += s.VMMIPS[j]
-	}
-}
-
 // candidates assembles the step's decision set: up to two VMs per
 // overloaded host, the VMs of the most underloaded active host
 // (consolidation source, §3.1), and ExplorationCandidates uniform draws;
@@ -773,37 +780,52 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 	// is valid until the next candidates call.
 	clear(m.seenScratch)
 	m.candScratch = m.candScratch[:0]
-	// Overloaded hosts: shed pressure, one decision per host per step so
-	// a batch does not overshoot below the threshold (an unresolved
-	// overload re-triggers next step). The heaviest VM is the decisive
-	// one to re-place.
-	for i := 0; i < s.NumHosts() && len(m.candScratch) < cap_; i++ {
-		if !s.HostOverloaded(i) || len(s.HostVMs[i]) == 0 {
-			continue
+	if m.candCacheOK {
+		// Trusted-tier replay: the overload/underload scans below read only
+		// the snapshot, which the trusted aggregate tier guarantees is the
+		// same memory as last step, so their output is replayed from the
+		// cache instead of rescanning all hosts. The exploration draw is
+		// appended fresh below, consuming the RNG exactly as the scans'
+		// (deterministic, RNG-free) path would.
+		for _, c := range m.candCache {
+			m.seenScratch[c.vm] = true
 		}
-		heaviest, demand := -1, -1.0
-		for _, j := range s.HostVMs[i] {
-			if s.VMMIPS[j] > demand {
-				heaviest, demand = j, s.VMMIPS[j]
+		m.candScratch = append(m.candScratch, m.candCache...)
+	} else {
+		// Overloaded hosts: shed pressure, one decision per host per step so
+		// a batch does not overshoot below the threshold (an unresolved
+		// overload re-triggers next step). The heaviest VM is the decisive
+		// one to re-place.
+		for i := 0; i < s.NumHosts() && len(m.candScratch) < cap_; i++ {
+			if !s.HostOverloaded(i) || len(s.HostVMs[i]) == 0 {
+				continue
+			}
+			heaviest, demand := -1, -1.0
+			for _, j := range s.HostVMs[i] {
+				if s.VMMIPS[j] > demand {
+					heaviest, demand = j, s.VMMIPS[j]
+				}
+			}
+			m.addCandidate(heaviest, trace.ReasonOverload, cap_)
+		}
+		// Most underloaded active host below the threshold: consolidation
+		// (may only target already-active hosts — never wake a machine to
+		// empty another).
+		minUtil := m.cfg.UnderloadThreshold
+		minHost := -1
+		for i := 0; i < s.NumHosts(); i++ {
+			if len(s.HostVMs[i]) > 0 && s.HostUtil[i] < minUtil {
+				minUtil = s.HostUtil[i]
+				minHost = i
 			}
 		}
-		m.addCandidate(heaviest, trace.ReasonOverload, cap_)
-	}
-	// Most underloaded active host below the threshold: consolidation
-	// (may only target already-active hosts — never wake a machine to
-	// empty another).
-	minUtil := m.cfg.UnderloadThreshold
-	minHost := -1
-	for i := 0; i < s.NumHosts(); i++ {
-		if len(s.HostVMs[i]) > 0 && s.HostUtil[i] < minUtil {
-			minUtil = s.HostUtil[i]
-			minHost = i
+		if minHost >= 0 {
+			for _, j := range s.HostVMs[minHost] {
+				m.addCandidate(j, trace.ReasonUnderload, cap_)
+			}
 		}
-	}
-	if minHost >= 0 {
-		for _, j := range s.HostVMs[minHost] {
-			m.addCandidate(j, trace.ReasonUnderload, cap_)
-		}
+		m.candCache = append(m.candCache[:0], m.candScratch...)
+		m.candCacheOK = true
 	}
 	// An occasional exploration draw keeps the learner sampling the rest
 	// of the space.
@@ -844,10 +866,18 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 	chosen := cur
 	if len(feasible) > 0 {
 		// Boltzmann weights; the minimum-Q action always has weight 1, so
-		// the total never underflows.
+		// the total never underflows. The q == minQ short-circuit is
+		// bitwise-free: q−minQ is then a signed zero and Exp(±0) is exactly
+		// 1 — but most θ entries of an untrained row are 0 == minQ, so it
+		// skips the Exp call on the bulk of the lanes.
 		var total float64
 		for i, q := range qs {
-			w := math.Exp(-(q - minQ) / m.temp)
+			var w float64
+			if q == minQ {
+				w = 1
+			} else {
+				w = math.Exp(-(q - minQ) / m.temp)
+			}
 			qs[i] = w
 			total += w
 		}
@@ -879,48 +909,6 @@ func (m *Megh) sampleDestination(s *sim.Snapshot, c candidate) (dest, actionIdx 
 		})
 	}
 	return chosen, base + chosen
-}
-
-// scanRow is the candidate-scoring sweep: one pass over VM j's contiguous
-// θ row θ[base:base+M], gathering the feasible destinations, their Q
-// values and the row minimum. Feasibility reads only the flat per-host
-// aggregate arrays refreshHostAggregates filled (committed RAM/MIPS,
-// capacities, active/blocked flags), with arithmetic identical to fits, so
-// the loop body is slice indexing and float compares with no function
-// calls or struct loads — the shape the compiler keeps in registers, and
-// the reason DecideBatch's scoring cost stays flat while rank-1 updates
-// are deferred. Returned slices alias the learner's scratch.
-func (m *Megh) scanRow(s *sim.Snapshot, j, cur, base int, activeOnly bool) (feasible []int, qs []float64, minQ float64) {
-	n := m.cfg.NumHosts
-	row := m.theta[base : base+n : base+n]
-	ramJ := s.VMSpecs[j].RAMMB
-	mipsJ := s.VMMIPS[j]
-	beta := s.OverloadThreshold
-	hostRAM := m.hostRAM[:n]
-	hostMIPS := m.hostMIPS[:n]
-	ramCap := m.hostRAMCap[:n]
-	mipsCap := m.hostMIPSCap[:n]
-	blocked := m.hostBlocked[:n]
-	active := m.hostActive[:n]
-	feasible = m.feasibleScratch[:0]
-	qs = m.qScratch[:0]
-	minQ = math.Inf(1)
-	for k := 0; k < n; k++ {
-		if k != cur {
-			if blocked[k] || (activeOnly && !active[k]) ||
-				hostRAM[k]+ramJ > ramCap[k] ||
-				(hostMIPS[k]+mipsJ)/mipsCap[k] > beta {
-				continue
-			}
-		}
-		q := row[k]
-		feasible = append(feasible, k)
-		qs = append(qs, q)
-		if q < minQ {
-			minQ = q
-		}
-	}
-	return feasible, qs, minQ
 }
 
 // fits checks whether VM j can move to host k: the host not being failed,

@@ -161,6 +161,7 @@ func BenchmarkDecide(b *testing.B) {
 			m.Decide(snap)
 			m.Observe(&fb)
 		}
+		reportGridDims(b, nVMs, nHosts)
 	}
 	newTracer := func(b *testing.B, timings bool) *trace.Tracer {
 		tr, err := trace.New(trace.Options{W: io.Discard, RingSize: -1, Timings: timings})
@@ -190,6 +191,7 @@ func BenchmarkDecide(b *testing.B) {
 			m.Decide(snap)
 			m.haveCost = false
 		}
+		reportGridDims(b, nVMs, nHosts)
 	})
 	b.Run("no-tracer", func(b *testing.B) { bench(b, nil, false) })
 	b.Run("disabled", func(b *testing.B) { bench(b, nil, true) })

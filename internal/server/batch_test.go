@@ -91,6 +91,41 @@ func TestSessionDecideBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestDecideBatchChunked pins the chunking client helper: a stream split
+// into small chunks decides exactly like the same stream posted as one
+// batch, because one session's chunks run serially.
+func TestDecideBatchChunked(t *testing.T) {
+	const nVMs, nHosts, steps = 6, 7, 25
+	_, ts := newSessionService(t, 0)
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+	spec := SessionSpec{NumVMs: nVMs, NumHosts: nHosts, Seed: 42}
+
+	one := c.Session("one-batch")
+	if _, err := one.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	chunked := c.Session("chunked")
+	if _, err := chunked.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	items := batchSteps(nVMs, nHosts, steps)
+	oneOut, err := one.DecideBatchCtx(ctx, BatchDecideRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk size 4 does not divide 25, so the tail chunk is ragged.
+	chunkedOut, err := chunked.DecideBatchChunkedCtx(ctx, BatchDecideRequest{Items: items}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chunkedOut.Results, oneOut.Results) {
+		t.Fatalf("chunked decisions diverged from the single batch:\nchunked %+v\nbatch   %+v",
+			chunkedOut.Results, oneOut.Results)
+	}
+}
+
 // TestSessionDecideBatchValidation pins the 400 paths — and that a
 // rejected batch leaves the learner completely untouched (validation runs
 // before the learner is locked, so a 400 never half-consumes a batch).

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"megh/internal/core"
+	"megh/internal/sim"
+)
+
+// This file holds cross-request batch coalescing: concurrent decide and
+// decide/batch requests against one session are merged into a single
+// core.DecideBatch call per session-lock acquisition, and the results are
+// demultiplexed back to each waiter in arrival order.
+//
+// Mechanics: the first request to arrive for a session with no open round
+// becomes the round's *leader*. If no earlier round is still executing,
+// the leader fires immediately — an uncontended decide pays no added
+// latency. While a previous round's merged batch is executing, the leader
+// instead lingers for up to the configured window (Config.CoalesceLinger,
+// default DefCoalesceLinger) or until that batch completes, whichever is
+// first — the execution window is exactly when concurrent requests pile
+// up, so this is group commit: everything that arrives behind an
+// in-flight decide merges into the next round. On firing, the leader
+// detaches the round, concatenates every waiter's items in join order,
+// runs one DecideBatch under one withLearner acquisition, slices the
+// results back per waiter, and wakes them. A round also fires early when
+// its item count reaches MaxBatchItems; a joiner that would push it past
+// the cap instead fires the open round immediately and starts a new one
+// as leader.
+//
+// Ordering guarantee: within one merged round, items are decided in waiter
+// join order and each response carries exactly its own items' decisions in
+// request order. Across rounds, decides serialise on the session lock;
+// concurrent requests that land in different rounds have no relative
+// ordering guarantee — the same contract they had without coalescing.
+//
+// Decision identity: DecideBatch is decision-identical to the sequential
+// Observe/Decide loop (core's contract), so coalescing changes *when* the
+// learner runs, never what it decides — pinned end to end by
+// TestCoalescingPreservesDecisions.
+
+// DefCoalesceLinger is the coalescing window when Config.CoalesceLinger is
+// zero: the longest a round waits behind an in-flight decide before giving
+// up on merging and contending for the session lock itself. Long enough to
+// span a typical decide, short against any realistic monitoring interval.
+// Negative disables coalescing. (An uncontended round never waits at all,
+// so the window does not tax idle-session latency.)
+const DefCoalesceLinger = 100 * time.Microsecond
+
+// coalesceWaiter carries one request's items into a round and its slice of
+// the results back out.
+type coalesceWaiter struct {
+	items []core.BatchItem
+	out   [][]sim.Migration
+	err   error
+}
+
+// coalesceRound is one open merge window.
+type coalesceRound struct {
+	waiters []*coalesceWaiter
+	items   int
+	// fired guards the fire channel's single close; both the capacity check
+	// at join and a displacing joiner may try to fire. Written under the
+	// coalescer mutex.
+	fired bool
+	// fire wakes the lingering leader early (capacity reached / displaced).
+	fire chan struct{}
+	// done is closed by the leader once every waiter's out/err is set.
+	done chan struct{}
+}
+
+// fireNowLocked wakes the leader before its linger expires. Callers hold
+// the coalescer mutex.
+func (r *coalesceRound) fireNowLocked() {
+	if !r.fired {
+		r.fired = true
+		close(r.fire)
+	}
+}
+
+// coalescer is a session's merge point. The zero value is ready to use.
+type coalescer struct {
+	mu  sync.Mutex
+	cur *coalesceRound
+	// lastDone is the done channel of the most recently dispatched round:
+	// open while that round's merged batch is still executing. A new
+	// leader waits on it (capped by the linger window) before firing, so a
+	// round sweeps up everything that arrives during the previous round's
+	// execution; nil or closed, the leader fires immediately.
+	lastDone chan struct{}
+}
+
+// noteDecidedLocked records a decided batch in the session's bookkeeping.
+// Callers hold the session lock (it runs inside withLearner's fn).
+func (s *session) noteDecidedLocked(items []core.BatchItem) {
+	s.decisions += len(items)
+	s.lastStep = items[len(items)-1].Snap.Step
+	if s.health != nil {
+		// One call covers the whole batch: the tracker diffs the learner's
+		// cumulative stats, so deltas stay exact.
+		s.health.AfterDecide()
+	}
+}
+
+// decideDirect is the coalescing-off path: one request, one learner
+// acquisition.
+func (s *Service) decideDirect(sess *session, items []core.BatchItem) ([][]sim.Migration, error) {
+	var out [][]sim.Migration
+	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
+		out = l.DecideBatch(items)
+		sess.noteDecidedLocked(items)
+		return nil
+	})
+	return out, err
+}
+
+// coalesceDecide routes one request's items through the session's
+// coalescer (or straight to the learner when coalescing is disabled) and
+// returns the request's own per-item decision slices.
+func (s *Service) coalesceDecide(sess *session, items []core.BatchItem) ([][]sim.Migration, error) {
+	if s.coalesceLinger <= 0 {
+		return s.decideDirect(sess, items)
+	}
+	w := &coalesceWaiter{items: items}
+	c := &sess.coal
+	c.mu.Lock()
+	round := c.cur
+	if round != nil && round.items+len(items) > MaxBatchItems {
+		// Joining would overflow the batch cap: fire the open round now and
+		// open a fresh one with this request as leader.
+		round.fireNowLocked()
+		round = nil
+		c.cur = nil
+	}
+	leader := round == nil
+	var prev chan struct{}
+	if leader {
+		round = &coalesceRound{fire: make(chan struct{}), done: make(chan struct{})}
+		c.cur = round
+		prev = c.lastDone
+	}
+	round.waiters = append(round.waiters, w)
+	round.items += len(items)
+	if round.items >= MaxBatchItems {
+		round.fireNowLocked()
+	}
+	c.mu.Unlock()
+
+	if leader {
+		s.leadRound(sess, round, prev)
+	} else {
+		<-round.done
+	}
+	return w.out, w.err
+}
+
+// leadRound waits out the merge window, detaches the round, runs the
+// merged batch, and demultiplexes the results. The merge window is zero
+// when no earlier round is still executing (prev nil or closed): an
+// uncontended decide fires immediately. Behind an in-flight round it is
+// min(remaining execution time, linger) — group commit.
+func (s *Service) leadRound(sess *session, round *coalesceRound, prev chan struct{}) {
+	if prev != nil {
+		select {
+		case <-prev:
+		case <-round.fire:
+		default:
+			timer := time.NewTimer(s.coalesceLinger)
+			select {
+			case <-prev:
+			case <-round.fire:
+			case <-timer.C:
+			}
+			timer.Stop()
+		}
+	}
+	c := &sess.coal
+	c.mu.Lock()
+	if c.cur == round {
+		c.cur = nil
+	}
+	round.fired = true
+	c.lastDone = round.done
+	waiters := round.waiters
+	total := round.items
+	c.mu.Unlock()
+	// From here the round is closed: no joiner can reach it, so waiters and
+	// total are stable without the lock.
+
+	combined := make([]core.BatchItem, 0, total)
+	for _, w := range waiters {
+		combined = append(combined, w.items...)
+	}
+	s.coalRounds.Inc()
+	s.coalItems.Add(int64(total))
+	if len(waiters) > 1 {
+		s.coalMerged.Add(int64(len(waiters)))
+	}
+
+	// A panic below (learner fed a state it cannot accept) must not strand
+	// the followers on round.done: it is converted into an error delivered
+	// to every waiter, which each handler answers as a 500.
+	outs, err := func() (outs [][]sim.Migration, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				outs, err = nil, fmt.Errorf("internal error: coalesced decide: %v", p)
+			}
+		}()
+		err = s.mgr.withLearner(sess, func(l *core.Megh) error {
+			outs = l.DecideBatch(combined)
+			sess.noteDecidedLocked(combined)
+			return nil
+		})
+		return outs, err
+	}()
+
+	off := 0
+	for _, w := range waiters {
+		if err != nil {
+			w.err = err
+		} else {
+			w.out = outs[off : off+len(w.items)]
+		}
+		off += len(w.items)
+	}
+	close(round.done)
+}
+
+// admitGate bounds concurrent decide/feedback work, weighted by batch item
+// count: a K-item batch holds K slots, so -max-inflight bounds in-flight
+// *decisions*, not requests. A nil gate admits everything.
+type admitGate struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+}
+
+// tryAcquire claims n slots, returning the release closure, or nil when
+// the gate is full. n clamps to [1, capacity], so a maximum-size batch is
+// always admittable on an idle gate rather than deadlocked by its own
+// weight.
+func (g *admitGate) tryAcquire(n int) (release func()) {
+	if g == nil {
+		return func() {}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > g.capacity {
+		n = g.capacity
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.used+n > g.capacity {
+		return nil
+	}
+	g.used += n
+	return func() {
+		g.mu.Lock()
+		g.used -= n
+		g.mu.Unlock()
+	}
+}
+
+// admitN acquires weight admission slots. A nil release means the request
+// was refused with 429 (+ Retry-After) and the handler must return;
+// otherwise the caller defers release().
+func (s *Service) admitN(w http.ResponseWriter, weight int) (release func()) {
+	if release = s.gate.tryAcquire(weight); release != nil {
+		return release
+	}
+	s.throttled.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("server: admission gate full (%d decision slots)", s.gate.capacity))
+	return nil
+}

@@ -50,10 +50,17 @@ type Config struct {
 	// GET /v2/sessions/{id}/trace/tail. 0 means trace.DefaultRingSize;
 	// negative disables per-session tracing.
 	SessionRing int
-	// MaxInFlight bounds concurrent decide/feedback handlers across all
-	// sessions; excess requests are refused with 429 and a Retry-After
+	// MaxInFlight bounds concurrent decide/feedback work across all
+	// sessions, weighted by batch item count (a K-item batch holds K
+	// slots); excess requests are refused with 429 and a Retry-After
 	// header instead of queueing without bound. 0 means unlimited.
 	MaxInFlight int
+	// CoalesceLinger is the cross-request batch-coalescing window: a decide
+	// request for a session lingers this long so concurrent decide and
+	// decide/batch requests for the same session merge into one
+	// core.DecideBatch call per lock acquisition. 0 means DefCoalesceLinger;
+	// negative disables coalescing (every request acquires the lock itself).
+	CoalesceLinger time.Duration
 	// DeferThreshold and DeferMaxAge configure the deferred/merged
 	// Sherman–Morrison update mode for every learner the service builds
 	// (core.Config.DeferThreshold / DeferMaxAge): transitions whose
@@ -114,9 +121,16 @@ type Service struct {
 	mgr *sessionManager
 	def *session
 
-	// gate bounds concurrent decide/feedback work (nil = unlimited).
-	gate      chan struct{}
+	// gate bounds concurrent decide/feedback work, weighted by batch item
+	// count (nil = unlimited).
+	gate      *admitGate
 	throttled *obs.Counter
+
+	// coalesceLinger is the resolved coalescing window (<= 0 disabled).
+	coalesceLinger time.Duration
+	coalRounds     *obs.Counter
+	coalMerged     *obs.Counter
+	coalItems      *obs.Counter
 
 	// slo tracks the decide-latency objective (nil = disabled; every
 	// method on a nil SLO is a no-op).
@@ -211,8 +225,18 @@ func New(cfg Config) (*Service, error) {
 	s.throttled = reg.Counter("megh_http_throttled_total",
 		"Decide/feedback requests refused with 429 by the admission gate.", nil)
 	if cfg.MaxInFlight > 0 {
-		s.gate = make(chan struct{}, cfg.MaxInFlight)
+		s.gate = &admitGate{capacity: cfg.MaxInFlight}
 	}
+	s.coalesceLinger = cfg.CoalesceLinger
+	if s.coalesceLinger == 0 {
+		s.coalesceLinger = DefCoalesceLinger
+	}
+	s.coalRounds = reg.Counter("megh_coalesce_rounds_total",
+		"Coalesced decide rounds run (one DecideBatch call each).", nil)
+	s.coalMerged = reg.Counter("megh_coalesce_merged_requests_total",
+		"Decide requests that shared a coalesced round with at least one other request.", nil)
+	s.coalItems = reg.Counter("megh_coalesce_items_total",
+		"Decision items carried by coalesced rounds.", nil)
 	if cfg.SLODecideP99 >= 0 {
 		objective := cfg.SLODecideP99
 		if objective == 0 {
@@ -394,25 +418,6 @@ func (s *Service) withSession(h func(http.ResponseWriter, *http.Request, *sessio
 	}
 }
 
-// admit acquires an admission-gate slot for learner-touching work. A nil
-// release means the request was refused with 429 (+ Retry-After) and the
-// handler must return; otherwise the caller defers release().
-func (s *Service) admit(w http.ResponseWriter) (release func()) {
-	if s.gate == nil {
-		return func() {}
-	}
-	select {
-	case s.gate <- struct{}{}:
-		return func() { <-s.gate }
-	default:
-		s.throttled.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server: %d decide/feedback requests already in flight", cap(s.gate)))
-		return nil
-	}
-}
-
 // --- middleware ---------------------------------------------------------
 
 // statusWriter captures the response status for the metrics middleware.
@@ -559,12 +564,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // --- session handlers (shared by /v1 and /v2) ---------------------------
 
 func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *session) {
-	release := s.admit(w)
-	if release == nil {
-		return
-	}
-	defer release()
-
+	// Decode and validate before admission: the gate weighs requests by item
+	// count, which is only known after the decode.
 	var req StateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot: %w", err))
@@ -580,30 +581,28 @@ func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *se
 				len(req.VMs), len(req.Hosts), sess.id, sess.spec.NumVMs, sess.spec.NumHosts))
 		return
 	}
+	release := s.admitN(w, 1)
+	if release == nil {
+		return
+	}
+	defer release()
 	snap := req.snapshot(sess.spec.OverloadThreshold, sess.spec.StepSeconds)
 
-	// Decide returns the learner's scratch buffer, valid only until the next
-	// Decide — so the response copy MUST be built before the session lock is
-	// released, or a concurrent request overwrites the decisions mid-encoding
-	// (the bug TestDecideAppendReturnsOwnedCopy pins on the core side).
-	var decisions []MigrationDecision
+	// A single decide is a one-item batch through the coalescer
+	// (DecideBatch over one item is decision-identical to Decide), so
+	// concurrent single decides for the same session share one lock
+	// acquisition. DecideBatch returns caller-owned slices, so unlike the
+	// historical Decide path nothing here races the lock release.
 	start := time.Now()
-	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
-		migs := l.Decide(snap)
-		decisions = make([]MigrationDecision, 0, len(migs))
-		for _, m := range migs {
-			decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
-		}
-		sess.decisions++
-		sess.lastStep = req.Step
-		if sess.health != nil {
-			sess.health.AfterDecide()
-		}
-		return nil
-	})
+	outs, err := s.coalesceDecide(sess, []core.BatchItem{{Snap: snap}})
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	migs := outs[0]
+	decisions := make([]MigrationDecision, 0, len(migs))
+	for _, m := range migs {
+		decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
 	}
 	s.slo.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, DecideResponse{Step: req.Step, Migrations: decisions})
@@ -611,16 +610,12 @@ func (s *Service) decideSession(w http.ResponseWriter, r *http.Request, sess *se
 
 // decideBatchSession is the batched decide path: many observe→decide steps
 // validated up front, then run back-to-back against the session's learner
-// under a single lock acquisition and admission-gate slot via
-// core.DecideBatch. The whole batch is validated before the learner is
-// touched, so a 400 never leaves the learner having consumed half a batch.
+// under a single lock acquisition via core.DecideBatch — shared, when
+// coalescing is on, with whatever other requests joined the same round.
+// The whole batch is validated before the learner is touched, so a 400
+// never leaves the learner having consumed half a batch, and before
+// admission, so the gate can weigh the request by its item count.
 func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, sess *session) {
-	release := s.admit(w)
-	if release == nil {
-		return
-	}
-	defer release()
-
 	var req BatchDecideRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
@@ -668,32 +663,25 @@ func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, ses
 		// snapshot() allocates fresh storage per item, so no Clone is needed.
 		items[i].Snap = it.State.snapshot(sess.spec.OverloadThreshold, sess.spec.StepSeconds)
 	}
+	release := s.admitN(w, len(items))
+	if release == nil {
+		return
+	}
+	defer release()
 
-	results := make([]DecideResponse, len(items))
 	start := time.Now()
-	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
-		// DecideBatch returns caller-owned slices, so unlike the single
-		// decide path nothing here races the lock release — the copy into
-		// the response shape is just the wire conversion.
-		for i, migs := range l.DecideBatch(items) {
-			decisions := make([]MigrationDecision, 0, len(migs))
-			for _, m := range migs {
-				decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
-			}
-			results[i] = DecideResponse{Step: items[i].Snap.Step, Migrations: decisions}
-		}
-		sess.decisions += len(items)
-		sess.lastStep = items[len(items)-1].Snap.Step
-		if sess.health != nil {
-			// One call covers the whole batch: the tracker diffs the
-			// learner's cumulative stats, so deltas stay exact.
-			sess.health.AfterDecide()
-		}
-		return nil
-	})
+	outs, err := s.coalesceDecide(sess, items)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	results := make([]DecideResponse, len(items))
+	for i, migs := range outs {
+		decisions := make([]MigrationDecision, 0, len(migs))
+		for _, m := range migs {
+			decisions = append(decisions, MigrationDecision{VM: m.VM, Dest: m.Dest})
+		}
+		results[i] = DecideResponse{Step: items[i].Snap.Step, Migrations: decisions}
 	}
 	// The SLO sees the per-item amortized latency — the fair comparison
 	// against single decides, since one batch request answers N steps.
@@ -715,12 +703,6 @@ func (s *Service) decideBatchSession(w http.ResponseWriter, r *http.Request, ses
 }
 
 func (s *Service) feedbackSession(w http.ResponseWriter, r *http.Request, sess *session) {
-	release := s.admit(w)
-	if release == nil {
-		return
-	}
-	defer release()
-
 	var req FeedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding feedback: %w", err))
@@ -730,6 +712,11 @@ func (s *Service) feedbackSession(w http.ResponseWriter, r *http.Request, sess *
 		writeError(w, http.StatusBadRequest, fmt.Errorf("negative step cost %g", req.StepCost))
 		return
 	}
+	release := s.admitN(w, 1)
+	if release == nil {
+		return
+	}
+	defer release()
 	err := s.mgr.withLearner(sess, func(l *core.Megh) error {
 		l.Observe(&sim.Feedback{
 			Step:         req.Step,

@@ -67,6 +67,12 @@ type session struct {
 	restores  int
 	deleted   bool
 
+	// coal merges concurrent decide requests for this session into shared
+	// DecideBatch rounds (see coalesce.go). It has its own mutex: requests
+	// join rounds without touching mu, which the round leader holds for the
+	// whole merged batch.
+	coal coalescer
+
 	// pinned sessions (the /v1 default) are never evicted.
 	pinned bool
 	// ckptPath is where this session checkpoints ("" = no persistence;

@@ -377,8 +377,11 @@ func TestAdmissionGateSheds429(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	// Occupy both slots as if two decides were in flight.
-	svc.gate <- struct{}{}
-	svc.gate <- struct{}{}
+	rel1 := svc.gate.tryAcquire(1)
+	rel2 := svc.gate.tryAcquire(1)
+	if rel1 == nil || rel2 == nil {
+		t.Fatal("idle gate refused admission")
+	}
 
 	resp := postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, false))
 	if resp.StatusCode != http.StatusTooManyRequests {
@@ -396,12 +399,12 @@ func TestAdmissionGateSheds429(t *testing.T) {
 	}
 
 	// Free a slot; the same request now succeeds.
-	<-svc.gate
+	rel1()
 	resp = postJSON(t, ts.URL+"/v1/decide", testWorld(4, 3, false))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("freed gate answered %d, want 200", resp.StatusCode)
 	}
-	<-svc.gate
+	rel2()
 }
 
 // TestSessionPerMetricsEndpoint: each session exposes its own learner

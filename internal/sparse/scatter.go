@@ -1,0 +1,100 @@
+package sparse
+
+import "math"
+
+// This file holds the flat dense-slice helpers the core decide path leans
+// on: scatter-adds that push a sparse column into the dense θ mirror and a
+// gather that pulls a θ row's feasible entries out again. They are 4-wide
+// unrolled but semantically *sequential*: every arithmetic operation runs
+// in the same order, with the same operands, as the obvious scalar loop, so
+// results are bitwise identical to it — the property the decision-identity
+// guarantees of core.DecideBatch and the scanRow kernels are built on.
+
+// ScatterAddScaled performs dst[idx[k]] += s*val[k] for every k in index
+// order. Duplicate indices accumulate sequentially, exactly as the plain
+// loop would. idx and val must have equal length.
+func ScatterAddScaled(dst []float64, idx []int, val []float64, s float64) {
+	val = val[:len(idx)]
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		dst[idx[k]] += s * val[k]
+		dst[idx[k+1]] += s * val[k+1]
+		dst[idx[k+2]] += s * val[k+2]
+		dst[idx[k+3]] += s * val[k+3]
+	}
+	for ; k < len(idx); k++ {
+		dst[idx[k]] += s * val[k]
+	}
+}
+
+// ScatterAddScaledSq is ScatterAddScaled plus the squared-delta sum the
+// learning-health layer feeds its θ-drift EWMA: it returns Σ (s*val[k])²,
+// accumulated one term at a time in index order (never pairwise), so the
+// sum is bitwise identical to the scalar loop's.
+func ScatterAddScaledSq(dst []float64, idx []int, val []float64, s float64) float64 {
+	val = val[:len(idx)]
+	var dsq float64
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		d0 := s * val[k]
+		dst[idx[k]] += d0
+		dsq += d0 * d0
+		d1 := s * val[k+1]
+		dst[idx[k+1]] += d1
+		dsq += d1 * d1
+		d2 := s * val[k+2]
+		dst[idx[k+2]] += d2
+		dsq += d2 * d2
+		d3 := s * val[k+3]
+		dst[idx[k+3]] += d3
+		dsq += d3 * d3
+	}
+	for ; k < len(idx); k++ {
+		d := s * val[k]
+		dst[idx[k]] += d
+		dsq += d * d
+	}
+	return dsq
+}
+
+// GatherMin copies row[idx[k]] into dst[k] for every k and returns the
+// minimum gathered value. dst must have length len(idx). The minimum uses
+// the same strict-less, first-wins comparison sequence as the scalar
+// `if q < min` loop, so it is bitwise identical to it (for finite inputs
+// the comparison order is observable only through which of several equal
+// bit patterns wins — and that order is preserved).
+func GatherMin(dst []float64, row []float64, idx []int) float64 {
+	dst = dst[:len(idx)]
+	min := math.Inf(1)
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		q0 := row[idx[k]]
+		q1 := row[idx[k+1]]
+		q2 := row[idx[k+2]]
+		q3 := row[idx[k+3]]
+		dst[k] = q0
+		dst[k+1] = q1
+		dst[k+2] = q2
+		dst[k+3] = q3
+		if q0 < min {
+			min = q0
+		}
+		if q1 < min {
+			min = q1
+		}
+		if q2 < min {
+			min = q2
+		}
+		if q3 < min {
+			min = q3
+		}
+	}
+	for ; k < len(idx); k++ {
+		q := row[idx[k]]
+		dst[k] = q
+		if q < min {
+			min = q
+		}
+	}
+	return min
+}

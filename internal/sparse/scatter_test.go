@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// scatterRef is the scalar reference the unrolled kernels must match
+// bitwise.
+func scatterRef(dst []float64, idx []int, val []float64, s float64) float64 {
+	var dsq float64
+	for k := range idx {
+		d := s * val[k]
+		dst[idx[k]] += d
+		dsq += d * d
+	}
+	return dsq
+}
+
+func gatherRef(dst []float64, row []float64, idx []int) float64 {
+	min := math.Inf(1)
+	for k, i := range idx {
+		q := row[i]
+		dst[k] = q
+		if q < min {
+			min = q
+		}
+	}
+	return min
+}
+
+// scatterCase builds an awkward deterministic input: irregular lengths
+// (exercising every unroll tail), duplicate indices, negative and
+// denormal-ish magnitudes, and a scale that does not round trip through
+// decimal.
+func scatterCase(n, width int, seed uint64) (idx []int, val []float64) {
+	idx = make([]int, n)
+	val = make([]float64, n)
+	x := seed
+	for k := 0; k < n; k++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		idx[k] = int(x>>33) % width
+		val[k] = math.Ldexp(float64(int64(x)%1000)-500, -int(x>>60)) / 3
+	}
+	// Force duplicates inside one 4-group and across groups.
+	if n >= 6 {
+		idx[1] = idx[0]
+		idx[5] = idx[0]
+	}
+	return idx, val
+}
+
+func TestScatterAddScaledBitwiseMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 100} {
+		idx, val := scatterCase(n, 40, uint64(n)+1)
+		scale := -0.7316519841
+		a := make([]float64, 40)
+		b := make([]float64, 40)
+		for i := range a {
+			a[i] = 1e-3 * float64(i*i-17)
+			b[i] = a[i]
+		}
+		ScatterAddScaled(a, idx, val, scale)
+		scatterRef(b, idx, val, scale)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("n=%d: dst[%d] = %x, scalar ref %x",
+					n, i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+			}
+		}
+	}
+}
+
+func TestScatterAddScaledSqBitwiseMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 6, 9, 64, 101} {
+		idx, val := scatterCase(n, 64, uint64(n)+99)
+		scale := 2.5000000001
+		a := make([]float64, 64)
+		b := make([]float64, 64)
+		for i := range a {
+			a[i] = math.Sin(float64(i))
+			b[i] = a[i]
+		}
+		gotSq := ScatterAddScaledSq(a, idx, val, scale)
+		wantSq := scatterRef(b, idx, val, scale)
+		if math.Float64bits(gotSq) != math.Float64bits(wantSq) {
+			t.Fatalf("n=%d: dsq = %x, scalar ref %x", n,
+				math.Float64bits(gotSq), math.Float64bits(wantSq))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("n=%d: dst[%d] = %x, scalar ref %x",
+					n, i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+			}
+		}
+	}
+}
+
+// TestScatterNegatedScaleMatchesSubtraction pins the identity the core θ
+// update relies on: x += (−a)·v is bitwise x −= a·v (IEEE-754 negation of a
+// product is exact), so applyUpdate can route its subtraction through the
+// one scatter kernel.
+func TestScatterNegatedScaleMatchesSubtraction(t *testing.T) {
+	idx, val := scatterCase(37, 50, 5)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = 0.1*float64(i) - 2
+		b[i] = a[i]
+	}
+	const scale = 1.9137516254e-3
+	ScatterAddScaled(a, idx, val, -scale)
+	for k := range idx {
+		b[idx[k]] -= scale * val[k]
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("dst[%d]: negated-scale add %x vs subtraction %x",
+				i, math.Float64bits(a[i]), math.Float64bits(b[i]))
+		}
+	}
+}
+
+func TestGatherMinBitwiseMatchesScalar(t *testing.T) {
+	row := make([]float64, 128)
+	for i := range row {
+		// Include ties (equal bit patterns) and signed zeros: -0.0 == 0.0
+		// compares equal, so strict-less keeps whichever came first — both
+		// loops must agree on that.
+		row[i] = float64((i*7)%13) - 6
+		if i%13 == 0 {
+			row[i] = math.Copysign(0, -1)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 4, 5, 11, 128} {
+		idx := make([]int, n)
+		for k := range idx {
+			idx[k] = (k * 17) % len(row)
+		}
+		got := make([]float64, n)
+		want := make([]float64, n)
+		gm := GatherMin(got, row, idx)
+		wm := gatherRef(want, row, idx)
+		if math.Float64bits(gm) != math.Float64bits(wm) {
+			t.Fatalf("n=%d: min = %x, scalar ref %x", n, math.Float64bits(gm), math.Float64bits(wm))
+		}
+		for k := range got {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("n=%d: dst[%d] = %v, scalar ref %v", n, k, got[k], want[k])
+			}
+		}
+	}
+	if gm := GatherMin(nil, row, nil); !math.IsInf(gm, 1) {
+		t.Fatalf("empty gather min = %v, want +Inf", gm)
+	}
+}
