@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-check bench-alloc-gate fuzz-short routes-golden metriclint cover
+.PHONY: verify check build test race vet fmt-check bench-trace bench-json bench-check bench-alloc-gate fuzz-short routes-golden metriclint cover scenario-smoke
 
 # Tier-1: everything compiles and the test suite passes.
 verify:
@@ -13,8 +13,14 @@ verify:
 # run of the trace-overhead benchmark (compare the disabled sub-benchmark
 # against no-tracer: they must match in ns/op and allocs/op), the
 # allocation-regression gate on the untraced decide path, and a short
-# fuzz pass over the fuzz targets.
-check: fmt-check vet routes-golden metriclint race bench-trace bench-alloc-gate fuzz-short
+# fuzz pass over the fuzz targets, and the scenario-matrix smoke run.
+check: fmt-check vet routes-golden metriclint race scenario-smoke bench-trace bench-alloc-gate fuzz-short
+
+# Scenario-matrix smoke: every registered scenario, under the race detector
+# and the invariant checker, end to end through the real CLI. Catches wiring
+# rot (registry ↔ flags ↔ experiments) that package tests cannot see.
+scenario-smoke:
+	$(GO) run -race ./cmd/meghsim -scenario all -steps 200 -hosts 16 -vms 28 -check
 
 # Metric-naming conventions (megh_ prefix, _total on counters, unit
 # suffixes on histograms, no cross-registry type conflicts), enforced
@@ -96,6 +102,7 @@ fuzz-short:
 	$(GO) test -run=- -fuzz=FuzzCheckpointLoad -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=- -fuzz=FuzzDecideRequestJSON -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run=- -fuzz=FuzzShermanMorrisonBasis -fuzztime=$(FUZZTIME) ./internal/sparse/
+	$(GO) test -run=- -fuzz=FuzzScenarioConfig -fuzztime=$(FUZZTIME) ./internal/scenario/
 
 # Per-package coverage floors. Raise a floor when a package's coverage
 # improves for good; never lower one to make a regression pass.
@@ -108,7 +115,8 @@ COVER_FLOORS = \
 	internal/trace:92 \
 	internal/power:92 \
 	internal/invariant:85 \
-	internal/experiments:85
+	internal/experiments:85 \
+	internal/scenario:90
 
 # cover fails if any package above slips below its floor.
 cover:

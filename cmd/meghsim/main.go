@@ -14,6 +14,13 @@
 // -check validates the conservation invariants of internal/invariant after
 // every step and aborts the run on the first violation.
 //
+// Scenarios: -scenario NAME swaps the dataset generators for a registered
+// scenario regime (VM churn, phase scripts, spot reclamation, RAM
+// pressure; see -scenario-list). -scenario all runs every registered
+// scenario, and -policy all crosses them with the default matrix policy
+// set. The scenario path honors -check; the per-run observability flags
+// (-trace, -metrics, -fail, -fattree, -csv) apply to dataset runs only.
+//
 // Registered policies: THR-MMT, IQR-MMT, MAD-MMT, LR-MMT, LRR-MMT, Megh,
 // MadVM, Q-learning.
 package main
@@ -28,6 +35,7 @@ import (
 	"megh/internal/experiments"
 	"megh/internal/invariant"
 	"megh/internal/obs"
+	"megh/internal/scenario"
 	"megh/internal/sim"
 	"megh/internal/topology"
 	"megh/internal/trace"
@@ -85,6 +93,9 @@ func run() error {
 			"record wall-clock span timings in trace events (makes traces nondeterministic)")
 		check = flag.Bool("check", false,
 			"validate conservation invariants every step; the run aborts on the first violation")
+		scenarioName = flag.String("scenario", "",
+			"run a registered scenario regime instead of a dataset (\"all\" = every scenario)")
+		scenarioList = flag.Bool("scenario-list", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
 
@@ -93,6 +104,17 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+	if *scenarioList {
+		for _, name := range scenario.Names() {
+			cfg, _ := scenario.Get(name)
+			fmt.Printf("%-14s %s\n", name, cfg.Description)
+		}
+		return nil
+	}
+	if *scenarioName != "" {
+		return runScenario(*scenarioName, *policy, *hosts, *vms, *steps, *seed, *check,
+			*csv || *fatTree || *failAt != "" || *metrics || *metricsOut != "" || *traceOut != "")
 	}
 	setup := experiments.Setup{
 		Dataset: experiments.Dataset(*dataset),
@@ -193,6 +215,36 @@ func run() error {
 		fmt.Sprintf("%s on %s (%d hosts, %d VMs, %d steps, seed %d)",
 			*policy, *dataset, *hosts, *vms, *steps, *seed),
 		[]experiments.TableRow{row})
+}
+
+// runScenario handles the -scenario path: one registered scenario (or all
+// of them) crossed with one policy (or, with -policy all, the default
+// matrix set), printed as a scenario-matrix table.
+func runScenario(scenarioName, policy string, hosts, vms, steps int, seed int64,
+	check, unsupportedFlags bool) error {
+	if unsupportedFlags {
+		return fmt.Errorf("-scenario does not combine with -csv/-fattree/-fail/-metrics/-trace; " +
+			"use cmd/tables -scenarios for CSV output")
+	}
+	if check {
+		experiments.SetCheckerFactory(func() sim.Checker { return invariant.NewSimChecker() })
+		defer experiments.SetCheckerFactory(nil)
+	}
+	setup := experiments.ScenarioSetup{Hosts: hosts, VMs: vms, Steps: steps, Seed: seed}
+	var scenarios, policies []string
+	if scenarioName != "all" {
+		scenarios = []string{scenarioName}
+	}
+	if policy != "all" {
+		policies = []string{policy}
+	}
+	rows, err := experiments.RunScenarioMatrix(setup, scenarios, policies)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Scenario matrix (%d hosts, %d VMs, %d steps, seed %d%s)",
+		hosts, vms, steps, seed, map[bool]string{true: ", checked", false: ""}[check])
+	return experiments.WriteScenarioTable(os.Stdout, title, rows)
 }
 
 // dumpMetricsFile writes the registry snapshot to a file.

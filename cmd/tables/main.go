@@ -7,6 +7,9 @@
 //	tables -table 2             # full-scale Table 2 (800×1052×2016; slow)
 //	tables -table 3 -scale 8    # ⅛-scale Table 3 (fast)
 //	tables -table 2 -csv > table2.csv
+//	tables -scenarios           # scenario matrix: every registered scenario
+//	                            # × {Megh, THR-MMT, MadVM} at 20×40×300
+//	tables -scenarios -csv -hosts 40 -vms 80 > scenarios.csv
 package main
 
 import (
@@ -27,14 +30,37 @@ func main() {
 
 func run() error {
 	var (
-		table    = flag.Int("table", 2, "paper table to regenerate: 2 (PlanetLab) or 3 (Google)")
-		scale    = flag.Int("scale", 1, "divide the paper's sizes by this factor")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		policies = flag.String("policies", "", "comma-separated policy list (default: the table's six)")
-		parallel = flag.Int("parallel", 0, "run policies concurrently with this many workers (0 = #CPUs, -1 = sequential)")
+		table     = flag.Int("table", 2, "paper table to regenerate: 2 (PlanetLab) or 3 (Google)")
+		scale     = flag.Int("scale", 1, "divide the paper's sizes by this factor")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		policies  = flag.String("policies", "", "comma-separated policy list (default: the table's six)")
+		parallel  = flag.Int("parallel", 0, "run policies concurrently with this many workers (0 = #CPUs, -1 = sequential)")
+		scenarios = flag.Bool("scenarios", false,
+			"emit the scenario matrix (every registered scenario × the matrix policies) instead of a paper table")
+		hosts = flag.Int("hosts", 20, "scenario-matrix fleet size (with -scenarios)")
+		vms   = flag.Int("vms", 40, "scenario-matrix VM slot count (with -scenarios)")
+		steps = flag.Int("steps", 300, "scenario-matrix horizon in 5-minute steps (with -scenarios)")
 	)
 	flag.Parse()
+
+	if *scenarios {
+		var names []string
+		if *policies != "" {
+			names = strings.Split(*policies, ",")
+		}
+		setup := experiments.ScenarioSetup{Hosts: *hosts, VMs: *vms, Steps: *steps, Seed: *seed}
+		rows, err := experiments.RunScenarioMatrix(setup, nil, names)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return experiments.WriteScenarioCSV(os.Stdout, rows)
+		}
+		title := fmt.Sprintf("Scenario matrix (%d hosts, %d VMs, %d steps, seed %d)",
+			*hosts, *vms, *steps, *seed)
+		return experiments.WriteScenarioTable(os.Stdout, title, rows)
+	}
 
 	var setup experiments.Setup
 	var title string

@@ -122,8 +122,10 @@ func (m *Megh) rebuildHostAggregates(s *sim.Snapshot) {
 	}
 	for j := 0; j < s.NumVMs(); j++ {
 		h := s.VMHost[j]
-		m.hostRAM[h] += s.VMSpecs[j].RAMMB
-		m.hostMIPS[h] += s.VMMIPS[j]
+		if h >= 0 { // dead slots (lifecycle runs) occupy nothing
+			m.hostRAM[h] += s.VMSpecs[j].RAMMB
+			m.hostMIPS[h] += s.VMMIPS[j]
+		}
 		m.prevVMHost[j] = h
 		m.prevVMRAM[j] = s.VMSpecs[j].RAMMB
 		m.prevVMMIPS[j] = s.VMMIPS[j]
@@ -161,8 +163,12 @@ func (m *Megh) deltaHostAggregates(s *sim.Snapshot) bool {
 		if nh == m.prevVMHost[j] && nr == m.prevVMRAM[j] && nm == m.prevVMMIPS[j] {
 			continue
 		}
-		m.markDirty(m.prevVMHost[j])
-		m.markDirty(nh)
+		if ph := m.prevVMHost[j]; ph >= 0 {
+			m.markDirty(ph)
+		}
+		if nh >= 0 {
+			m.markDirty(nh)
+		}
 		m.prevVMHost[j] = nh
 		m.prevVMRAM[j] = nr
 		m.prevVMMIPS[j] = nm
@@ -180,7 +186,7 @@ func (m *Megh) deltaHostAggregates(s *sim.Snapshot) bool {
 	// bitwise identical to a rebuild's.
 	for j := 0; j < n; j++ {
 		h := s.VMHost[j]
-		if m.dirtyStamp[h] == m.dirtyEpoch {
+		if h >= 0 && m.dirtyStamp[h] == m.dirtyEpoch {
 			m.hostRAM[h] += s.VMSpecs[j].RAMMB
 			m.hostMIPS[h] += s.VMMIPS[j]
 			m.hostVMCount[h]++

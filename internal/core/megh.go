@@ -830,7 +830,12 @@ func (m *Megh) candidates(s *sim.Snapshot, cap_ int) []candidate {
 	// An occasional exploration draw keeps the learner sampling the rest
 	// of the space.
 	if m.rng.Float64() < m.cfg.ExplorationRate && len(m.candScratch) < cap_ {
-		m.addCandidate(m.rng.Intn(s.NumVMs()), trace.ReasonExploration, cap_)
+		// Draw before the liveness test so lifecycle runs consume exactly
+		// the draws a fixed-population run would — byte-identical traces
+		// depend on the RNG stream, not on who is alive.
+		if j := m.rng.Intn(s.NumVMs()); s.VMLive(j) {
+			m.addCandidate(j, trace.ReasonExploration, cap_)
+		}
 	}
 	return m.candScratch
 }

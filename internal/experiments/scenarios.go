@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"megh/internal/qlearn"
+	"megh/internal/scenario"
+	"megh/internal/sim"
+)
+
+// ScenarioSetup sizes a scenario-matrix run. Unlike Setup it carries no
+// Dataset: the scenario layer generates its own fleet, VM mix, load,
+// lifecycle and failure schedules from the scenario config plus one seed.
+type ScenarioSetup struct {
+	Hosts, VMs, Steps int
+	Seed              int64
+}
+
+// DefaultScenarioSetup is the size the committed EXPERIMENTS.md matrix uses
+// — big enough for real churn dynamics, small enough to rerun casually.
+func DefaultScenarioSetup(seed int64) ScenarioSetup {
+	return ScenarioSetup{Hosts: 20, VMs: 40, Steps: 300, Seed: seed}
+}
+
+// ScenarioPolicies is the default policy set of the scenario matrix: the
+// paper's learner, the strongest CloudSim heuristic, and the
+// value-iteration baseline.
+func ScenarioPolicies() []string {
+	return []string{"Megh", "THR-MMT", "MadVM"}
+}
+
+// ScenarioRow is one (scenario, policy) cell of the scenario matrix: the
+// standard cost/migration columns plus the churn statistics that only exist
+// in lifecycle runs.
+type ScenarioRow struct {
+	Scenario string
+	TableRow
+	MeanLiveVMs float64
+	Arrivals    int
+	Departures  int
+}
+
+// RunScenario realises the named scenario at the setup's size and runs one
+// policy over it. The checker factory (SetCheckerFactory / -check) applies
+// exactly as it does to the dataset experiments.
+func RunScenario(setup ScenarioSetup, scenarioName, policy string) (ScenarioRow, error) {
+	cfg, err := scenario.Build(scenarioName, setup.Hosts, setup.VMs, setup.Steps, setup.Seed)
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+	if checkerFactory != nil {
+		cfg.Checker = checkerFactory()
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+	p, err := NewPolicy(policy, setup.VMs, setup.Hosts, sim.Seeds{Base: setup.Seed}.Policy())
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+	if q, ok := p.(*qlearn.QLearning); ok {
+		if err := q.Train(s, 2); err != nil {
+			return ScenarioRow{}, err
+		}
+	}
+	res, err := s.Run(p)
+	if err != nil {
+		return ScenarioRow{}, fmt.Errorf("experiments: scenario %s policy %s: %w", scenarioName, policy, err)
+	}
+	return ScenarioRow{
+		Scenario:    scenarioName,
+		TableRow:    RowFromResult(res),
+		MeanLiveVMs: res.MeanLiveVMs(),
+		Arrivals:    res.TotalArrivals(),
+		Departures:  res.TotalDepartures(),
+	}, nil
+}
+
+// RunScenarioMatrix runs every named scenario × every named policy. Empty
+// argument slices mean the full registry and the default policy set.
+func RunScenarioMatrix(setup ScenarioSetup, scenarios, policies []string) ([]ScenarioRow, error) {
+	if len(scenarios) == 0 {
+		scenarios = scenario.Names()
+	}
+	if len(policies) == 0 {
+		policies = ScenarioPolicies()
+	}
+	rows := make([]ScenarioRow, 0, len(scenarios)*len(policies))
+	for _, sc := range scenarios {
+		for _, pol := range policies {
+			row, err := RunScenario(setup, sc, pol)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteScenarioTable renders the matrix as an aligned text table, one block
+// of policies per scenario.
+func WriteScenarioTable(w io.Writer, title string, rows []ScenarioRow) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scenario\tPolicy\tTotal cost (USD)\tEnergy (USD)\tSLA (USD)\t#VM migrations\tMean active hosts\tMean live VMs\tArrivals\tDepartures")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%d\t%.1f\t%.1f\t%d\t%d\n",
+			r.Scenario, r.Policy, r.TotalCost, r.EnergyCost, r.SLACost,
+			r.Migrations, r.MeanActiveHosts, r.MeanLiveVMs, r.Arrivals, r.Departures)
+	}
+	return tw.Flush()
+}
+
+// WriteScenarioCSV renders the matrix as CSV.
+func WriteScenarioCSV(w io.Writer, rows []ScenarioRow) error {
+	if _, err := fmt.Fprintln(w, "scenario,policy,total_cost_usd,energy_usd,sla_usd,migrations,mean_active_hosts,mean_live_vms,arrivals,departures"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.4f,%.4f,%.4f,%d,%.2f,%.2f,%d,%d\n",
+			r.Scenario, r.Policy, r.TotalCost, r.EnergyCost, r.SLACost,
+			r.Migrations, r.MeanActiveHosts, r.MeanLiveVMs, r.Arrivals, r.Departures); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"megh/internal/invariant"
+	"megh/internal/scenario"
+	"megh/internal/sim"
+)
+
+// smallScenario is a fast matrix size used across the scenario tests.
+func smallScenario() ScenarioSetup {
+	return ScenarioSetup{Hosts: 12, VMs: 20, Steps: 100, Seed: 1}
+}
+
+func TestRunScenarioProducesChurnStats(t *testing.T) {
+	SetCheckerFactory(func() sim.Checker { return invariant.NewSimChecker() })
+	defer SetCheckerFactory(nil)
+	row, err := RunScenario(smallScenario(), "churn", "Megh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "churn" || row.Policy != "Megh" {
+		t.Fatalf("row mislabeled: %+v", row)
+	}
+	if row.Arrivals == 0 || row.Departures == 0 {
+		t.Fatalf("churn scenario reported no churn: %+v", row)
+	}
+	if row.MeanLiveVMs <= 0 || row.MeanLiveVMs > float64(smallScenario().VMs) {
+		t.Fatalf("mean live VMs %g out of range", row.MeanLiveVMs)
+	}
+	if row.TotalCost <= 0 {
+		t.Fatalf("degenerate total cost %g", row.TotalCost)
+	}
+}
+
+func TestRunScenarioRejectsUnknownInputs(t *testing.T) {
+	if _, err := RunScenario(smallScenario(), "no-such-scenario", "Megh"); err == nil {
+		t.Error("unknown scenario must error")
+	}
+	if _, err := RunScenario(smallScenario(), "churn", "no-such-policy"); err == nil {
+		t.Error("unknown policy must error")
+	}
+}
+
+func TestRunScenarioMatrixDefaultsCoverRegistry(t *testing.T) {
+	setup := smallScenario()
+	setup.Steps = 60
+	rows, err := RunScenarioMatrix(setup, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(scenario.Names()) * len(ScenarioPolicies())
+	if len(rows) != wantRows {
+		t.Fatalf("matrix has %d rows, want %d", len(rows), wantRows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Scenario] = true
+	}
+	for _, name := range scenario.Names() {
+		if !seen[name] {
+			t.Errorf("matrix is missing scenario %q", name)
+		}
+	}
+}
+
+func TestScenarioMatrixDeterministic(t *testing.T) {
+	setup := smallScenario()
+	setup.Steps = 60
+	a, err := RunScenarioMatrix(setup, []string{"churn"}, []string{"Megh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenarioMatrix(setup, []string{"churn"}, []string{"Megh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DecideMs is wall-clock; everything else must repeat exactly.
+	a[0].MeanDecideMs, b[0].MeanDecideMs = 0, 0
+	if a[0] != b[0] {
+		t.Fatalf("same-seed matrix rows differ:\n%+v\n%+v", a[0], b[0])
+	}
+}
+
+func TestWriteScenarioTableAndCSV(t *testing.T) {
+	rows := []ScenarioRow{
+		{
+			Scenario: "churn",
+			TableRow: TableRow{Policy: "Megh", TotalCost: 7.84, EnergyCost: 6.1,
+				SLACost: 1.2, Migrations: 42, MeanActiveHosts: 9.5, MeanDecideMs: 0.1},
+			MeanLiveVMs: 27.1, Arrivals: 90, Departures: 92,
+		},
+	}
+	var tbl strings.Builder
+	if err := WriteScenarioTable(&tbl, "Scenario matrix", rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scenario matrix", "churn", "Megh", "7.84", "27.1", "90", "92"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv strings.Builder
+	if err := WriteScenarioCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,policy,total_cost_usd") {
+		t.Errorf("CSV header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "churn,Megh,7.8400") {
+		t.Errorf("CSV row wrong: %q", lines[1])
+	}
+}

@@ -34,6 +34,8 @@ type SimChecker struct {
 
 	vmSeen   []int
 	migrated []bool
+	arrivals []int
+	departs  []int
 }
 
 // NewSimChecker returns a fresh checker.
@@ -50,18 +52,27 @@ func (c *SimChecker) CheckStep(sc *sim.StepCheck) error {
 	if cap(c.vmSeen) < nVMs {
 		c.vmSeen = make([]int, nVMs)
 		c.migrated = make([]bool, nVMs)
+		c.arrivals = make([]int, nVMs)
+		c.departs = make([]int, nVMs)
 	}
 	c.vmSeen = c.vmSeen[:nVMs]
 	c.migrated = c.migrated[:nVMs]
+	c.arrivals = c.arrivals[:nVMs]
+	c.departs = c.departs[:nVMs]
 	for j := range c.vmSeen {
 		c.vmSeen[j] = 0
 		c.migrated[j] = false
+		c.arrivals[j] = 0
+		c.departs[j] = 0
 	}
 
 	if err := c.checkPlacement(s); err != nil {
 		return err
 	}
 	if err := c.checkOccupancy(s); err != nil {
+		return err
+	}
+	if err := c.checkLifecycle(sc); err != nil {
 		return err
 	}
 	if err := c.checkMigrations(sc); err != nil {
@@ -78,8 +89,9 @@ func (c *SimChecker) CheckStep(sc *sim.StepCheck) error {
 }
 
 // checkPlacement verifies the VM→host map and the host→VM lists describe
-// the same bijection: every VM appears in exactly one host list, and that
-// host is the one VMHost names.
+// the same bijection over the live population: every live VM appears in
+// exactly one host list (the one VMHost names), and every dead slot reads
+// host -1 and sits in no list.
 func (c *SimChecker) checkPlacement(s *sim.Snapshot) error {
 	for i := range s.HostVMs {
 		for _, j := range s.HostVMs[i] {
@@ -93,12 +105,118 @@ func (c *SimChecker) checkPlacement(s *sim.Snapshot) error {
 		}
 	}
 	for j, n := range c.vmSeen {
+		if !s.VMLive(j) {
+			if n != 0 {
+				return fmt.Errorf("dead VM %d appears in %d host lists, want 0", j, n)
+			}
+			if s.VMHost[j] != -1 {
+				return fmt.Errorf("dead VM %d has host %d, want -1", j, s.VMHost[j])
+			}
+			if s.VMUtil[j] != 0 || s.VMMIPS[j] != 0 {
+				return fmt.Errorf("dead VM %d demands util %g / %g MIPS, want 0",
+					j, s.VMUtil[j], s.VMMIPS[j])
+			}
+			continue
+		}
 		if n != 1 {
 			return fmt.Errorf("VM %d appears in %d host lists, want exactly 1", j, n)
 		}
 		if h := s.VMHost[j]; h < 0 || h >= len(s.HostVMs) {
 			return fmt.Errorf("VM %d placed on unknown host %d", j, h)
 		}
+	}
+	return nil
+}
+
+// checkLifecycle verifies population churn is conservative: every liveness
+// flip is witnessed by exactly the right arrival/departure events, arrivals
+// land on an up host, and the step metrics agree with the event lists. All
+// of it degenerates to a no-op for fixed-population runs (VMAlive nil).
+func (c *SimChecker) checkLifecycle(sc *sim.StepCheck) error {
+	s := sc.Snapshot
+	if s.VMAlive == nil {
+		if len(sc.Arrived)+len(sc.Departed) > 0 {
+			return fmt.Errorf("lifecycle events reported in a fixed-population run")
+		}
+		return nil
+	}
+	live := 0
+	for j := range s.VMHost {
+		if s.VMLive(j) {
+			live++
+		}
+	}
+	if got := sc.Metrics.LiveVMs; got != live {
+		return fmt.Errorf("metrics report %d live VMs, recount gives %d", got, live)
+	}
+	if len(sc.PrevAlive) != len(s.VMAlive) {
+		return fmt.Errorf("pre-step liveness sized %d, world has %d slots",
+			len(sc.PrevAlive), len(s.VMAlive))
+	}
+	for _, j := range sc.Arrived {
+		if j < 0 || j >= len(s.VMHost) {
+			return fmt.Errorf("arrival of unknown VM %d", j)
+		}
+		c.arrivals[j]++
+		if c.arrivals[j] > 1 {
+			return fmt.Errorf("VM %d arrived twice in one step", j)
+		}
+		if !s.VMAlive[j] {
+			return fmt.Errorf("VM %d arrived but is not alive", j)
+		}
+		h := s.VMHost[j]
+		if h < 0 || h >= len(s.HostVMs) {
+			return fmt.Errorf("VM %d arrived onto unknown host %d", j, h)
+		}
+		if len(s.HostFailed) > 0 && s.HostFailed[h] {
+			return fmt.Errorf("VM %d arrived onto failed host %d", j, h)
+		}
+	}
+	for _, d := range sc.Departed {
+		if d.VM < 0 || d.VM >= len(s.VMHost) {
+			return fmt.Errorf("departure of unknown VM %d", d.VM)
+		}
+		c.departs[d.VM]++
+		if c.departs[d.VM] > 1 {
+			return fmt.Errorf("VM %d departed twice in one step", d.VM)
+		}
+		if d.Host < 0 || d.Host >= len(s.HostVMs) {
+			return fmt.Errorf("VM %d departed from unknown host %d", d.VM, d.Host)
+		}
+		if !sc.PrevAlive[d.VM] {
+			return fmt.Errorf("VM %d departed but was not alive at step start", d.VM)
+		}
+	}
+	for j := range s.VMAlive {
+		was, is := sc.PrevAlive[j], s.VMAlive[j]
+		a, d := c.arrivals[j], c.departs[j]
+		switch {
+		case !was && is: // born this step
+			if a != 1 || d != 0 {
+				return fmt.Errorf("VM %d became alive with %d arrivals / %d departures", j, a, d)
+			}
+		case was && !is: // died this step
+			if a != 0 || d != 1 {
+				return fmt.Errorf("VM %d died with %d arrivals / %d departures", j, a, d)
+			}
+		case was && is: // alive throughout, or departed and re-arrived
+			if a != d {
+				return fmt.Errorf("VM %d stayed alive with %d arrivals / %d departures", j, a, d)
+			}
+		default: // dead throughout
+			if a != 0 || d != 0 {
+				return fmt.Errorf("VM %d stayed dead with %d arrivals / %d departures", j, a, d)
+			}
+		}
+	}
+	if got, want := sc.Metrics.Arrivals, len(sc.Arrived); got != want {
+		return fmt.Errorf("metrics count %d arrivals, step lists %d", got, want)
+	}
+	if got, want := sc.Metrics.Departures, len(sc.Departed); got != want {
+		return fmt.Errorf("metrics count %d departures, step lists %d", got, want)
+	}
+	if sc.Metrics.DeferredArrivals < 0 {
+		return fmt.Errorf("metrics count %d deferred arrivals", sc.Metrics.DeferredArrivals)
 	}
 	return nil
 }
@@ -143,6 +261,9 @@ func (c *SimChecker) checkMigrations(sc *sim.StepCheck) error {
 			return fmt.Errorf("VM %d executed twice in one step", m.VM)
 		}
 		c.migrated[m.VM] = true
+		if !s.VMLive(m.VM) {
+			return fmt.Errorf("dead VM %d executed a migration", m.VM)
+		}
 		if sc.PrevVMHost[m.VM] == m.Dest {
 			return fmt.Errorf("executed migration %+v is a stay (must be dropped, not charged)", m)
 		}
@@ -169,8 +290,9 @@ func (c *SimChecker) checkMigrations(sc *sim.StepCheck) error {
 
 // checkActivity verifies the host wake/sleep state machine: activity is
 // exactly "runs at least one VM", and a host changes state only by gaining
-// its first VM (the destination of an executed migration) or losing its
-// last one (the source of an executed migration).
+// its first VM (the destination of an executed migration or a lifecycle
+// arrival) or losing its last one (the source of an executed migration or
+// a lifecycle departure).
 func (c *SimChecker) checkActivity(sc *sim.StepCheck) error {
 	s := sc.Snapshot
 	active := 0
@@ -193,8 +315,24 @@ func (c *SimChecker) checkActivity(sc *sim.StepCheck) error {
 				break
 			}
 		}
+		if !legal && nowActive {
+			for _, j := range sc.Arrived {
+				if s.VMHost[j] == i {
+					legal = true
+					break
+				}
+			}
+		}
+		if !legal && !nowActive {
+			for _, d := range sc.Departed {
+				if d.Host == i {
+					legal = true
+					break
+				}
+			}
+		}
 		if !legal {
-			return fmt.Errorf("host %d changed activity %v→%v with no executed migration touching it",
+			return fmt.Errorf("host %d changed activity %v→%v with no migration or lifecycle event touching it",
 				i, sc.PrevActive[i], nowActive)
 		}
 	}

@@ -1,0 +1,234 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"megh/internal/sim"
+)
+
+// baseLifecycleCheck builds a minimal self-consistent 2-host, 3-slot world
+// with a lifecycle (VMAlive non-nil): slots 0 and 1 live, slot 2 dead. The
+// violation tests mutate one lifecycle law at a time. PrevVMHost follows
+// the simulator's capture point — post-lifecycle, pre-decide — so an
+// arrived VM's previous host is its arrival host and a departed VM's is -1.
+func baseLifecycleCheck() *sim.StepCheck {
+	snap := &sim.Snapshot{
+		Step:              4,
+		StepSeconds:       300,
+		OverloadThreshold: 0.7,
+		VMHost:            []int{0, 1, -1},
+		VMUtil:            []float64{0.5, 0.5, 0},
+		VMMIPS:            []float64{500, 500, 0},
+		VMSpecs: []sim.VMSpec{
+			{MIPS: 1000, RAMMB: 1024}, {MIPS: 1000, RAMMB: 1024}, {MIPS: 1000, RAMMB: 1024},
+		},
+		HostUtil:   []float64{0.125, 0.125},
+		HostVMs:    [][]int{{0}, {1}},
+		HostSpecs:  []sim.HostSpec{{MIPS: 4000, RAMMB: 8192}, {MIPS: 4000, RAMMB: 8192}},
+		HostFailed: []bool{false, false},
+		VMAlive:    []bool{true, true, false},
+	}
+	fb := &sim.Feedback{Step: 4, EnergyCost: 2, SLACost: 1, ResourceCost: 0.5, StepCost: 3.5}
+	return &sim.StepCheck{
+		Step:     4,
+		Snapshot: snap,
+		Feedback: fb,
+		Metrics: sim.StepMetrics{
+			Step: 4, EnergyCost: 2, SLACost: 1, ResourceCost: 0.5,
+			ActiveHosts: 2, LiveVMs: 2,
+		},
+		PrevVMHost: []int{0, 1, -1},
+		PrevActive: []bool{true, true},
+		PrevAlive:  []bool{true, true, false},
+	}
+}
+
+// withArrival mutates the base check into "slot 2 arrived on host 0 this
+// step", keeping every derived view consistent.
+func withArrival(c *sim.StepCheck) {
+	s := c.Snapshot
+	s.VMAlive[2] = true
+	s.VMHost[2] = 0
+	s.VMUtil[2] = 0.5
+	s.VMMIPS[2] = 500
+	s.HostVMs[0] = []int{0, 2}
+	s.HostUtil[0] = 0.25
+	c.PrevVMHost[2] = 0
+	c.Arrived = []int{2}
+	c.Metrics.LiveVMs = 3
+	c.Metrics.Arrivals = 1
+}
+
+// withDeparture mutates the base check into "slot 1 departed host 1 this
+// step", which also puts host 1 to sleep.
+func withDeparture(c *sim.StepCheck) {
+	s := c.Snapshot
+	s.VMAlive[1] = false
+	s.VMHost[1] = -1
+	s.VMUtil[1] = 0
+	s.VMMIPS[1] = 0
+	s.HostVMs[1] = nil
+	s.HostUtil[1] = 0
+	c.PrevVMHost[1] = -1
+	c.Departed = []sim.Departure{{VM: 1, Host: 1}}
+	c.Metrics.LiveVMs = 1
+	c.Metrics.Departures = 1
+	c.Metrics.ActiveHosts = 1
+}
+
+func TestSimCheckerAcceptsLifecycleStates(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*sim.StepCheck)
+	}{
+		{"steady churned world", func(*sim.StepCheck) {}},
+		{"arrival", withArrival},
+		{"departure puts host to sleep", withDeparture},
+		{"arrival wakes a host", func(c *sim.StepCheck) {
+			// Pre-step: host 1 was empty; slot 1 arrived onto it this step.
+			c.PrevAlive[1] = false
+			c.PrevActive[1] = false
+			c.Arrived = []int{1}
+			c.Metrics.Arrivals = 1
+		}},
+		{"depart and re-arrive in one step", func(c *sim.StepCheck) {
+			// Slot 1 left host 1 and immediately re-arrived on host 0.
+			s := c.Snapshot
+			s.VMHost[1] = 0
+			s.HostVMs[0] = []int{0, 1}
+			s.HostVMs[1] = nil
+			s.HostUtil[0] = 0.25
+			s.HostUtil[1] = 0
+			c.PrevVMHost[1] = 0
+			c.Arrived = []int{1}
+			c.Departed = []sim.Departure{{VM: 1, Host: 1}}
+			c.Metrics.Arrivals = 1
+			c.Metrics.Departures = 1
+			c.Metrics.ActiveHosts = 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := baseLifecycleCheck()
+			tc.mutate(c)
+			if err := NewSimChecker().CheckStep(c); err != nil {
+				t.Fatalf("consistent lifecycle state rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestSimCheckerCatchesLifecycleViolations breaks each lifecycle law in
+// turn and asserts the checker rejects it with a recognisable complaint.
+func TestSimCheckerCatchesLifecycleViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*sim.StepCheck)
+		errLike string
+	}{
+		{"events-in-fixed-population-run", func(c *sim.StepCheck) {
+			c.Snapshot.VMAlive = nil
+			c.PrevAlive = nil
+			c.Snapshot.VMHost[2] = 0
+			c.Snapshot.HostVMs[0] = []int{0, 2}
+			c.Snapshot.VMUtil[2] = 0.5
+			c.Snapshot.VMMIPS[2] = 500
+			c.Snapshot.HostUtil[0] = 0.25
+			c.PrevVMHost[2] = 0
+			c.Arrived = []int{2}
+		}, "fixed-population"},
+		{"live-vm-metric-mismatch", func(c *sim.StepCheck) {
+			c.Metrics.LiveVMs = 1
+		}, "recount gives"},
+		{"prev-alive-missized", func(c *sim.StepCheck) {
+			c.PrevAlive = []bool{true}
+		}, "pre-step liveness sized"},
+		{"dead-vm-in-host-list", func(c *sim.StepCheck) {
+			c.Snapshot.HostVMs[1] = []int{1, 2}
+			c.Snapshot.VMHost[2] = 1
+		}, "dead VM 2"},
+		{"dead-vm-with-host", func(c *sim.StepCheck) {
+			c.Snapshot.VMHost[2] = 0
+		}, "want -1"},
+		{"dead-vm-with-demand", func(c *sim.StepCheck) {
+			c.Snapshot.VMUtil[2] = 0.1
+		}, "demands util"},
+		{"arrival-of-unknown-vm", func(c *sim.StepCheck) {
+			c.Arrived = []int{7}
+			c.Metrics.Arrivals = 1
+		}, "arrival of unknown"},
+		{"arrived-twice", func(c *sim.StepCheck) {
+			withArrival(c)
+			c.Arrived = []int{2, 2}
+			c.Metrics.Arrivals = 2
+		}, "arrived twice"},
+		{"arrived-but-dead", func(c *sim.StepCheck) {
+			c.Arrived = []int{2}
+			c.Metrics.Arrivals = 1
+		}, "not alive"},
+		{"arrived-onto-failed-host", func(c *sim.StepCheck) {
+			withArrival(c)
+			c.Snapshot.HostFailed[0] = true
+		}, "failed host"},
+		{"departure-of-unknown-vm", func(c *sim.StepCheck) {
+			c.Departed = []sim.Departure{{VM: 9, Host: 0}}
+			c.Metrics.Departures = 1
+		}, "departure of unknown"},
+		{"departed-twice", func(c *sim.StepCheck) {
+			withDeparture(c)
+			c.Departed = []sim.Departure{{VM: 1, Host: 1}, {VM: 1, Host: 1}}
+			c.Metrics.Departures = 2
+		}, "departed twice"},
+		{"departed-from-unknown-host", func(c *sim.StepCheck) {
+			withDeparture(c)
+			c.Departed = []sim.Departure{{VM: 1, Host: 9}}
+		}, "unknown host"},
+		{"departed-but-was-dead", func(c *sim.StepCheck) {
+			c.Departed = []sim.Departure{{VM: 2, Host: 0}}
+			c.Metrics.Departures = 1
+		}, "was not alive at step start"},
+		{"born-without-arrival-event", func(c *sim.StepCheck) {
+			withArrival(c)
+			c.Arrived = nil
+			c.Metrics.Arrivals = 0
+		}, "became alive"},
+		{"died-without-departure-event", func(c *sim.StepCheck) {
+			withDeparture(c)
+			c.Departed = nil
+			c.Metrics.Departures = 0
+		}, "died with"},
+		{"spurious-arrival-on-live-vm", func(c *sim.StepCheck) {
+			c.Arrived = []int{1}
+			c.Metrics.Arrivals = 1
+		}, "stayed alive"},
+		{"arrival-metric-mismatch", func(c *sim.StepCheck) {
+			withArrival(c)
+			c.Metrics.Arrivals = 5
+		}, "arrivals, step lists"},
+		{"departure-metric-mismatch", func(c *sim.StepCheck) {
+			withDeparture(c)
+			c.Metrics.Departures = 5
+		}, "departures, step lists"},
+		{"negative-deferred-arrivals", func(c *sim.StepCheck) {
+			c.Metrics.DeferredArrivals = -1
+		}, "deferred arrivals"},
+		{"dead-vm-executed-migration", func(c *sim.StepCheck) {
+			c.Feedback.Executed = []sim.Migration{{VM: 2, Dest: 1}}
+			c.Metrics.Migrations = 1
+		}, "dead VM 2 executed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := baseLifecycleCheck()
+			tc.mutate(c)
+			err := NewSimChecker().CheckStep(c)
+			if err == nil {
+				t.Fatal("violation not detected")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}

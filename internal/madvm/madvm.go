@@ -195,9 +195,15 @@ func (m *MadVM) Decide(s *sim.Snapshot) []sim.Migration {
 	clear(m.addRAM)
 	clear(m.addMIPS)
 
-	// 1. Observe transitions for every VM (frequentist update).
+	// 1. Observe transitions for every live VM (frequentist update). Dead
+	// slots (lifecycle runs) have no host to read; dropping hasPrev keeps
+	// a death→rebirth pair from being learned as one local transition.
 	for j := range m.vms {
 		vm := &m.vms[j]
+		if !s.VMLive(j) {
+			vm.hasPrev = false
+			continue
+		}
 		cur := m.state(s, j)
 		vm.visited[cur] = true
 		if vm.hasPrev {
@@ -213,10 +219,13 @@ func (m *MadVM) Decide(s *sim.Snapshot) []sim.Migration {
 		m.valueIterate(&m.vms[j])
 	}
 
-	// 3. Act per VM.
+	// 3. Act per live VM.
 	var migrations []sim.Migration
 	for j := range m.vms {
 		vm := &m.vms[j]
+		if !s.VMLive(j) {
+			continue
+		}
 		cur := m.state(s, j)
 		a := m.chooseAction(vm, cur)
 		migrated := false

@@ -202,8 +202,14 @@ func (q *QLearning) Decide(s *sim.Snapshot) []sim.Migration {
 	clear(q.addRAM)
 	clear(q.addMIPS)
 
-	// TD(0) update for every VM's last transition.
+	// TD(0) update for every live VM's last transition. Dead slots
+	// (lifecycle runs) have no host to read; dropping hasPrev keeps a
+	// death→rebirth pair from being learned as one transition.
 	for j := range q.lastState {
+		if !s.VMLive(j) {
+			q.hasPrev[j] = false
+			continue
+		}
 		cur := q.state(s, j)
 		if q.hasPrev[j] {
 			prev, act := q.lastState[j], q.lastAct[j]
@@ -222,6 +228,9 @@ func (q *QLearning) Decide(s *sim.Snapshot) []sim.Migration {
 	var migrations []sim.Migration
 	eps := q.epsilon()
 	for j := range q.lastState {
+		if !s.VMLive(j) {
+			continue
+		}
 		cur := q.state(s, j)
 		var act int
 		if q.rng.Float64() < eps {

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"megh/internal/core"
+	"megh/internal/sim"
+	"megh/internal/trace"
+)
+
+const crossProcessChildEnv = "MEGH_SCENARIO_DETERMINISM_OUT"
+
+// scenarioTraceRun realises one registered scenario at fixed small
+// dimensions, runs Megh over it with the tracer attached, and returns the
+// raw trace bytes. Everything stochastic — fleet shuffle, VM specs, load,
+// lifecycle, spot reclamation, policy exploration — descends from the one
+// base seed via named sub-streams, so these bytes are the scenario layer's
+// full determinism surface.
+func scenarioTraceRun(t *testing.T, name string) []byte {
+	t.Helper()
+	const numHosts, numVMs, steps, seed = 10, 18, 60, 1234
+	cfg, err := Build(name, numHosts, numVMs, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer, err := trace.New(trace.Options{W: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tracer
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.DefaultConfig(numVMs, numHosts, sim.Seeds{Base: seed}.Policy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trace(tracer)
+	if _, err := s.Run(m); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// allScenarioTraces concatenates every registered scenario's trace, each
+// prefixed by a name header so a divergence is attributable.
+func allScenarioTraces(t *testing.T) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, name := range Names() {
+		fmt.Fprintf(&out, "=== scenario %s ===\n", name)
+		out.Write(scenarioTraceRun(t, name))
+	}
+	return out.Bytes()
+}
+
+// TestScenarioCrossProcessChild is the child half of the cross-process
+// suite, active only when the parent sets crossProcessChildEnv.
+func TestScenarioCrossProcessChild(t *testing.T) {
+	out := os.Getenv(crossProcessChildEnv)
+	if out == "" {
+		t.Skip("child mode only (set by the cross-process determinism test)")
+	}
+	if err := os.WriteFile(out, allScenarioTraces(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioTracesAreByteIdenticalAcrossProcesses: realising a scenario
+// and running the learner over it must produce byte-identical traces across
+// two fresh processes — nothing in the scenario layer (map iteration over
+// the registry, template shuffling, lifecycle generation, spot sampling)
+// may depend on per-process state. In-process repeat determinism cannot
+// catch a leak of process-reseeded state, so the test execs the binary
+// twice and also checks the parent's own bytes.
+func TestScenarioTracesAreByteIdenticalAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	runChild := func(name string) []byte {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command(os.Args[0], "-test.run=^TestScenarioCrossProcessChild$", "-test.count=1")
+		cmd.Env = append(os.Environ(), crossProcessChildEnv+"="+out)
+		if raw, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("child run failed: %v\n%s", err, raw)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := runChild("a.trace")
+	b := runChild("b.trace")
+	if len(a) == 0 {
+		t.Fatal("child produced no trace output")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed scenario traces differ between two child processes")
+	}
+	if parent := allScenarioTraces(t); !bytes.Equal(a, parent) {
+		t.Fatal("child scenario traces differ from the parent process's same-seed traces")
+	}
+}

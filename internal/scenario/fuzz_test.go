@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"megh/internal/consolidation"
+	"megh/internal/invariant"
+	"megh/internal/sim"
+)
+
+// arrivalPlacementChecker layers one fuzz-specific law on top of the full
+// invariant suite: a VM that arrives this step must land on a live host.
+// (The SimChecker asserts this too; restating it here keeps the fuzz
+// oracle explicit and keeps the target honest if the checker ever loosens.)
+type arrivalPlacementChecker struct {
+	inner sim.Checker
+}
+
+func (c *arrivalPlacementChecker) CheckStep(sc *sim.StepCheck) error {
+	if err := c.inner.CheckStep(sc); err != nil {
+		return err
+	}
+	s := sc.Snapshot
+	for _, j := range sc.Arrived {
+		h := s.VMHost[j]
+		if h < 0 || h >= s.NumHosts() {
+			return fmt.Errorf("arrived VM %d has host %d", j, h)
+		}
+		if len(s.HostFailed) > 0 && s.HostFailed[h] {
+			return fmt.Errorf("arrived VM %d placed on failed host %d", j, h)
+		}
+	}
+	return nil
+}
+
+// FuzzScenarioConfig drives the whole scenario pipeline with arbitrary
+// parameters: any Config that passes Validate must Build without error and
+// run to completion — no panic, no conservation-law violation, no arrival
+// onto a failed host — at bounded dimensions (≤8 hosts, ≤12 slots, ≤48
+// steps, so the corpus replays fast in `go test` and `make fuzz-short`
+// explores widely). Inputs Validate rejects are themselves a valid outcome:
+// the fuzzer also hammers the validation surface with NaNs, infinities and
+// out-of-range rates.
+func FuzzScenarioConfig(f *testing.F) {
+	// Seeds approximating the five registered regimes plus edge cases.
+	f.Add(uint8(8), uint8(12), uint8(48), int64(42), 0.60, 0.02, 0.01,
+		uint8(1), uint8(1), 0.0, 0.0, uint8(0), uint8(0), 1.0) // churn
+	f.Add(uint8(6), uint8(10), uint8(40), int64(7), 0.80, 0.015, 0.008,
+		uint8(1), uint8(1), 0.0, 0.0, uint8(0), uint8(10), 0.45) // phases
+	f.Add(uint8(6), uint8(9), uint8(36), int64(3), 0.75, 0.01, 0.005,
+		uint8(2), uint8(1), 0.1, 0.5, uint8(4), uint8(0), 1.0) // spot
+	f.Add(uint8(4), uint8(8), uint8(24), int64(1), 1.0, 0.0, 0.0,
+		uint8(3), uint8(1), 0.0, 0.0, uint8(0), uint8(0), 1.0) // static population
+	f.Add(uint8(5), uint8(11), uint8(30), int64(9), 0.0, 1.0, 1.0,
+		uint8(1), uint8(2), 0.3, 1.0, uint8(2), uint8(5), 2.0) // everything at max
+	f.Add(uint8(1), uint8(1), uint8(1), int64(0), 0.5, 0.5, 0.5,
+		uint8(1), uint8(1), math.NaN(), 0.5, uint8(1), uint8(0), 1.0) // NaN probe
+
+	f.Fuzz(func(t *testing.T, hosts, vms, stepsRaw uint8, seed int64,
+		liveFrac, arrRate, depRate float64,
+		w1, w2 uint8,
+		spotProb, spotFrac float64, spotDur uint8,
+		phaseFrom uint8, loadScale float64) {
+
+		numHosts := 1 + int(hosts%8)
+		numVMs := 1 + int(vms%12)
+		steps := 1 + int(stepsRaw%48)
+
+		cfg := Config{
+			Name:        "fuzz",
+			Description: "fuzz-generated regime",
+			Templates: []HostTemplate{
+				{Name: "on-demand", Weight: 1 + float64(w1%7), MIPS: 2 * 2660,
+					RAMMB: 4096, BandwidthMbps: 1000},
+				{Name: "spot", Weight: 1 + float64(w2%7), MIPS: 2 * 1860,
+					RAMMB: 4096, BandwidthMbps: 1000, Spot: true},
+			},
+			InitialLiveFrac: liveFrac,
+			ArrivalRate:     arrRate,
+			DepartRate:      depRate,
+			Spot:            SpotReclaim{EventProb: spotProb, Frac: spotFrac, DurationSteps: int(spotDur % 8)},
+		}
+		if phaseFrom > 0 {
+			cfg.Phases = []Phase{
+				{Name: "steady", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+				{Name: "shifted", From: int(phaseFrom), LoadScale: loadScale,
+					ArrivalScale: loadScale, DepartScale: loadScale},
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			return // rejection is a correct outcome for hostile inputs
+		}
+		simCfg, err := cfg.Build(numHosts, numVMs, steps, seed)
+		if err != nil {
+			t.Fatalf("validated config failed Build: %v", err)
+		}
+		// A fuzzed world can be statically infeasible — more live RAM demand
+		// than the fleet holds — and the simulator rightly refuses to place
+		// it. That refusal is an acceptable outcome; everything placeable
+		// must then run clean.
+		if _, err := sim.PlanInitialPlacement(simCfg); err != nil {
+			return
+		}
+		simCfg.Checker = &arrivalPlacementChecker{inner: invariant.NewSimChecker()}
+		s, err := sim.New(simCfg)
+		if err != nil {
+			t.Fatalf("Build output rejected by sim.New: %v", err)
+		}
+		policy, err := consolidation.NewTHRMMT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(policy)
+		if err != nil {
+			t.Fatalf("run violated an invariant: %v", err)
+		}
+		if len(res.Steps) != steps {
+			t.Fatalf("run completed %d of %d steps", len(res.Steps), steps)
+		}
+		if total := res.TotalCost(); math.IsNaN(total) || math.IsInf(total, 0) {
+			t.Fatalf("degenerate total cost %g", total)
+		}
+	})
+}

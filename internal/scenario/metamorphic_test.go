@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"megh/internal/core"
+	"megh/internal/invariant"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+// VM slot indices are arbitrary labels: permuting them — specs, traces,
+// initial liveness, initial assignment, every lifecycle event's VM, and
+// every migration's VM — must leave each step's migration and activity
+// counts identical and every cost component unchanged up to floating-point
+// summation order. This is the metamorphic oracle for the whole scenario
+// pipeline: it catches any hidden dependence on slot order (in Build's
+// spec/trace generation wiring, the simulator's deferred-arrival queue, the
+// checker's lifecycle law, or the cost accumulation) across every
+// registered scenario, not a hand-picked one.
+
+// decisionRecordingPolicy wraps a learner and keeps a per-step copy of the
+// migrations it *requested* (not just the executed subset), so the replay
+// reproduces rejection behavior too.
+type decisionRecordingPolicy struct {
+	inner     sim.Policy
+	requested [][]sim.Migration
+}
+
+func (p *decisionRecordingPolicy) Name() string { return p.inner.Name() }
+
+func (p *decisionRecordingPolicy) Decide(s *sim.Snapshot) []sim.Migration {
+	ms := p.inner.Decide(s)
+	p.requested = append(p.requested, append([]sim.Migration(nil), ms...))
+	return ms
+}
+
+func (p *decisionRecordingPolicy) Observe(fb *sim.Feedback) {
+	if r, ok := p.inner.(sim.FeedbackReceiver); ok {
+		r.Observe(fb)
+	}
+}
+
+// vmRelabelReplayPolicy re-issues a recorded schedule with every VM index
+// pushed through the slot permutation.
+type vmRelabelReplayPolicy struct {
+	schedule [][]sim.Migration
+	perm     []int
+	scratch  []sim.Migration
+}
+
+func (p *vmRelabelReplayPolicy) Name() string { return "vm-relabel-replay" }
+
+func (p *vmRelabelReplayPolicy) Decide(s *sim.Snapshot) []sim.Migration {
+	if s.Step >= len(p.schedule) {
+		return nil
+	}
+	p.scratch = p.scratch[:0]
+	for _, m := range p.schedule[s.Step] {
+		p.scratch = append(p.scratch, sim.Migration{VM: p.perm[m.VM], Dest: m.Dest})
+	}
+	return p.scratch
+}
+
+// relabelVMs returns cfg with every per-VM ingredient pushed through perm:
+// slot perm[j] of the new world is slot j of the old.
+func relabelVMs(cfg sim.Config, perm []int) sim.Config {
+	out := cfg
+	out.VMs = make([]sim.VMSpec, len(cfg.VMs))
+	out.Traces = make([]workload.Trace, len(cfg.Traces))
+	for j := range cfg.VMs {
+		out.VMs[perm[j]] = cfg.VMs[j]
+		out.Traces[perm[j]] = cfg.Traces[j]
+	}
+	if cfg.InitialAlive != nil {
+		out.InitialAlive = make([]bool, len(cfg.InitialAlive))
+		for j, a := range cfg.InitialAlive {
+			out.InitialAlive[perm[j]] = a
+		}
+	}
+	if cfg.InitialAssignment != nil {
+		out.InitialAssignment = make([]int, len(cfg.InitialAssignment))
+		for j, h := range cfg.InitialAssignment {
+			out.InitialAssignment[perm[j]] = h
+		}
+	}
+	if cfg.Lifecycle != nil {
+		out.Lifecycle = make([]sim.LifecycleEvent, len(cfg.Lifecycle))
+		for k, ev := range cfg.Lifecycle {
+			ev.VM = perm[ev.VM]
+			out.Lifecycle[k] = ev
+		}
+	}
+	return out
+}
+
+func TestVMRelabelingPreservesCostAcrossScenarios(t *testing.T) {
+	const numHosts, numVMs, steps, seed = 10, 18, 120, 42
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := Build(name, numHosts, numVMs, steps, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pin the starting world so the relabeled run can start from
+			// exactly the permuted copy of it.
+			assign, err := sim.PlanInitialPlacement(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.InitialPlacement = sim.PlacementExplicit
+			cfg.InitialAssignment = assign
+			cfg.Checker = invariant.NewSimChecker()
+
+			s1, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.New(core.DefaultConfig(numVMs, numHosts, sim.Seeds{Base: seed}.Policy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &decisionRecordingPolicy{inner: m}
+			res1, err := s1.Run(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requested := 0
+			for _, step := range rec.requested {
+				requested += len(step)
+			}
+			if requested == 0 {
+				t.Fatal("scenario produced no migration requests; relabeling test is vacuous")
+			}
+
+			// ρ: a rotation — a derangement, every slot really changes label.
+			perm := make([]int, numVMs)
+			for j := range perm {
+				perm[j] = (j + 1) % numVMs
+			}
+			cfg2 := relabelVMs(cfg, perm)
+			cfg2.Checker = invariant.NewSimChecker()
+
+			s2, err := sim.New(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := s2.Run(&vmRelabelReplayPolicy{schedule: rec.requested, perm: perm})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(res1.Steps) != len(res2.Steps) {
+				t.Fatalf("step counts differ: %d vs %d", len(res1.Steps), len(res2.Steps))
+			}
+			for i := range res1.Steps {
+				a, b := res1.Steps[i], res2.Steps[i]
+				if a.Migrations != b.Migrations || a.Rejected != b.Rejected {
+					t.Fatalf("step %d: migrations %d/%d rejected %d/%d diverge under VM relabeling",
+						i, a.Migrations, b.Migrations, a.Rejected, b.Rejected)
+				}
+				if a.ActiveHosts != b.ActiveHosts || a.OverloadedHosts != b.OverloadedHosts {
+					t.Fatalf("step %d: active %d/%d overloaded %d/%d diverge under VM relabeling",
+						i, a.ActiveHosts, b.ActiveHosts, a.OverloadedHosts, b.OverloadedHosts)
+				}
+				if a.LiveVMs != b.LiveVMs || a.Arrivals != b.Arrivals ||
+					a.Departures != b.Departures || a.DeferredArrivals != b.DeferredArrivals {
+					t.Fatalf("step %d: churn accounting diverges under VM relabeling: %+v vs %+v", i, a, b)
+				}
+				if !relabelCostClose(a.EnergyCost, b.EnergyCost) || !relabelCostClose(a.SLACost, b.SLACost) ||
+					!relabelCostClose(a.ResourceCost, b.ResourceCost) {
+					t.Fatalf("step %d: cost decomposition diverges under VM relabeling: %+v vs %+v", i, a, b)
+				}
+			}
+			if c1, c2 := res1.TotalCost(), res2.TotalCost(); !relabelCostClose(c1, c2) {
+				t.Fatalf("total cost changed under VM relabeling: %g vs %g (Δ %g)", c1, c2, c1-c2)
+			}
+		})
+	}
+}
+
+// relabelCostClose compares costs up to the drift FP summation-order
+// changes introduce when per-VM sums run in a permuted order.
+func relabelCostClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

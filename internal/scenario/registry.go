@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+// The built-in scenario registry. Each entry is a pure Config value —
+// dimensionless and seedless — so `meghsim -scenario NAME` and the
+// experiment tables realise the same regime at any size.
+
+// Churn returns the arrival/departure-churn scenario: the fleet starts at
+// 60% occupancy and slots continuously arrive and depart, so placement
+// quality is judged on a moving population rather than a static one.
+func Churn() Config {
+	return Config{
+		Name:            "churn",
+		Description:     "VM arrival/departure churn over a 60%-occupied fleet",
+		InitialLiveFrac: 0.60,
+		ArrivalRate:     0.02,
+		DepartRate:      0.01,
+	}
+}
+
+// Phases returns the scripted fading/recovering/expansion scenario (the
+// VMAgent regimes): load and churn fade together, recover, then expand
+// past the starting level.
+func Phases() Config {
+	return Config{
+		Name:            "phases",
+		Description:     "fading → recovering → expansion phase script over load and churn",
+		InitialLiveFrac: 0.80,
+		ArrivalRate:     0.015,
+		DepartRate:      0.008,
+		Phases: []Phase{
+			{Name: "steady", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+			{Name: "fading", From: 60, LoadScale: 0.45, ArrivalScale: 0.3, DepartScale: 2.5},
+			{Name: "recovering", From: 140, LoadScale: 0.9, ArrivalScale: 1.6, DepartScale: 0.6},
+			{Name: "expansion", From: 220, LoadScale: 1.35, ArrivalScale: 2.2, DepartScale: 0.3},
+		},
+	}
+}
+
+// Spot returns the spot-reclamation scenario: a third of the fleet is
+// preemptible capacity that the provider periodically takes back in
+// correlated bursts, which policies observe as simultaneous host failures.
+func Spot() Config {
+	return Config{
+		Name:            "spot",
+		Description:     "1/3 spot fleet with correlated reclamation bursts",
+		InitialLiveFrac: 0.75,
+		ArrivalRate:     0.01,
+		DepartRate:      0.005,
+		Templates: []HostTemplate{
+			{Name: "on-demand-g5", Weight: 2, MIPS: 2 * 2660, RAMMB: 4096,
+				BandwidthMbps: 1000, Power: power.HPProLiantG5()},
+			{Name: "spot-g4", Weight: 1, MIPS: 2 * 1860, RAMMB: 4096,
+				BandwidthMbps: 1000, Power: power.HPProLiantG4(), Spot: true},
+		},
+		Spot: SpotReclaim{EventProb: 0.02, Frac: 0.5, DurationSteps: 6},
+	}
+}
+
+// RAMPressure returns the multi-resource pressure scenario: RAM-heavy VM
+// mixes on RAM-tight hosts, so memory — not CPU — is the binding placement
+// constraint and feasibility is genuinely two-dimensional.
+func RAMPressure() Config {
+	return Config{
+		Name:            "ram-pressure",
+		Description:     "RAM-heavy VMs on RAM-tight heterogeneous hosts (2-D feasibility)",
+		InitialLiveFrac: 0.70,
+		ArrivalRate:     0.015,
+		DepartRate:      0.008,
+		Templates: []HostTemplate{
+			{Name: "ram-tight", Weight: 3, MIPS: 2 * 2660, RAMMB: 3072,
+				BandwidthMbps: 1000, Power: power.HPProLiantG5()},
+			{Name: "ram-rich", Weight: 1, MIPS: 2 * 1860, RAMMB: 8192,
+				BandwidthMbps: 1000, Power: power.HPProLiantG4()},
+		},
+		VMRAMOptions: []float64{870, 1740, 2048},
+		Load: workload.DiurnalConfig{
+			BaseMean:    0.25,
+			Amplitude:   0.20,
+			NoiseStd:    0.05,
+			PeriodSteps: workload.StepsPerDay,
+		},
+	}
+}
+
+// Mixed returns the everything-at-once scenario: churn, a phase script,
+// spot reclamation and RAM pressure composed — the hardest regime the
+// suite ships.
+func Mixed() Config {
+	return Config{
+		Name:            "mixed",
+		Description:     "churn + phase script + spot reclamation + RAM pressure combined",
+		InitialLiveFrac: 0.65,
+		ArrivalRate:     0.02,
+		DepartRate:      0.01,
+		Templates: []HostTemplate{
+			{Name: "on-demand", Weight: 3, MIPS: 2 * 2660, RAMMB: 3584,
+				BandwidthMbps: 1000, Power: power.HPProLiantG5()},
+			{Name: "spot", Weight: 1, MIPS: 2 * 1860, RAMMB: 4096,
+				BandwidthMbps: 1000, Power: power.HPProLiantG4(), Spot: true},
+		},
+		VMRAMOptions: []float64{613, 1740, 2048},
+		Phases: []Phase{
+			{Name: "steady", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+			{Name: "fading", From: 80, LoadScale: 0.5, ArrivalScale: 0.4, DepartScale: 2},
+			{Name: "expansion", From: 180, LoadScale: 1.3, ArrivalScale: 2, DepartScale: 0.4},
+		},
+		Spot: SpotReclaim{EventProb: 0.015, Frac: 0.4, DurationSteps: 5},
+	}
+}
+
+// registry maps scenario names to their constructors. Constructors (not
+// values) so each Get returns a fresh Config no caller can poison.
+var registry = map[string]func() Config{
+	"churn":        Churn,
+	"phases":       Phases,
+	"spot":         Spot,
+	"ram-pressure": RAMPressure,
+	"mixed":        Mixed,
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named scenario's config.
+func Get(name string) (Config, bool) {
+	ctor, ok := registry[name]
+	if !ok {
+		return Config{}, false
+	}
+	return ctor(), true
+}
+
+// Build realises the named scenario at the given dimensions and seed.
+func Build(name string, numHosts, numVMs, steps int, seed int64) (sim.Config, error) {
+	cfg, ok := Get(name)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	return cfg.Build(numHosts, numVMs, steps, seed)
+}

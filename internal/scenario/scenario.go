@@ -1,0 +1,405 @@
+// Package scenario is the deterministic scenario-generation layer: it
+// composes with internal/sim to produce the VMAgent-style workload regimes
+// the paper's experiments never exercise — request-arrival dynamics (VMs
+// created and deleted mid-run), scripted fading/recovering/expansion
+// phases, heterogeneous host templates with a spot/preemptible fraction
+// whose reclamation surfaces as correlated host-failure bursts, and
+// RAM-tight fleets where placement feasibility is genuinely
+// two-dimensional.
+//
+// Everything a scenario randomises draws from named sim.Seeds sub-streams
+// ("scenario/hosts", "scenario/vmspecs", "scenario/load",
+// "scenario/lifecycle", "scenario/spot"), so the same (scenario, dims,
+// seed) triple always builds the identical sim.Config — the property the
+// cross-process determinism suite asserts — and adding a new randomised
+// ingredient cannot perturb the existing ones.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"megh/internal/power"
+	"megh/internal/sim"
+	"megh/internal/workload"
+)
+
+// HostTemplate describes one machine shape in a heterogeneous fleet. The
+// fleet is apportioned across templates by Weight (largest-remainder, so
+// counts are exact and deterministic) and then shuffled on a named stream
+// so types interleave instead of forming blocks.
+type HostTemplate struct {
+	// Name labels the template in docs and errors.
+	Name string
+	// Weight is the template's relative share of the fleet (> 0).
+	Weight float64
+	// MIPS, RAMMB and BandwidthMbps are the sim.HostSpec capacities.
+	MIPS, RAMMB, BandwidthMbps float64
+	// Power is the utilization→Watts model; nil means HP ProLiant G5.
+	Power power.Model
+	// Spot marks the template preemptible: its hosts are the ones spot
+	// reclamation (Config.Spot) can take down.
+	Spot bool
+}
+
+// Validate reports the first invalid field.
+func (t HostTemplate) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("scenario: host template has no name")
+	case t.Weight <= 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0):
+		return fmt.Errorf("scenario: template %q weight %g must be positive and finite", t.Name, t.Weight)
+	case t.MIPS <= 0:
+		return fmt.Errorf("scenario: template %q MIPS %g must be positive", t.Name, t.MIPS)
+	case t.RAMMB <= 0:
+		return fmt.Errorf("scenario: template %q RAM %g must be positive", t.Name, t.RAMMB)
+	case t.BandwidthMbps <= 0:
+		return fmt.Errorf("scenario: template %q bandwidth %g must be positive", t.Name, t.BandwidthMbps)
+	}
+	return nil
+}
+
+// Phase is one segment of a scenario's phase script, VMAgent's fading /
+// recovering / expansion regimes: from step From onward the per-VM load
+// and the arrival/departure rates are scaled by the phase's factors.
+type Phase struct {
+	// Name labels the phase ("fading", "recovering", "expansion", …).
+	Name string
+	// From is the phase's first step; the first phase must start at 0 and
+	// later phases strictly after their predecessor.
+	From int
+	// LoadScale multiplies per-VM utilization (clamped back to [0,1]).
+	LoadScale float64
+	// ArrivalScale and DepartScale multiply the churn rates; the scaled
+	// per-slot probabilities are clamped to [0,1].
+	ArrivalScale, DepartScale float64
+}
+
+// SpotReclaim parameterises correlated spot-capacity reclamation: with
+// probability EventProb per step, Frac of the spot hosts go down together
+// for DurationSteps intervals — the provider taking preemptible capacity
+// back, which policies observe as a correlated HostFailed burst.
+type SpotReclaim struct {
+	EventProb     float64
+	Frac          float64
+	DurationSteps int
+}
+
+// Validate reports the first invalid field.
+func (s SpotReclaim) Validate() error {
+	switch {
+	case s.EventProb < 0 || s.EventProb > 1 || math.IsNaN(s.EventProb):
+		return fmt.Errorf("scenario: spot EventProb %g out of [0,1]", s.EventProb)
+	case s.Frac < 0 || s.Frac > 1 || math.IsNaN(s.Frac):
+		return fmt.Errorf("scenario: spot Frac %g out of [0,1]", s.Frac)
+	case s.DurationSteps < 0:
+		return fmt.Errorf("scenario: spot DurationSteps %d negative", s.DurationSteps)
+	case (s.EventProb > 0 && s.Frac > 0) && s.DurationSteps == 0:
+		return fmt.Errorf("scenario: spot reclamation enabled with zero duration")
+	}
+	return nil
+}
+
+// Config declares one scenario: the fleet shape, the VM mix, the load
+// process, the churn process, the phase script, and the spot-reclamation
+// process. It carries no dimensions or seed — those are Build arguments —
+// so one Config describes the regime at every experiment size.
+type Config struct {
+	// Name identifies the scenario in the registry, flags and tables.
+	Name string
+	// Description is the one-line summary docs and listings show.
+	Description string
+
+	// Templates shapes the fleet; empty means the PlanetLab 50:50
+	// G4/G5 mix (DefaultTemplates).
+	Templates []HostTemplate
+
+	// VMMIPSOptions and VMRAMOptions are the instance-type mixes VM specs
+	// draw from; empty means the CloudSim mixes fleet.go uses.
+	VMMIPSOptions []float64
+	VMRAMOptions  []float64
+
+	// Load parameterises the underlying diurnal utilization process.
+	// Steps and Seed are overridden by Build; zero value means
+	// workload.DefaultDiurnalConfig.
+	Load workload.DiurnalConfig
+
+	// InitialLiveFrac is the fraction of VM slots alive at step 0
+	// (in [0,1]; 1 = the classical full population).
+	InitialLiveFrac float64
+	// ArrivalRate is each dead slot's per-step revival probability;
+	// DepartRate each live slot's per-step departure probability.
+	ArrivalRate float64
+	DepartRate  float64
+
+	// Phases is the scenario's phase script (may be empty).
+	Phases []Phase
+
+	// Spot parameterises reclamation of Spot-templated hosts.
+	Spot SpotReclaim
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario: config has no name")
+	}
+	for _, t := range c.Templates {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, opts := range [][]float64{c.VMMIPSOptions, c.VMRAMOptions} {
+		for _, v := range opts {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("scenario: VM option %g must be positive and finite", v)
+			}
+		}
+	}
+	switch {
+	case c.InitialLiveFrac < 0 || c.InitialLiveFrac > 1 || math.IsNaN(c.InitialLiveFrac):
+		return fmt.Errorf("scenario: InitialLiveFrac %g out of [0,1]", c.InitialLiveFrac)
+	case c.ArrivalRate < 0 || c.ArrivalRate > 1 || math.IsNaN(c.ArrivalRate):
+		return fmt.Errorf("scenario: ArrivalRate %g out of [0,1]", c.ArrivalRate)
+	case c.DepartRate < 0 || c.DepartRate > 1 || math.IsNaN(c.DepartRate):
+		return fmt.Errorf("scenario: DepartRate %g out of [0,1]", c.DepartRate)
+	}
+	for k, p := range c.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("scenario: phase %d has no name", k)
+		}
+		for _, s := range [...]float64{p.LoadScale, p.ArrivalScale, p.DepartScale} {
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return fmt.Errorf("scenario: phase %q scale %g must be non-negative and finite", p.Name, s)
+			}
+		}
+		if k == 0 {
+			if p.From != 0 {
+				return fmt.Errorf("scenario: first phase %q starts at %d, want 0", p.Name, p.From)
+			}
+		} else if p.From <= c.Phases[k-1].From {
+			return fmt.Errorf("scenario: phase %q starts at %d, not after %q at %d",
+				p.Name, p.From, c.Phases[k-1].Name, c.Phases[k-1].From)
+		}
+	}
+	return c.Spot.Validate()
+}
+
+// DefaultTemplates is the PlanetLab 50:50 server mix as two templates.
+func DefaultTemplates() []HostTemplate {
+	return []HostTemplate{
+		{Name: "g4", Weight: 1, MIPS: 2 * 1860, RAMMB: 4096, BandwidthMbps: 1000, Power: power.HPProLiantG4()},
+		{Name: "g5", Weight: 1, MIPS: 2 * 2660, RAMMB: 4096, BandwidthMbps: 1000, Power: power.HPProLiantG5()},
+	}
+}
+
+// phaseAt returns the phase in effect at step t (neutral scales for an
+// empty script).
+func phaseAt(phases []Phase, t int) Phase {
+	cur := Phase{LoadScale: 1, ArrivalScale: 1, DepartScale: 1}
+	for _, p := range phases {
+		if p.From > t {
+			break
+		}
+		cur = p
+	}
+	return cur
+}
+
+// clampProb clamps a scaled probability back to [0,1].
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// apportion splits m hosts across templates by weight with the
+// largest-remainder method: exact totals, deterministic ties (lower
+// template index wins).
+func apportion(templates []HostTemplate, m int) []int {
+	var total float64
+	for _, t := range templates {
+		total += t.Weight
+	}
+	counts := make([]int, len(templates))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	rems := make([]frac, len(templates))
+	assigned := 0
+	for i, t := range templates {
+		exact := float64(m) * t.Weight / total
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = frac{idx: i, rem: exact - float64(counts[i])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].rem > rems[b].rem })
+	for k := 0; assigned < m; k++ {
+		counts[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// Build realises the scenario at the given dimensions: numHosts hosts,
+// numVMs VM slots, steps intervals, everything seeded from the single base
+// seed via named sub-streams. The returned config carries no Checker,
+// Tracer or Metrics — harnesses attach their own observers.
+func (c Config) Build(numHosts, numVMs, steps int, seed int64) (sim.Config, error) {
+	if err := c.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	if numHosts <= 0 || numVMs <= 0 || steps <= 0 {
+		return sim.Config{}, fmt.Errorf("scenario %s: dimensions %d hosts × %d VMs × %d steps must be positive",
+			c.Name, numHosts, numVMs, steps)
+	}
+	seeds := sim.Seeds{Base: seed}
+
+	// Fleet: apportion templates, then shuffle so types interleave.
+	templates := c.Templates
+	if len(templates) == 0 {
+		templates = DefaultTemplates()
+	}
+	counts := apportion(templates, numHosts)
+	hosts := make([]sim.HostSpec, 0, numHosts)
+	hostTemplate := make([]int, 0, numHosts)
+	for ti, n := range counts {
+		t := templates[ti]
+		pm := t.Power
+		if pm == nil {
+			pm = power.HPProLiantG5()
+		}
+		for k := 0; k < n; k++ {
+			hosts = append(hosts, sim.HostSpec{
+				MIPS: t.MIPS, RAMMB: t.RAMMB, BandwidthMbps: t.BandwidthMbps, Power: pm,
+			})
+			hostTemplate = append(hostTemplate, ti)
+		}
+	}
+	hr := seeds.Rand("scenario/hosts")
+	hr.Shuffle(numHosts, func(a, b int) {
+		hosts[a], hosts[b] = hosts[b], hosts[a]
+		hostTemplate[a], hostTemplate[b] = hostTemplate[b], hostTemplate[a]
+	})
+	var spotHosts []int
+	for i, ti := range hostTemplate {
+		if templates[ti].Spot {
+			spotHosts = append(spotHosts, i)
+		}
+	}
+
+	// VM specs from the instance-type mixes.
+	mipsOpts := c.VMMIPSOptions
+	if len(mipsOpts) == 0 {
+		mipsOpts = []float64{1000, 1500, 2000, 2500}
+	}
+	ramOpts := c.VMRAMOptions
+	if len(ramOpts) == 0 {
+		ramOpts = []float64{613, 870, 1740}
+	}
+	vr := seeds.Rand("scenario/vmspecs")
+	vms := make([]sim.VMSpec, numVMs)
+	for j := range vms {
+		vms[j] = sim.VMSpec{
+			MIPS:          mipsOpts[vr.Intn(len(mipsOpts))],
+			RAMMB:         ramOpts[vr.Intn(len(ramOpts))],
+			BandwidthMbps: 100,
+		}
+	}
+
+	// Load: phase-enveloped diurnal traces on the load stream.
+	load := c.Load
+	if load == (workload.DiurnalConfig{}) {
+		load = workload.DefaultDiurnalConfig(0)
+	}
+	load.Steps = steps
+	load.Seed = seeds.Stream("scenario/load")
+	wphases := make([]workload.PhaseSpec, len(c.Phases))
+	for k, p := range c.Phases {
+		wphases[k] = workload.PhaseSpec{Name: p.Name, From: p.From, LoadScale: p.LoadScale}
+	}
+	traces, err := workload.GeneratePhased(load, wphases, numVMs)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", c.Name, err)
+	}
+
+	// Lifecycle: seeded arrival/departure churn over the slot universe,
+	// modulated by the phase script. The generator tracks its own liveness
+	// model; the simulator's deferred-arrival queue (with departure
+	// cancelling a pending arrival) keeps the two convergent even when an
+	// arrival does not fit immediately.
+	var initialAlive []bool
+	var lifecycle []sim.LifecycleEvent
+	churning := c.InitialLiveFrac < 1 || c.ArrivalRate > 0 || c.DepartRate > 0
+	if churning {
+		lr := seeds.Rand("scenario/lifecycle")
+		initialAlive = make([]bool, numVMs)
+		alive := make([]bool, numVMs)
+		for j := range initialAlive {
+			a := lr.Float64() < c.InitialLiveFrac
+			initialAlive[j] = a
+			alive[j] = a
+		}
+		for t := 1; t < steps; t++ {
+			ph := phaseAt(c.Phases, t)
+			pArr := clampProb(c.ArrivalRate * ph.ArrivalScale)
+			pDep := clampProb(c.DepartRate * ph.DepartScale)
+			for j := 0; j < numVMs; j++ {
+				if alive[j] {
+					if pDep > 0 && lr.Float64() < pDep {
+						alive[j] = false
+						lifecycle = append(lifecycle, sim.LifecycleEvent{
+							Step: t, VM: j, Kind: sim.VMDepart,
+						})
+					}
+				} else if pArr > 0 && lr.Float64() < pArr {
+					alive[j] = true
+					lifecycle = append(lifecycle, sim.LifecycleEvent{
+						Step: t, VM: j, Kind: sim.VMArrive, Host: -1,
+					})
+				}
+			}
+		}
+	}
+
+	// Spot reclamation: correlated failure bursts over the spot hosts.
+	var failures []sim.Failure
+	if len(spotHosts) > 0 && c.Spot.EventProb > 0 && c.Spot.Frac > 0 {
+		sr := seeds.Rand("scenario/spot")
+		victims := make([]int, len(spotHosts))
+		nVictims := int(math.Ceil(c.Spot.Frac * float64(len(spotHosts))))
+		for t := 0; t < steps; t++ {
+			if sr.Float64() >= c.Spot.EventProb {
+				continue
+			}
+			copy(victims, spotHosts)
+			sr.Shuffle(len(victims), func(a, b int) {
+				victims[a], victims[b] = victims[b], victims[a]
+			})
+			until := t + c.Spot.DurationSteps
+			if until > steps {
+				until = steps
+			}
+			for _, h := range victims[:nVictims] {
+				failures = append(failures, sim.Failure{Host: h, From: t, Until: until})
+			}
+		}
+	}
+
+	return sim.Config{
+		Hosts:        hosts,
+		VMs:          vms,
+		Traces:       traces,
+		Steps:        steps,
+		Seed:         seed,
+		Failures:     failures,
+		Lifecycle:    lifecycle,
+		InitialAlive: initialAlive,
+	}, nil
+}

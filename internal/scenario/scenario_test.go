@@ -1,0 +1,427 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"megh/internal/consolidation"
+	"megh/internal/core"
+	"megh/internal/invariant"
+	"megh/internal/madvm"
+	"megh/internal/sim"
+)
+
+func validTemplate() HostTemplate {
+	return HostTemplate{Name: "t", Weight: 1, MIPS: 1000, RAMMB: 2048, BandwidthMbps: 100}
+}
+
+func TestHostTemplateValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*HostTemplate)
+	}{
+		{"no name", func(h *HostTemplate) { h.Name = "" }},
+		{"zero weight", func(h *HostTemplate) { h.Weight = 0 }},
+		{"NaN weight", func(h *HostTemplate) { h.Weight = math.NaN() }},
+		{"inf weight", func(h *HostTemplate) { h.Weight = math.Inf(1) }},
+		{"zero MIPS", func(h *HostTemplate) { h.MIPS = 0 }},
+		{"negative RAM", func(h *HostTemplate) { h.RAMMB = -1 }},
+		{"zero bandwidth", func(h *HostTemplate) { h.BandwidthMbps = 0 }},
+	}
+	if err := validTemplate().Validate(); err != nil {
+		t.Fatalf("baseline template invalid: %v", err)
+	}
+	for _, tc := range cases {
+		h := validTemplate()
+		tc.mutate(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestSpotReclaimValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SpotReclaim
+		ok   bool
+	}{
+		{"zero value", SpotReclaim{}, true},
+		{"enabled", SpotReclaim{EventProb: 0.1, Frac: 0.5, DurationSteps: 3}, true},
+		{"prob out of range", SpotReclaim{EventProb: 1.5, Frac: 0.5, DurationSteps: 3}, false},
+		{"NaN prob", SpotReclaim{EventProb: math.NaN(), Frac: 0.5, DurationSteps: 3}, false},
+		{"frac out of range", SpotReclaim{EventProb: 0.1, Frac: -0.1, DurationSteps: 3}, false},
+		{"negative duration", SpotReclaim{EventProb: 0.1, Frac: 0.5, DurationSteps: -1}, false},
+		{"enabled with zero duration", SpotReclaim{EventProb: 0.1, Frac: 0.5}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: got %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := func() Config {
+		return Config{Name: "test", InitialLiveFrac: 0.8, ArrivalRate: 0.01, DepartRate: 0.01}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("baseline config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no name", func(c *Config) { c.Name = "" }},
+		{"bad template", func(c *Config) { c.Templates = []HostTemplate{{}} }},
+		{"bad VM MIPS option", func(c *Config) { c.VMMIPSOptions = []float64{1000, -5} }},
+		{"NaN VM RAM option", func(c *Config) { c.VMRAMOptions = []float64{math.NaN()} }},
+		{"live frac above 1", func(c *Config) { c.InitialLiveFrac = 1.01 }},
+		{"NaN arrival rate", func(c *Config) { c.ArrivalRate = math.NaN() }},
+		{"negative depart rate", func(c *Config) { c.DepartRate = -0.1 }},
+		{"unnamed phase", func(c *Config) {
+			c.Phases = []Phase{{From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1}}
+		}},
+		{"first phase not at 0", func(c *Config) {
+			c.Phases = []Phase{{Name: "a", From: 5, LoadScale: 1, ArrivalScale: 1, DepartScale: 1}}
+		}},
+		{"non-ascending phases", func(c *Config) {
+			c.Phases = []Phase{
+				{Name: "a", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+				{Name: "b", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+			}
+		}},
+		{"negative phase scale", func(c *Config) {
+			c.Phases = []Phase{{Name: "a", From: 0, LoadScale: -1, ArrivalScale: 1, DepartScale: 1}}
+		}},
+		{"bad spot", func(c *Config) { c.Spot = SpotReclaim{EventProb: 2} }},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+// TestRegisteredScenariosValidate: every shipped scenario must pass its own
+// validation — the registry cannot ship a config Build would reject.
+func TestRegisteredScenariosValidate(t *testing.T) {
+	for _, name := range Names() {
+		cfg, ok := Get(name)
+		if !ok {
+			t.Fatalf("registry lists %q but Get fails", name)
+		}
+		if cfg.Name != name {
+			t.Errorf("scenario %q self-reports name %q", name, cfg.Name)
+		}
+		if cfg.Description == "" {
+			t.Errorf("scenario %q has no description", name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestApportionExactAndProportional(t *testing.T) {
+	templates := []HostTemplate{
+		{Name: "a", Weight: 3}, {Name: "b", Weight: 1}, {Name: "c", Weight: 1},
+	}
+	for _, m := range []int{1, 2, 5, 7, 100, 101} {
+		counts := apportion(templates, m)
+		sum := 0
+		for _, n := range counts {
+			sum += n
+		}
+		if sum != m {
+			t.Fatalf("m=%d: counts %v sum to %d", m, counts, sum)
+		}
+		// Largest-remainder never strays more than 1 from the exact share.
+		for i, n := range counts {
+			exact := float64(m) * templates[i].Weight / 5
+			if math.Abs(float64(n)-exact) >= 1 {
+				t.Errorf("m=%d template %d: count %d vs exact %g drifts ≥1", m, i, n, exact)
+			}
+		}
+	}
+	if got := apportion(templates, 100); !reflect.DeepEqual(got, []int{60, 20, 20}) {
+		t.Errorf("apportion(3:1:1, 100) = %v, want [60 20 20]", got)
+	}
+}
+
+func TestPhaseAtBoundaries(t *testing.T) {
+	phases := []Phase{
+		{Name: "a", From: 0, LoadScale: 1, ArrivalScale: 1, DepartScale: 1},
+		{Name: "b", From: 10, LoadScale: 2, ArrivalScale: 2, DepartScale: 2},
+	}
+	for _, tc := range []struct {
+		t    int
+		want string
+	}{{0, "a"}, {9, "a"}, {10, "b"}, {999, "b"}} {
+		if got := phaseAt(phases, tc.t); got.Name != tc.want {
+			t.Errorf("phaseAt(%d) = %q, want %q", tc.t, got.Name, tc.want)
+		}
+	}
+	neutral := phaseAt(nil, 5)
+	if neutral.LoadScale != 1 || neutral.ArrivalScale != 1 || neutral.DepartScale != 1 {
+		t.Errorf("empty script must yield neutral scales, got %+v", neutral)
+	}
+}
+
+// TestBuildIsDeterministic: the same (scenario, dims, seed) triple must
+// produce a structurally identical sim.Config on every call — the in-process
+// half of the determinism contract (the subprocess suite covers restarts).
+func TestBuildIsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Build(name, 12, 20, 80, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Build(name, 12, 20, 80, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Power models are fresh values per Build; compare them by name and
+		// everything else structurally.
+		for i := range a.Hosts {
+			an, bn := a.Hosts[i].Power, b.Hosts[i].Power
+			if (an == nil) != (bn == nil) || (an != nil && an.Name() != bn.Name()) {
+				t.Fatalf("%s: host %d power models differ", name, i)
+			}
+			a.Hosts[i].Power, b.Hosts[i].Power = nil, nil
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two Builds with identical inputs differ", name)
+		}
+		c, err := Build(name, 12, 20, 80, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reflect.DeepEqual(a.Traces, c.Traces) {
+			t.Fatalf("%s: different seeds produced identical traces", name)
+		}
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	if _, err := Build("no-such-scenario", 4, 8, 10, 1); err == nil {
+		t.Error("unknown scenario name must error")
+	}
+	if _, err := Churn().Build(0, 8, 10, 1); err == nil {
+		t.Error("zero hosts must error")
+	}
+	if _, err := Churn().Build(4, -1, 10, 1); err == nil {
+		t.Error("negative VMs must error")
+	}
+	if _, err := Churn().Build(4, 8, 0, 1); err == nil {
+		t.Error("zero steps must error")
+	}
+	bad := Churn()
+	bad.ArrivalRate = 2
+	if _, err := bad.Build(4, 8, 10, 1); err == nil {
+		t.Error("invalid config must fail Build")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	want := []string{"churn", "mixed", "phases", "ram-pressure", "spot"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get on unknown name must report !ok")
+	}
+}
+
+// matrixPolicies builds the three-policy comparison set the scenario matrix
+// uses: the paper's learner, the strongest CloudSim heuristic, and the
+// value-iteration baseline.
+func matrixPolicies(t *testing.T, numVMs, numHosts int, seed int64) map[string]sim.Policy {
+	t.Helper()
+	megh, err := core.New(core.DefaultConfig(numVMs, numHosts, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := consolidation.NewTHRMMT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mad, err := madvm.New(numVMs, madvm.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]sim.Policy{"Megh": megh, "THR-MMT": thr, "MadVM": mad}
+}
+
+// TestEveryScenarioRunsCleanUnderChecker is the tentpole's acceptance test:
+// each registered scenario, under each matrix policy, completes a full run
+// with the invariant checker attached — zero conservation-law violations —
+// and actually exercises the dynamics it advertises (churn scenarios
+// produce arrivals and departures, spot scenarios produce failures).
+func TestEveryScenarioRunsCleanUnderChecker(t *testing.T) {
+	const numHosts, numVMs, steps, seed = 16, 28, 300, 42
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for pname, policy := range matrixPolicies(t, numVMs, numHosts, sim.Seeds{Base: seed}.Policy()) {
+				cfg, err := Build(name, numHosts, numVMs, steps, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checker := invariant.NewSimChecker()
+				cfg.Checker = checker
+				s, err := sim.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(policy)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", name, pname, err)
+				}
+				if checker.Steps != steps {
+					t.Fatalf("%s under %s: checker audited %d of %d steps", name, pname, checker.Steps, steps)
+				}
+				if len(res.Steps) != steps {
+					t.Fatalf("%s under %s: %d result steps", name, pname, len(res.Steps))
+				}
+				if res.TotalArrivals() == 0 || res.TotalDepartures() == 0 {
+					t.Errorf("%s under %s: no churn (%d arrivals, %d departures) — scenario is vacuous",
+						name, pname, res.TotalArrivals(), res.TotalDepartures())
+				}
+				if res.TotalCost() <= 0 || math.IsNaN(res.TotalCost()) {
+					t.Errorf("%s under %s: degenerate total cost %g", name, pname, res.TotalCost())
+				}
+			}
+		})
+	}
+}
+
+// TestSpotScenarioInjectsCorrelatedFailures pins the spot-reclamation
+// mechanics: the generated failure schedule hits only spot-templated hosts,
+// in correlated bursts of ⌈Frac·|spot|⌉ hosts sharing a start step.
+func TestSpotScenarioInjectsCorrelatedFailures(t *testing.T) {
+	const numHosts, numVMs, steps, seed = 18, 24, 400, 42
+	cfg, err := Build("spot", numHosts, numVMs, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Failures) == 0 {
+		t.Fatal("spot scenario generated no reclamation events at 400 steps; pick a longer run or new seed")
+	}
+	sc := Spot()
+	byStart := map[int]int{}
+	for _, f := range cfg.Failures {
+		byStart[f.From]++
+		if f.Until-f.From > sc.Spot.DurationSteps {
+			t.Errorf("failure on host %d lasts %d steps, cap is %d", f.Host, f.Until-f.From, sc.Spot.DurationSteps)
+		}
+	}
+	// Spot hosts are exactly the hosts that ever fail ∪ … well, at least
+	// every burst must be the same correlated size.
+	spotCount := 0
+	{
+		templates := sc.Templates
+		counts := apportion(templates, numHosts)
+		for ti, n := range counts {
+			if templates[ti].Spot {
+				spotCount += n
+			}
+		}
+	}
+	wantBurst := int(math.Ceil(sc.Spot.Frac * float64(spotCount)))
+	for from, n := range byStart {
+		if n != wantBurst {
+			t.Errorf("burst at step %d takes down %d hosts, want %d", from, n, wantBurst)
+		}
+	}
+}
+
+// TestPhasesModulateChurnAndLoad checks the phase script has observable
+// effect: the fading phase must see a lower mean live population trend than
+// the expansion phase, and the phased load envelope must change the traces
+// relative to the unphased config.
+func TestPhasesModulateChurnAndLoad(t *testing.T) {
+	const numHosts, numVMs, steps, seed = 16, 28, 300, 42
+	phased := Phases()
+	flat := phased
+	flat.Phases = nil
+	pc, err := phased.Build(numHosts, numVMs, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := flat.Build(numHosts, numVMs, steps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(pc.Traces, fc.Traces) {
+		t.Error("phase script left the load traces unchanged")
+	}
+	if reflect.DeepEqual(pc.Lifecycle, fc.Lifecycle) {
+		t.Error("phase script left the lifecycle schedule unchanged")
+	}
+	// Count net population drift inside fading vs expansion windows.
+	drift := func(events []sim.LifecycleEvent, from, to int) int {
+		d := 0
+		for _, ev := range events {
+			if ev.Step < from || ev.Step >= to {
+				continue
+			}
+			if ev.Kind == sim.VMArrive {
+				d++
+			} else {
+				d--
+			}
+		}
+		return d
+	}
+	fading := drift(pc.Lifecycle, 60, 140)
+	expansion := drift(pc.Lifecycle, 220, steps)
+	if fading >= 0 {
+		t.Errorf("fading phase net drift %+d, want shrinking population", fading)
+	}
+	if expansion <= 0 {
+		t.Errorf("expansion phase net drift %+d, want growing population", expansion)
+	}
+}
+
+// TestRAMPressureBindsOnMemory: in the ram-pressure scenario a meaningful
+// share of (VM, host) pairs must be RAM-infeasible even when MIPS would fit
+// — otherwise the scenario does not actually exercise 2-D feasibility.
+func TestRAMPressureBindsOnMemory(t *testing.T) {
+	cfg, err := Build("ram-pressure", 12, 24, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramBound := 0
+	for _, vm := range cfg.VMs {
+		for _, h := range cfg.Hosts {
+			// A host already half-full of this VM's siblings: RAM binds
+			// before MIPS for the big instances on ram-tight hosts.
+			if 2*vm.RAMMB > h.RAMMB && 2*vm.MIPS <= h.MIPS {
+				ramBound++
+			}
+		}
+	}
+	if ramBound == 0 {
+		t.Fatal("no (VM, host) pair is RAM-bound; ram-pressure scenario is mislabeled")
+	}
+}
+
+func TestDefaultTemplatesMatchPlanetLabMix(t *testing.T) {
+	ts := DefaultTemplates()
+	if len(ts) != 2 {
+		t.Fatalf("want 2 default templates, got %d", len(ts))
+	}
+	for _, tpl := range ts {
+		if err := tpl.Validate(); err != nil {
+			t.Errorf("default template %q invalid: %v", tpl.Name, err)
+		}
+		if tpl.Spot {
+			t.Errorf("default template %q must not be spot", tpl.Name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCloneCompleteness walks the Snapshot struct by reflection,
+// fills every field with synthetic non-zero data, clones, and verifies the
+// clone shares no mutable storage with the original. Unlike the hand-rolled
+// deep-copy test, this one cannot go stale: a newly added field that Clone
+// forgets (the silent-aliasing bug this PR's VMAlive field could have
+// introduced) fails here without anyone updating the test, and a field of a
+// kind the filler does not understand fails loudly instead of being skipped.
+func TestSnapshotCloneCompleteness(t *testing.T) {
+	// Unexported fields Clone intentionally shares (immutable interfaces).
+	shared := map[string]bool{"migModel": true}
+
+	orig := &Snapshot{}
+	v := reflect.ValueOf(orig).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if !f.IsExported() {
+			if !shared[f.Name] {
+				t.Errorf("unexported field %s is neither filled nor allowlisted as shared; "+
+					"decide whether Clone must copy it and update this test", f.Name)
+			}
+			continue
+		}
+		if err := fillField(v.Field(i), i); err != nil {
+			t.Fatalf("field %s: %v — extend fillField for the new field kind", f.Name, err)
+		}
+	}
+
+	c := orig.Clone()
+	// Pristine reference, deep-copied by reflection — NOT by Clone. If the
+	// reference were itself a Clone, a field Clone aliases would drift in
+	// lockstep in both copies and the comparison below would never notice.
+	want := reflect.New(tp).Elem()
+	for i := 0; i < tp.NumField(); i++ {
+		if !tp.Field(i).IsExported() {
+			continue
+		}
+		want.Field(i).Set(deepCopyValue(v.Field(i)))
+	}
+
+	// Mutate every exported field of the original through reflection:
+	// scalar fields get a different value, slices get every element (and
+	// nested element) scribbled over.
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		scribbleField(t, v.Field(i), f.Name)
+	}
+
+	cv := reflect.ValueOf(c).Elem()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if !reflect.DeepEqual(cv.Field(i).Interface(), want.Field(i).Interface()) {
+			t.Errorf("field %s: clone changed when the original was mutated — Clone does not deep-copy it",
+				f.Name)
+		}
+	}
+}
+
+// fillField populates one Snapshot field with non-zero synthetic data. The
+// supported kinds cover the struct today; anything else errors so a new
+// field of a new shape forces a conscious extension here.
+func fillField(fv reflect.Value, salt int) error {
+	switch fv.Kind() {
+	case reflect.Int:
+		fv.SetInt(int64(salt + 1))
+	case reflect.Float64:
+		fv.SetFloat(float64(salt) + 0.5)
+	case reflect.Bool:
+		fv.SetBool(true)
+	case reflect.Slice:
+		s := reflect.MakeSlice(fv.Type(), 2, 2)
+		for k := 0; k < 2; k++ {
+			if err := fillField(s.Index(k), salt+k+1); err != nil {
+				return err
+			}
+		}
+		fv.Set(s)
+	case reflect.Struct:
+		for k := 0; k < fv.NumField(); k++ {
+			if !fv.Type().Field(k).IsExported() {
+				continue
+			}
+			if err := fillField(fv.Field(k), salt+k+1); err != nil {
+				return err
+			}
+		}
+	case reflect.Interface:
+		// Interface fields (power models, migration models) hold immutable
+		// implementations shared by design; left nil.
+	default:
+		return fmt.Errorf("unsupported kind %s", fv.Kind())
+	}
+	return nil
+}
+
+// deepCopyValue returns a value equal to v that shares no mutable storage
+// with it, for the kinds Snapshot uses. The independent reference copy for
+// the aliasing check is built with this, never with Clone itself.
+func deepCopyValue(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Slice:
+		if v.IsNil() {
+			return reflect.Zero(v.Type())
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for k := 0; k < v.Len(); k++ {
+			out.Index(k).Set(deepCopyValue(v.Index(k)))
+		}
+		return out
+	case reflect.Struct:
+		out := reflect.New(v.Type()).Elem()
+		for k := 0; k < v.NumField(); k++ {
+			if v.Type().Field(k).IsExported() {
+				out.Field(k).Set(deepCopyValue(v.Field(k)))
+			}
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// scribbleField overwrites the mutable storage a field reaches (slice
+// elements, recursively) with different values, simulating the simulator's
+// in-place reuse between steps. Scalar struct fields are reassigned too —
+// harmless for value semantics, and it keeps the walk uniform.
+func scribbleField(t *testing.T, fv reflect.Value, name string) {
+	t.Helper()
+	switch fv.Kind() {
+	case reflect.Int:
+		fv.SetInt(fv.Int() + 1000)
+	case reflect.Float64:
+		fv.SetFloat(fv.Float() + 1000)
+	case reflect.Bool:
+		fv.SetBool(!fv.Bool())
+	case reflect.Slice:
+		for k := 0; k < fv.Len(); k++ {
+			scribbleField(t, fv.Index(k), name)
+		}
+	case reflect.Struct:
+		for k := 0; k < fv.NumField(); k++ {
+			if fv.Type().Field(k).IsExported() {
+				scribbleField(t, fv.Field(k), name)
+			}
+		}
+	case reflect.Interface:
+		// Shared by design (see fillField); nothing to scribble.
+	default:
+		t.Fatalf("field %s: unsupported kind %s in scribble — extend the test", name, fv.Kind())
+	}
+}

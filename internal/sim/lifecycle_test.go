@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"megh/internal/trace"
+	"megh/internal/workload"
+)
+
+// flatTraces builds n identical flat traces of the given level and length.
+func flatTraces(n, steps int, level float64) []workload.Trace {
+	traces := make([]workload.Trace, n)
+	for i := range traces {
+		tr := make(workload.Trace, steps)
+		for t := range tr {
+			tr[t] = level
+		}
+		traces[i] = tr
+	}
+	return traces
+}
+
+// lifecycleConfig builds a world with 3 hosts and 3 VM slots where slot 2
+// starts dead.
+func lifecycleConfig(t *testing.T, steps int) Config {
+	t.Helper()
+	cfg := testConfig(t, flatTraces(2, steps, 0.3))
+	cfg.VMs = append(cfg.VMs, cfg.VMs[0])
+	cfg.Traces = append(cfg.Traces, flatTraces(1, steps, 0.3)[0])
+	cfg.InitialAlive = []bool{true, true, false}
+	return cfg
+}
+
+func TestLifecycleArriveAndDepart(t *testing.T) {
+	cfg := lifecycleConfig(t, 6)
+	cfg.Lifecycle = []LifecycleEvent{
+		{Step: 2, VM: 2, Kind: VMArrive, Host: -1},
+		{Step: 4, VM: 0, Kind: VMDepart},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := []int{2, 2, 3, 3, 2, 2}
+	for i, m := range res.Steps {
+		if m.LiveVMs != wantLive[i] {
+			t.Errorf("step %d: %d live VMs, want %d", i, m.LiveVMs, wantLive[i])
+		}
+	}
+	if got := res.TotalArrivals(); got != 1 {
+		t.Errorf("TotalArrivals = %d, want 1", got)
+	}
+	if got := res.TotalDepartures(); got != 1 {
+		t.Errorf("TotalDepartures = %d, want 1", got)
+	}
+	if got, want := res.MeanLiveVMs(), 14.0/6.0; got != want {
+		t.Errorf("MeanLiveVMs = %g, want %g", got, want)
+	}
+	if res.Steps[2].Arrivals != 1 || res.Steps[4].Departures != 1 {
+		t.Errorf("arrival/departure landed on wrong steps: %+v", res.Steps)
+	}
+}
+
+// occupancyPolicy records each step's live set and placements.
+type occupancyPolicy struct {
+	hosts  [][]int
+	alive  [][]bool
+	orders map[int][]Migration
+}
+
+func (p *occupancyPolicy) Name() string { return "occupancy" }
+func (p *occupancyPolicy) Decide(s *Snapshot) []Migration {
+	p.hosts = append(p.hosts, append([]int(nil), s.VMHost...))
+	p.alive = append(p.alive, append([]bool(nil), s.VMAlive...))
+	return p.orders[s.Step]
+}
+
+func TestLifecycleDeadSlotInvisible(t *testing.T) {
+	cfg := lifecycleConfig(t, 4)
+	cfg.Lifecycle = []LifecycleEvent{{Step: 1, VM: 1, Kind: VMDepart}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &occupancyPolicy{}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 2 is dead throughout, slot 1 from step 1.
+	for step, hosts := range p.hosts {
+		if hosts[2] != -1 {
+			t.Errorf("step %d: dead slot 2 on host %d", step, hosts[2])
+		}
+		if step >= 1 && hosts[1] != -1 {
+			t.Errorf("step %d: departed slot 1 on host %d", step, hosts[1])
+		}
+		if p.alive[step][2] {
+			t.Errorf("step %d: slot 2 reported alive", step)
+		}
+	}
+}
+
+func TestLifecycleDeadVMMigrationRejected(t *testing.T) {
+	cfg := lifecycleConfig(t, 3)
+	var buf bytes.Buffer
+	tr, err := trace.New(trace.Options{W: &buf, RingSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tr
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &scriptPolicy{script: map[int][]Migration{1: {{VM: 2, Dest: 0}}}}
+	res, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[1].Rejected != 1 || res.Steps[1].Migrations != 0 {
+		t.Fatalf("dead-VM migration not rejected: %+v", res.Steps[1])
+	}
+	if !strings.Contains(buf.String(), trace.RejectDeadVM) {
+		t.Fatalf("trace lacks %q rejection:\n%s", trace.RejectDeadVM, buf.String())
+	}
+}
+
+func TestLifecycleDeferredArrivalAndCancel(t *testing.T) {
+	// One tiny host fully occupied by VM 0: VM 1's arrival must defer
+	// until VM 0 departs; VM 2's arrival is cancelled by its departure
+	// while still pending.
+	cfg := lifecycleConfig(t, 6)
+	cfg.Hosts = cfg.Hosts[:1]
+	cfg.Hosts[0].RAMMB = 1500 // fits exactly one 1024 MiB VM
+	cfg.InitialAlive = []bool{true, false, false}
+	cfg.Lifecycle = []LifecycleEvent{
+		{Step: 1, VM: 1, Kind: VMArrive, Host: -1},
+		{Step: 1, VM: 2, Kind: VMArrive, Host: -1},
+		{Step: 2, VM: 2, Kind: VMDepart}, // cancels 2's pending arrival
+		{Step: 3, VM: 0, Kind: VMDepart}, // frees the host for VM 1
+	}
+	cfg.InitialPlacement = PlacementFirstFit
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := []int{1, 1, 1, 1, 1, 1} // 0 alone, then 1 alone after the swap
+	wantDeferred := []int{0, 2, 1, 0, 0, 0}
+	for i, m := range res.Steps {
+		if m.LiveVMs != wantLive[i] {
+			t.Errorf("step %d: %d live, want %d", i, m.LiveVMs, wantLive[i])
+		}
+		if m.DeferredArrivals != wantDeferred[i] {
+			t.Errorf("step %d: %d deferred, want %d", i, m.DeferredArrivals, wantDeferred[i])
+		}
+	}
+	// VM 1 placed exactly when VM 0 left (same step: departures precede
+	// arrival retries).
+	if res.Steps[3].Arrivals != 1 || res.Steps[3].Departures != 1 {
+		t.Fatalf("step 3 should swap 0→1: %+v", res.Steps[3])
+	}
+	if res.TotalArrivals() != 1 {
+		t.Fatalf("cancelled arrival still placed: %d arrivals", res.TotalArrivals())
+	}
+}
+
+func TestLifecyclePinnedArrivalHost(t *testing.T) {
+	cfg := lifecycleConfig(t, 3)
+	cfg.Lifecycle = []LifecycleEvent{{Step: 1, VM: 2, Kind: VMArrive, Host: 2}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &occupancyPolicy{}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.hosts[1][2]; got != 2 {
+		t.Fatalf("pinned arrival placed on host %d, want 2", got)
+	}
+}
+
+func TestLifecycleArrivalAvoidsFailedHost(t *testing.T) {
+	cfg := lifecycleConfig(t, 3)
+	cfg.Failures = []Failure{{Host: 0, From: 0, Until: 3}}
+	cfg.Lifecycle = []LifecycleEvent{{Step: 1, VM: 2, Kind: VMArrive, Host: -1}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &occupancyPolicy{}
+	if _, err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.hosts[1][2]; got == 0 {
+		t.Fatal("arrival placed on failed host 0")
+	}
+	if got := p.hosts[1][2]; got < 0 {
+		t.Fatalf("arrival not placed: host %d", got)
+	}
+}
+
+func TestLifecycleSLANotAccruedWhileDead(t *testing.T) {
+	cfg := lifecycleConfig(t, 10)
+	// Slot 2 alive only for the last 4 steps; a host failure downs it for
+	// one of them.
+	cfg.Lifecycle = []LifecycleEvent{{Step: 6, VM: 2, Kind: VMArrive, Host: 2}}
+	cfg.Failures = []Failure{{Host: 2, From: 8, Until: 9}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nopPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requested time = 4 steps, down 1 step → 25% downtime. Had the dead
+	// steps accrued requested time, the fraction would be 10%.
+	if got, want := res.VMDowntimeFrac[2], 0.25; got != want {
+		t.Fatalf("VM 2 downtime fraction %g, want %g", got, want)
+	}
+}
+
+func TestLifecycleTraceEventsCarryChurn(t *testing.T) {
+	cfg := lifecycleConfig(t, 4)
+	cfg.Lifecycle = []LifecycleEvent{
+		{Step: 1, VM: 2, Kind: VMArrive, Host: -1},
+		{Step: 2, VM: 0, Kind: VMDepart},
+	}
+	var buf bytes.Buffer
+	tr, err := trace.New(trace.Options{W: &buf, RingSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tr
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nopPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"arrived":[2]`, `"departed":[0]`, `"live_vms":3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestLegacyTraceHasNoChurnFields(t *testing.T) {
+	cfg := testConfig(t, flatTraces(2, 4, 0.3))
+	var buf bytes.Buffer
+	tr, err := trace.New(trace.Options{W: &buf, RingSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracer = tr
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nopPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"arrived", "departed", "live_vms"} {
+		if strings.Contains(buf.String(), banned) {
+			t.Errorf("fixed-population trace carries %q — legacy byte-compat broken", banned)
+		}
+	}
+}
+
+func TestPlanInitialPlacement(t *testing.T) {
+	cfg := lifecycleConfig(t, 3)
+	cfg.InitialPlacement = PlacementFirstFit
+	hosts, err := PlanInitialPlacement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("got %d entries, want 3", len(hosts))
+	}
+	if hosts[0] < 0 || hosts[1] < 0 {
+		t.Fatalf("live slots unplaced: %v", hosts)
+	}
+	if hosts[2] != -1 {
+		t.Fatalf("dead slot placed on host %d", hosts[2])
+	}
+}
+
+func TestLifecycleEventValidation(t *testing.T) {
+	cfg := lifecycleConfig(t, 3)
+	for name, ev := range map[string]LifecycleEvent{
+		"negative step": {Step: -1, VM: 2, Kind: VMArrive, Host: -1},
+		"bad vm":        {Step: 0, VM: 9, Kind: VMArrive, Host: -1},
+		"bad kind":      {Step: 0, VM: 2, Kind: 0},
+		"bad host":      {Step: 0, VM: 2, Kind: VMArrive, Host: 99},
+	} {
+		c := cfg
+		c.Lifecycle = []LifecycleEvent{ev}
+		if _, err := New(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	bad := cfg
+	bad.InitialAlive = []bool{true}
+	if _, err := New(bad); err == nil {
+		t.Error("short InitialAlive accepted")
+	}
+}

@@ -24,6 +24,16 @@ type StepMetrics struct {
 	// DecideSeconds is the wall-clock time the policy spent in Decide —
 	// the per-iteration execution time of Tables 2–3 and Figures 2d–6.
 	DecideSeconds float64
+	// LiveVMs is the number of VM slots alive after this step's lifecycle
+	// events (equal to the slot count in runs without lifecycle).
+	LiveVMs int
+	// Arrivals and Departures count the VM lifecycle events applied this
+	// step; both stay 0 in fixed-population runs.
+	Arrivals   int
+	Departures int
+	// DeferredArrivals is the number of arrivals still waiting for
+	// capacity at the end of this step.
+	DeferredArrivals int
 }
 
 // TotalCost returns the interval's energy + SLA + resource cost (Eq. 6,
@@ -86,6 +96,36 @@ func (r *Result) TotalMigrations() int {
 		n += m.Migrations
 	}
 	return n
+}
+
+// TotalArrivals returns the run's total VM arrivals.
+func (r *Result) TotalArrivals() int {
+	n := 0
+	for _, m := range r.Steps {
+		n += m.Arrivals
+	}
+	return n
+}
+
+// TotalDepartures returns the run's total VM departures.
+func (r *Result) TotalDepartures() int {
+	n := 0
+	for _, m := range r.Steps {
+		n += m.Departures
+	}
+	return n
+}
+
+// MeanLiveVMs returns the time-average live-VM count.
+func (r *Result) MeanLiveVMs() float64 {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, m := range r.Steps {
+		s += float64(m.LiveVMs)
+	}
+	return s / float64(len(r.Steps))
 }
 
 // MeanActiveHosts returns the time-average number of active hosts.

@@ -76,6 +76,17 @@ type runState struct {
 
 	hostFailed []bool
 
+	// VM lifecycle state: vmAlive is nil for fixed-population runs. The
+	// lifecycle schedule is consumed by a cursor (events are sorted by
+	// step at config normalization); arrivals that do not fit wait in
+	// pendingArr in FIFO order and are retried every step.
+	vmAlive     []bool
+	lifeIdx     int
+	pendingArr  []LifecycleEvent
+	arrived     []int
+	departed    []Departure
+	departedIDs []int
+
 	snap Snapshot
 
 	// tracer and its scratch buffers; all nil/empty when tracing is off,
@@ -92,6 +103,7 @@ type runState struct {
 	checker       Checker
 	checkPrevHost []int
 	checkPrevUp   []bool
+	checkPrevLive []bool
 	checkScratch  StepCheck
 }
 
@@ -152,6 +164,12 @@ func newRunState(cfg Config) (*runState, error) {
 		vmHistory:    make([][]float64, len(cfg.VMs)),
 		hostFailed:   make([]bool, len(cfg.Hosts)),
 	}
+	if cfg.InitialAlive != nil || len(cfg.Lifecycle) > 0 {
+		st.vmAlive = make([]bool, len(cfg.VMs))
+		for j := range st.vmAlive {
+			st.vmAlive[j] = cfg.InitialAlive == nil || cfg.InitialAlive[j]
+		}
+	}
 	for i := range st.history {
 		st.history[i] = make([]float64, 0, cfg.HistoryLen)
 	}
@@ -169,6 +187,9 @@ func newRunState(cfg Config) (*runState, error) {
 	if st.checker != nil {
 		st.checkPrevHost = make([]int, len(cfg.VMs))
 		st.checkPrevUp = make([]bool, len(cfg.Hosts))
+		if st.vmAlive != nil {
+			st.checkPrevLive = make([]bool, len(cfg.VMs))
+		}
 	}
 	st.snap = Snapshot{
 		StepSeconds:       cfg.StepSeconds,
@@ -183,14 +204,41 @@ func newRunState(cfg Config) (*runState, error) {
 		HostHistory:       st.history,
 		VMHistory:         st.vmHistory,
 		HostFailed:        st.hostFailed,
+		VMAlive:           st.vmAlive,
 		migModel:          cfg.Migration,
 	}
 	return st, nil
 }
 
-// place computes the initial assignment.
+// PlanInitialPlacement computes the initial VM→host assignment the given
+// configuration produces, without running any step: entry j is VM j's
+// starting host, or -1 for a slot that starts dead. Harnesses use it to
+// pin a run's exact starting world (e.g. to relabel it for metamorphic
+// tests) via PlacementExplicit.
+func PlanInitialPlacement(cfg Config) ([]int, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	st, err := newRunState(norm)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), st.vmHost...), nil
+}
+
+// place computes the initial assignment. Slots that start dead get host
+// -1 and are skipped by every strategy; they join the world only through
+// a lifecycle arrival.
 func (st *runState) place() error {
 	cfg := st.cfg
+	skip := func(vm int) bool {
+		if st.vmAlive != nil && !st.vmAlive[vm] {
+			st.vmHost[vm] = -1
+			return true
+		}
+		return false
+	}
 	hostRAM := make([]float64, len(cfg.Hosts))
 	assign := func(vm, host int) {
 		st.vmHost[vm] = host
@@ -213,6 +261,9 @@ func (st *runState) place() error {
 	case PlacementRandom:
 		r := rand.New(rand.NewSource(cfg.Seeds().Placement()))
 		for vm := range cfg.VMs {
+			if skip(vm) {
+				continue
+			}
 			placed := false
 			for try := 0; try < 4*len(cfg.Hosts); try++ {
 				h := r.Intn(len(cfg.Hosts))
@@ -230,6 +281,9 @@ func (st *runState) place() error {
 		}
 	case PlacementRoundRobin:
 		for vm := range cfg.VMs {
+			if skip(vm) {
+				continue
+			}
 			placed := false
 			for off := 0; off < len(cfg.Hosts); off++ {
 				h := (vm + off) % len(cfg.Hosts)
@@ -245,12 +299,18 @@ func (st *runState) place() error {
 		}
 	case PlacementFirstFit:
 		for vm := range cfg.VMs {
+			if skip(vm) {
+				continue
+			}
 			if err := firstFit(vm); err != nil {
 				return err
 			}
 		}
 	case PlacementExplicit:
 		for vm, h := range cfg.InitialAssignment {
+			if skip(vm) {
+				continue
+			}
 			if !fits(vm, h) {
 				return fmt.Errorf("sim: explicit assignment overcommits host %d at VM %d", h, vm)
 			}
@@ -272,13 +332,28 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 	cfg := st.cfg
 	tau := cfg.StepSeconds
 
-	// 1. Read this step's utilization samples and the failure schedule.
-	for j := range cfg.VMs {
-		u := cfg.Traces[j].At(t)
-		st.vmUtil[j] = u
-		st.vmMIPS[j] = u * cfg.VMs[j].MIPS
-		st.stepDowntime[j] = 0
+	// 0. Capture pre-step host activity and slot liveness: lifecycle
+	// events (and later migrations) are the only things that change them,
+	// so the before/after comparison yields this step's transitions for
+	// the tracer's wake/sleep lists and the checker's churn audit.
+	if st.tracer != nil {
+		st.traceExec = st.traceExec[:0]
+		st.traceRej = st.traceRej[:0]
+		for i := range st.hostVMs {
+			st.prevActive[i] = len(st.hostVMs[i]) > 0
+		}
 	}
+	if st.checker != nil {
+		for i := range st.hostVMs {
+			st.checkPrevUp[i] = len(st.hostVMs[i]) > 0
+		}
+		copy(st.checkPrevLive, st.vmAlive)
+	}
+
+	// 1. Read the failure schedule, apply this step's lifecycle events,
+	// then read utilization samples. Failures come first so an arrival
+	// never places onto a host that is down this interval; departures
+	// come before arrivals so the capacity they free is usable at once.
 	for i := range st.hostFailed {
 		st.hostFailed[i] = false
 	}
@@ -287,6 +362,36 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 			st.hostFailed[f.Host] = true
 		}
 	}
+	st.arrived = st.arrived[:0]
+	st.departed = st.departed[:0]
+	for st.lifeIdx < len(cfg.Lifecycle) && cfg.Lifecycle[st.lifeIdx].Step <= t {
+		ev := cfg.Lifecycle[st.lifeIdx]
+		st.lifeIdx++
+		switch ev.Kind {
+		case VMArrive:
+			if !st.vmAlive[ev.VM] && !st.arrivalPending(ev.VM) {
+				st.pendingArr = append(st.pendingArr, ev)
+			}
+		case VMDepart:
+			if st.vmAlive[ev.VM] {
+				st.depart(ev.VM)
+			} else {
+				st.cancelArrival(ev.VM)
+			}
+		}
+	}
+	for j := range cfg.VMs {
+		st.stepDowntime[j] = 0
+		if st.vmAlive != nil && !st.vmAlive[j] {
+			st.vmUtil[j] = 0
+			st.vmMIPS[j] = 0
+			continue
+		}
+		u := cfg.Traces[j].At(t)
+		st.vmUtil[j] = u
+		st.vmMIPS[j] = u * cfg.VMs[j].MIPS
+	}
+	st.placeArrivals(t)
 	st.recomputeHostUtil()
 
 	// 2. Record the observed (pre-decision) utilization into the host and
@@ -299,22 +404,11 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 		st.vmHistory[j] = pushWindow(st.vmHistory[j], st.vmUtil[j], cfg.HistoryLen)
 	}
 
-	// 3. Ask the policy, timing the call. When tracing, remember which
-	// hosts were active first — migrations are the only thing that
-	// changes host activity within a step, so the before/after comparison
-	// yields this step's wake/sleep transitions.
-	if st.tracer != nil {
-		st.traceExec = st.traceExec[:0]
-		st.traceRej = st.traceRej[:0]
-		for i := range st.hostVMs {
-			st.prevActive[i] = len(st.hostVMs[i]) > 0
-		}
-	}
+	// 3. Ask the policy, timing the call. The checker's placement view is
+	// captured here — after lifecycle, before migrations — so migration
+	// accounting audits against the world the policy actually saw.
 	if st.checker != nil {
 		copy(st.checkPrevHost, st.vmHost)
-		for i := range st.hostVMs {
-			st.checkPrevUp[i] = len(st.hostVMs[i]) > 0
-		}
 	}
 	st.snap.Step = t
 	start := time.Now()
@@ -336,6 +430,14 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 				}
 				st.traceRej = append(st.traceRej, trace.Migration{
 					VM: m.VM, From: from, Dest: m.Dest, Reason: trace.RejectOutOfRange})
+			}
+			continue
+		}
+		if st.vmAlive != nil && !st.vmAlive[m.VM] {
+			fb.Rejected = append(fb.Rejected, m)
+			if st.tracer != nil {
+				st.traceRej = append(st.traceRej, trace.Migration{
+					VM: m.VM, From: st.vmHost[m.VM], Dest: m.Dest, Reason: trace.RejectDeadVM})
 			}
 			continue
 		}
@@ -424,6 +526,9 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 	cumulative := cfg.Cost.Accounting == cost.SLACumulative
 	var sla float64
 	for j := range cfg.VMs {
+		if st.vmAlive != nil && !st.vmAlive[j] {
+			continue // dead slot: no service requested, no refund owed
+		}
 		st.requestedSec[j] += tau
 		st.downtimeSec[j] += st.stepDowntime[j]
 		var frac float64
@@ -449,16 +554,20 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 	}
 
 	metrics := StepMetrics{
-		Step:            t,
-		EnergyCost:      energy,
-		SLACost:         sla,
-		ResourceCost:    resource,
-		Migrations:      len(fb.Executed),
-		Rejected:        len(fb.Rejected),
-		ActiveHosts:     active,
-		OverloadedHosts: overloaded,
-		FailedHosts:     failed,
-		DecideSeconds:   decideSeconds,
+		Step:             t,
+		EnergyCost:       energy,
+		SLACost:          sla,
+		ResourceCost:     resource,
+		Migrations:       len(fb.Executed),
+		Rejected:         len(fb.Rejected),
+		ActiveHosts:      active,
+		OverloadedHosts:  overloaded,
+		FailedHosts:      failed,
+		DecideSeconds:    decideSeconds,
+		LiveVMs:          st.snap.LiveVMs(),
+		Arrivals:         len(st.arrived),
+		Departures:       len(st.departed),
+		DeferredArrivals: len(st.pendingArr),
 	}
 	if st.checker != nil {
 		st.checkScratch = StepCheck{
@@ -468,6 +577,9 @@ func (st *runState) step(t int, p Policy) (StepMetrics, *Feedback, error) {
 			Metrics:    metrics,
 			PrevVMHost: st.checkPrevHost,
 			PrevActive: st.checkPrevUp,
+			PrevAlive:  st.checkPrevLive,
+			Arrived:    st.arrived,
+			Departed:   st.departed,
 		}
 		if err := st.checker.CheckStep(&st.checkScratch); err != nil {
 			return metrics, fb, fmt.Errorf("invariant violated: %w", err)
@@ -508,6 +620,15 @@ func (st *runState) emitStepEvent(t int, fb *Feedback, active, overloaded, faile
 		FailedHosts:     failed,
 		Woken:           st.woken,
 		Slept:           st.slept,
+	}
+	if st.vmAlive != nil {
+		st.departedIDs = st.departedIDs[:0]
+		for _, d := range st.departed {
+			st.departedIDs = append(st.departedIDs, d.VM)
+		}
+		ev.Arrived = st.arrived
+		ev.Departed = st.departedIDs
+		ev.LiveVMs = st.snap.LiveVMs()
 	}
 	if st.tracer.Timings() {
 		ev.DecideNanos = decideDur.Nanoseconds()
@@ -572,6 +693,101 @@ func pushWindow(w []float64, x float64, capLen int) []float64 {
 		w = w[:capLen-1]
 	}
 	return append(w, x)
+}
+
+// depart takes live slot vm down: it leaves its host's list (the host may
+// fall asleep), frees the RAM and MIPS it held, and reads host -1 until a
+// lifecycle arrival brings it back.
+func (st *runState) depart(vm int) {
+	src := st.vmHost[vm]
+	vms := st.hostVMs[src]
+	for k, v := range vms {
+		if v == vm {
+			vms[k] = vms[len(vms)-1]
+			st.hostVMs[src] = vms[:len(vms)-1]
+			break
+		}
+	}
+	st.vmHost[vm] = -1
+	st.vmAlive[vm] = false
+	st.departed = append(st.departed, Departure{VM: vm, Host: src})
+}
+
+// arrivalPending reports whether slot vm already waits in the deferred
+// arrival queue.
+func (st *runState) arrivalPending(vm int) bool {
+	for _, e := range st.pendingArr {
+		if e.VM == vm {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelArrival drops slot vm's queued arrival, if any — a departure of a
+// dead slot means "this instance is gone", including one still waiting for
+// capacity.
+func (st *runState) cancelArrival(vm int) {
+	for k, e := range st.pendingArr {
+		if e.VM == vm {
+			st.pendingArr = append(st.pendingArr[:k], st.pendingArr[k+1:]...)
+			return
+		}
+	}
+}
+
+// placeArrivals tries to place every queued arrival, in FIFO order, onto
+// its pinned host or the first host with room in both dimensions at this
+// step's demand. Unplaced arrivals stay queued for the next step.
+func (st *runState) placeArrivals(t int) {
+	if len(st.pendingArr) == 0 {
+		return
+	}
+	kept := st.pendingArr[:0]
+	for _, ev := range st.pendingArr {
+		j := ev.VM
+		u := st.cfg.Traces[j].At(t)
+		demand := u * st.cfg.VMs[j].MIPS
+		host := -1
+		if ev.Host >= 0 {
+			if st.hostFitsArrival(ev.Host, j, demand) {
+				host = ev.Host
+			}
+		} else {
+			for i := range st.cfg.Hosts {
+				if st.hostFitsArrival(i, j, demand) {
+					host = i
+					break
+				}
+			}
+		}
+		if host < 0 {
+			kept = append(kept, ev)
+			continue
+		}
+		st.vmAlive[j] = true
+		st.vmHost[j] = host
+		st.hostVMs[host] = append(st.hostVMs[host], j)
+		st.vmUtil[j] = u
+		st.vmMIPS[j] = demand
+		st.arrived = append(st.arrived, j)
+	}
+	st.pendingArr = kept
+}
+
+// hostFitsArrival reports whether host i can take arriving VM j at demand
+// MIPS: not failed, and spare RAM and CPU at current occupancy.
+func (st *runState) hostFitsArrival(i, j int, demand float64) bool {
+	if st.hostFailed[i] {
+		return false
+	}
+	var ram, mips float64
+	for _, other := range st.hostVMs[i] {
+		ram += st.cfg.VMs[other].RAMMB
+		mips += st.vmMIPS[other]
+	}
+	return ram+st.cfg.VMs[j].RAMMB <= st.cfg.Hosts[i].RAMMB &&
+		mips+demand <= st.cfg.Hosts[i].MIPS
 }
 
 // move reassigns VM j to host dest.

@@ -37,6 +37,11 @@ type Snapshot struct {
 	VMHistory [][]float64
 	// HostFailed[i] reports an injected outage on host i this step.
 	HostFailed []bool
+	// VMAlive[j] reports whether VM slot j currently exists. Nil means
+	// the run has no lifecycle: every slot is alive, the historical
+	// fixed-population world. A dead slot reads VMHost -1, zero demand,
+	// and sits in no host's list.
+	VMAlive []bool
 
 	// migModel optionally overrides MigrationSeconds.
 	migModel MigrationTimeModel
@@ -61,6 +66,7 @@ func (s *Snapshot) Clone() *Snapshot {
 	c.HostHistory = cloneNested(s.HostHistory)
 	c.VMHistory = cloneNested(s.VMHistory)
 	c.HostFailed = append([]bool(nil), s.HostFailed...)
+	c.VMAlive = append([]bool(nil), s.VMAlive...)
 	return &c
 }
 
@@ -77,8 +83,27 @@ func cloneNested[E any](src [][]E) [][]E {
 	return out
 }
 
-// NumVMs returns the number of VMs.
+// NumVMs returns the number of VM slots (alive or not).
 func (s *Snapshot) NumVMs() int { return len(s.VMHost) }
+
+// VMLive reports whether VM slot j currently exists.
+func (s *Snapshot) VMLive(j int) bool {
+	return s.VMAlive == nil || s.VMAlive[j]
+}
+
+// LiveVMs counts the slots currently alive.
+func (s *Snapshot) LiveVMs() int {
+	if s.VMAlive == nil {
+		return len(s.VMHost)
+	}
+	n := 0
+	for _, a := range s.VMAlive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
 
 // NumHosts returns the number of hosts.
 func (s *Snapshot) NumHosts() int { return len(s.HostUtil) }
@@ -110,8 +135,11 @@ func (s *Snapshot) HostOverloaded(i int) bool {
 // FitsOn reports whether VM j could run on host i right now: enough spare
 // RAM and enough spare MIPS capacity at current demand, and the host not
 // being failed. The VM's current host always fits it (a stay is always
-// legal).
+// legal). A dead slot fits nowhere — it cannot be migrated.
 func (s *Snapshot) FitsOn(j, i int) bool {
+	if !s.VMLive(j) {
+		return false
+	}
 	if s.VMHost[j] == i {
 		return true
 	}

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"megh/internal/cost"
 	"megh/internal/obs"
@@ -149,6 +150,19 @@ type Config struct {
 	// down, and it cannot receive migrations. Policies observe the
 	// failure as an overloaded host (plus Snapshot.HostFailed).
 	Failures []Failure
+	// Lifecycle schedules VM arrivals and departures over a fixed slot
+	// universe (len(VMs) slots): a departed slot frees its host's RAM and
+	// MIPS, accrues no SLA time, and reads VMHost -1; an arriving slot is
+	// placed on the first host that fits it in both dimensions (or its
+	// pinned host), deferring to later steps while nothing fits. Events
+	// are applied at the start of their step, before utilization is
+	// sampled and the policy decides. Empty means the static population
+	// the paper's experiments assume.
+	Lifecycle []LifecycleEvent
+	// InitialAlive marks which VM slots exist at step 0 (nil = all). A
+	// slot that starts dead is placed only when a lifecycle arrival
+	// brings it up. Must have len(VMs) entries when non-nil.
+	InitialAlive []bool
 	// Migration optionally replaces the default RAM/bandwidth
 	// migration-time estimate, e.g. with a topology-aware model.
 	Migration MigrationTimeModel
@@ -211,11 +225,83 @@ type StepCheck struct {
 	Feedback *Feedback
 	// Metrics is the step's aggregate record, exactly what Run returns.
 	Metrics StepMetrics
-	// PrevVMHost[j] is VM j's host before this step's migrations.
+	// PrevVMHost[j] is VM j's host before this step's migrations (but
+	// after its lifecycle events: an arrived VM reads its placement, a
+	// departed one -1).
 	PrevVMHost []int
 	// PrevActive[i] reports whether host i ran a VM before this step's
-	// migrations.
+	// lifecycle events and migrations.
 	PrevActive []bool
+	// PrevAlive[j] reports whether VM slot j was alive before this step's
+	// lifecycle events. Nil when the run has no lifecycle (all alive).
+	PrevAlive []bool
+	// Arrived lists the VM slots placed by lifecycle arrivals this step;
+	// Snapshot.VMHost names each one's host.
+	Arrived []int
+	// Departed lists this step's lifecycle departures with the host each
+	// slot vacated.
+	Departed []Departure
+}
+
+// Departure records one executed lifecycle departure for checkers: the
+// slot that left and the host it freed.
+type Departure struct {
+	VM   int
+	Host int
+}
+
+// LifecycleKind selects what a LifecycleEvent does to its VM slot.
+type LifecycleKind int
+
+// Lifecycle event kinds.
+const (
+	// VMArrive brings a dead slot up. If no host fits the VM the arrival
+	// is deferred and retried every following step until it places (or a
+	// later VMDepart for the slot cancels it).
+	VMArrive LifecycleKind = iota + 1
+	// VMDepart takes a live slot down, freeing its host's capacity. On a
+	// dead slot it cancels that slot's pending deferred arrival, if any.
+	VMDepart
+)
+
+// String implements fmt.Stringer.
+func (k LifecycleKind) String() string {
+	switch k {
+	case VMArrive:
+		return "arrive"
+	case VMDepart:
+		return "depart"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int(k))
+	}
+}
+
+// LifecycleEvent is one scheduled VM arrival or departure.
+type LifecycleEvent struct {
+	// Step is when the event applies (start of the interval).
+	Step int
+	// VM is the slot index.
+	VM int
+	// Kind is VMArrive or VMDepart.
+	Kind LifecycleKind
+	// Host pins an arrival's destination (-1 = first host that fits,
+	// scanning ascending). Ignored for departures.
+	Host int
+}
+
+// Validate reports out-of-range fields given the world dimensions.
+func (e LifecycleEvent) Validate(numVMs, numHosts int) error {
+	switch {
+	case e.Step < 0:
+		return fmt.Errorf("sim: lifecycle step %d negative", e.Step)
+	case e.VM < 0 || e.VM >= numVMs:
+		return fmt.Errorf("sim: lifecycle VM %d out of range [0,%d)", e.VM, numVMs)
+	case e.Kind != VMArrive && e.Kind != VMDepart:
+		return fmt.Errorf("sim: lifecycle kind %d unknown", int(e.Kind))
+	case e.Kind == VMArrive && (e.Host < -1 || e.Host >= numHosts):
+		return fmt.Errorf("sim: lifecycle arrival host %d out of range", e.Host)
+	}
+	return nil
 }
 
 // Failure is one injected host outage.
@@ -316,12 +402,19 @@ func (c Config) normalized() (Config, error) {
 			c.InitialPlacement = PlacementRandom
 		}
 	}
+	if c.InitialAlive != nil && len(c.InitialAlive) != len(c.VMs) {
+		return c, fmt.Errorf("sim: InitialAlive covers %d of %d VMs",
+			len(c.InitialAlive), len(c.VMs))
+	}
 	if c.InitialPlacement == PlacementExplicit {
 		if len(c.InitialAssignment) != len(c.VMs) {
 			return c, fmt.Errorf("sim: explicit assignment covers %d of %d VMs",
 				len(c.InitialAssignment), len(c.VMs))
 		}
 		for j, h := range c.InitialAssignment {
+			if h == -1 && c.InitialAlive != nil && !c.InitialAlive[j] {
+				continue // dead slot: placed only when it arrives
+			}
 			if h < 0 || h >= len(c.Hosts) {
 				return c, fmt.Errorf("sim: VM %d assigned to unknown host %d", j, h)
 			}
@@ -347,6 +440,19 @@ func (c Config) normalized() (Config, error) {
 		if err := f.Validate(len(c.Hosts)); err != nil {
 			return c, fmt.Errorf("failure %d: %w", i, err)
 		}
+	}
+	for i, e := range c.Lifecycle {
+		if err := e.Validate(len(c.VMs), len(c.Hosts)); err != nil {
+			return c, fmt.Errorf("lifecycle %d: %w", i, err)
+		}
+	}
+	if len(c.Lifecycle) > 0 {
+		// Stable-sort by step on a private copy: callers keep their slice,
+		// and same-step events keep their given order (the order deferred
+		// arrivals queue in).
+		sorted := append([]LifecycleEvent(nil), c.Lifecycle...)
+		sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Step < sorted[b].Step })
+		c.Lifecycle = sorted
 	}
 	return c, nil
 }

@@ -99,6 +99,18 @@ func appendEventJSON(b []byte, ev *Event) []byte {
 		b = append(b, `,"slept":`...)
 		b = appendInts(b, ev.Slept)
 	}
+	if len(ev.Arrived) > 0 {
+		b = append(b, `,"arrived":`...)
+		b = appendInts(b, ev.Arrived)
+	}
+	if len(ev.Departed) > 0 {
+		b = append(b, `,"departed":`...)
+		b = appendInts(b, ev.Departed)
+	}
+	if ev.LiveVMs != 0 {
+		b = append(b, `,"live_vms":`...)
+		b = strconv.AppendInt(b, int64(ev.LiveVMs), 10)
+	}
 	if ev.BatchItems != 0 {
 		b = append(b, `,"batch_items":`...)
 		b = strconv.AppendInt(b, int64(ev.BatchItems), 10)

@@ -58,6 +58,7 @@ const (
 	RejectOutOfRange = "out-of-range"
 	RejectDuplicate  = "duplicate"
 	RejectInfeasible = "infeasible"
+	RejectDeadVM     = "dead-vm"
 )
 
 // Span is one timed phase of the decide path (feature projection, Q
@@ -134,6 +135,14 @@ type Event struct {
 	// (empty→running and running→empty respectively).
 	Woken []int `json:"woken,omitempty"`
 	Slept []int `json:"slept,omitempty"`
+
+	// Arrived and Departed list VM slots whose lifecycle changed this
+	// step, and LiveVMs the population after those changes. Only runs
+	// with lifecycle events populate them, so fixed-population traces
+	// stay byte-identical to the pre-lifecycle format.
+	Arrived  []int `json:"arrived,omitempty"`
+	Departed []int `json:"departed,omitempty"`
+	LiveVMs  int   `json:"live_vms,omitempty"`
 
 	// BatchItems is how many observe→decide items a batch event's request
 	// carried (KindBatch only). With timings enabled DecideNanos holds the

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidatePhases(t *testing.T) {
+	valid := []PhaseSpec{
+		{Name: "steady", From: 0, LoadScale: 1},
+		{Name: "fading", From: 10, LoadScale: 0.4},
+		{Name: "recovering", From: 20, LoadScale: 1.3},
+	}
+	if err := ValidatePhases(valid); err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+	if err := ValidatePhases(nil); err != nil {
+		t.Fatalf("empty script rejected: %v", err)
+	}
+	bad := [][]PhaseSpec{
+		{{Name: "", From: 0, LoadScale: 1}},
+		{{Name: "late", From: 5, LoadScale: 1}},
+		{{Name: "a", From: 0, LoadScale: 1}, {Name: "b", From: 0, LoadScale: 1}},
+		{{Name: "a", From: 0, LoadScale: -0.1}},
+	}
+	for i, script := range bad {
+		if err := ValidatePhases(script); err == nil {
+			t.Errorf("bad script %d accepted", i)
+		}
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	phases := []PhaseSpec{
+		{Name: "a", From: 0, LoadScale: 1},
+		{Name: "b", From: 10, LoadScale: 0.5},
+	}
+	for _, tc := range []struct {
+		t    int
+		name string
+	}{{0, "a"}, {9, "a"}, {10, "b"}, {100, "b"}} {
+		if got := PhaseAt(phases, tc.t).Name; got != tc.name {
+			t.Errorf("PhaseAt(%d) = %q, want %q", tc.t, got, tc.name)
+		}
+	}
+	if got := LoadScaleAt(nil, 3); got != 1 {
+		t.Errorf("empty script scale = %g, want 1", got)
+	}
+}
+
+func TestGeneratePhasedAppliesEnvelope(t *testing.T) {
+	cfg := DefaultDiurnalConfig(7)
+	cfg.Steps = 30
+	base, err := GenerateDiurnal(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := []PhaseSpec{
+		{Name: "steady", From: 0, LoadScale: 1},
+		{Name: "fading", From: 10, LoadScale: 0.25},
+		{Name: "expansion", From: 20, LoadScale: 2},
+	}
+	phased, err := GeneratePhased(cfg, phases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range phased {
+		for s := 0; s < 30; s++ {
+			want := Clamp01(base[v][s] * LoadScaleAt(phases, s))
+			if math.Abs(phased[v][s]-want) > 1e-15 {
+				t.Fatalf("VM %d step %d: got %g, want %g", v, s, phased[v][s], want)
+			}
+			if phased[v][s] < 0 || phased[v][s] > 1 {
+				t.Fatalf("VM %d step %d out of [0,1]: %g", v, s, phased[v][s])
+			}
+		}
+	}
+	// The fading envelope must actually attenuate relative to steady.
+	var steady, faded float64
+	for v := range phased {
+		for s := 0; s < 10; s++ {
+			steady += phased[v][s]
+		}
+		for s := 10; s < 20; s++ {
+			faded += phased[v][s]
+		}
+	}
+	if faded >= steady {
+		t.Fatalf("fading phase sum %g not below steady %g", faded, steady)
+	}
+}
+
+func TestGeneratePhasedEmptyScriptMatchesDiurnal(t *testing.T) {
+	cfg := DefaultDiurnalConfig(11)
+	cfg.Steps = 25
+	a, err := GenerateDiurnal(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePhased(cfg, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		for s := range a[v] {
+			if a[v][s] != b[v][s] {
+				t.Fatalf("VM %d step %d: %g vs %g", v, s, a[v][s], b[v][s])
+			}
+		}
+	}
+}
+
+func TestGeneratePhasedRejectsBadScript(t *testing.T) {
+	cfg := DefaultDiurnalConfig(1)
+	cfg.Steps = 10
+	if _, err := GeneratePhased(cfg, []PhaseSpec{{Name: "x", From: 3, LoadScale: 1}}, 2); err == nil {
+		t.Fatal("script not starting at 0 accepted")
+	}
+}
