@@ -103,6 +103,7 @@ fuzz-short:
 	$(GO) test -run=- -fuzz=FuzzDecideRequestJSON -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run=- -fuzz=FuzzShermanMorrisonBasis -fuzztime=$(FUZZTIME) ./internal/sparse/
 	$(GO) test -run=- -fuzz=FuzzScenarioConfig -fuzztime=$(FUZZTIME) ./internal/scenario/
+	$(GO) test -run=- -fuzz=FuzzRingOwners -fuzztime=$(FUZZTIME) ./internal/cluster/
 
 # Per-package coverage floors. Raise a floor when a package's coverage
 # improves for good; never lower one to make a regression pass.
@@ -116,7 +117,8 @@ COVER_FLOORS = \
 	internal/power:92 \
 	internal/invariant:85 \
 	internal/experiments:85 \
-	internal/scenario:90
+	internal/scenario:90 \
+	internal/cluster:95
 
 # cover fails if any package above slips below its floor.
 cover:

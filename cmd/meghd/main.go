@@ -41,6 +41,23 @@
 //	GET  /healthz        → "ok"
 //	GET  /debug/pprof/*  → live CPU/heap/goroutine profiles
 //
+// Cluster mode shards the /v2 sessions across several meghd nodes by
+// consistent hashing, proxies requests to each session's owner, and
+// replicates every checkpoint to the session's ring successors so a node
+// crash loses no learning (the new owner promotes its replica on the
+// session's next touch):
+//
+//	meghd -vms 1052 -hosts 800 -checkpoint-dir /var/lib/megh/sessions \
+//	  -cluster-node a -cluster-advertise http://10.0.0.1:8080 \
+//	  -cluster-peers b=http://10.0.0.2:8080,c=http://10.0.0.3:8080
+//
+//	GET    /v2/cluster                  membership view (answers enabled=false unclustered)
+//	GET    /v2/cluster/route/{id}       where a session ID lands on the ring
+//	PUT    /v2/cluster/replicas/{id}    peer pushing a checkpoint image for safekeeping
+//	GET    /v2/cluster/replicas/{id}    stored replica image
+//	DELETE /v2/cluster/replicas/{id}    drop a replica image
+//	POST   /v2/cluster/rebalance        hand misplaced sessions to their ring owners
+//
 // The /v1 routes are a deprecated shim over the reserved "default"
 // session; /v1 and /v2/sessions/default address the same learner.
 //
@@ -62,6 +79,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -108,6 +126,20 @@ func run() error {
 			"decide-latency SLO objective in seconds for the burn-rate tracking on /v2/health and /metrics; 0 = default, <0 disables")
 		metricsTopK = flag.Int("metrics-session-topk", 0,
 			"sessions keeping their own label on the fleet /metrics block (busiest by decisions; the rest fold into session=\"other\"); 0 = default, <0 unbounded")
+		clusterNode = flag.String("cluster-node", "",
+			"this node's cluster name; setting it enables cluster mode (needs -checkpoint-dir and -cluster-advertise)")
+		clusterAdvertise = flag.String("cluster-advertise", "",
+			"base URL peers use to reach this node, e.g. http://10.0.0.1:8080")
+		clusterPeers = flag.String("cluster-peers", "",
+			"comma-separated name=url peer list; an entry matching -cluster-node is ignored, so all nodes can share one list")
+		clusterReplicas = flag.Int("cluster-replicas", 0,
+			"nodes holding each session's checkpoint, owner included; 0 = default (2)")
+		clusterVNodes = flag.Int("cluster-vnodes", 0,
+			"virtual points per node on the placement ring (all nodes must agree); 0 = default (64)")
+		clusterHeartbeat = flag.Duration("cluster-heartbeat", 0,
+			"peer probe cadence; 0 = default (1s)")
+		clusterFailAfter = flag.Int("cluster-fail-after", 0,
+			"consecutive failed probes before a peer is considered dead; 0 = default (3)")
 		seed      = flag.Int64("seed", time.Now().UnixNano(), "exploration seed")
 		traceOut  = flag.String("trace", "", "append structured trace events (JSONL) to this file")
 		traceRing = flag.Int("trace-ring", trace.DefaultRingSize,
@@ -149,6 +181,23 @@ func run() error {
 		}
 	}
 
+	var clusterCfg *server.ClusterConfig
+	if *clusterNode != "" {
+		peers, err := parsePeers(*clusterPeers)
+		if err != nil {
+			return err
+		}
+		clusterCfg = &server.ClusterConfig{
+			NodeName:       *clusterNode,
+			AdvertiseURL:   *clusterAdvertise,
+			Peers:          peers,
+			Replicas:       *clusterReplicas,
+			VNodes:         *clusterVNodes,
+			HeartbeatEvery: *clusterHeartbeat,
+			FailAfter:      *clusterFailAfter,
+		}
+	}
+
 	svc, err := server.New(server.Config{
 		NumVMs:             *vms,
 		NumHosts:           *hosts,
@@ -167,6 +216,7 @@ func run() error {
 		HealthProbeEvery:   *healthProbeEvery,
 		SLODecideP99:       *sloDecideP99,
 		MetricsSessionTopK: *metricsTopK,
+		Cluster:            clusterCfg,
 	})
 	if err != nil {
 		return err
@@ -184,6 +234,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if clusterCfg != nil {
+		logger.Infof("cluster: node=%s advertise=%s peers=%d replicas=%d",
+			clusterCfg.NodeName, clusterCfg.AdvertiseURL, len(clusterCfg.Peers), clusterCfg.Replicas)
+		go svc.StartCluster(ctx)
+	}
 
 	// Periodic checkpoints bound how much learning a crash can lose.
 	// CheckpointAll covers every resident session, the default one
@@ -238,5 +294,31 @@ func run() error {
 			logger.Infof("final checkpoint: %d session(s) persisted", n)
 		}
 	}
+	// Let the final checkpoint's replica pushes land before exiting, so a
+	// clean shutdown leaves peers holding this node's freshest learning.
+	svc.WaitReplication()
 	return shutdownErr
+}
+
+// parsePeers decodes a "name=url,name=url" peer list.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("-cluster-peers entry %q is not name=url", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("-cluster-peers lists node %q twice", name)
+		}
+		peers[name] = url
+	}
+	return peers, nil
 }

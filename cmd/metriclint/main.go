@@ -59,6 +59,7 @@ func run() error {
 		fn     func() ([]obs.FamilySnapshot, error)
 	}{
 		{"server", gatherServer},
+		{"cluster", gatherCluster},
 		{"core", gatherCore},
 		{"health", gatherHealth},
 		{"sim", gatherSim},
@@ -154,6 +155,30 @@ func gatherServer() ([]obs.FamilySnapshot, error) {
 		return nil, err
 	}
 	svc.Handler() // route histograms register at handler construction
+	return svc.Metrics().Gather(), nil
+}
+
+// gatherCluster builds a cluster-mode service so the cluster runtime's
+// counters and gauges (megh_cluster_*) register and get linted too.
+func gatherCluster() ([]obs.FamilySnapshot, error) {
+	dir, err := os.MkdirTemp("", "metriclint-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	svc, err := server.New(server.Config{
+		NumVMs: 4, NumHosts: 3, Seed: 1,
+		CheckpointDir: dir,
+		Cluster: &server.ClusterConfig{
+			NodeName:     "lint",
+			AdvertiseURL: "http://localhost:1",
+			Peers:        map[string]string{"peer": "http://localhost:2"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.Handler()
 	return svc.Metrics().Gather(), nil
 }
 

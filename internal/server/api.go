@@ -39,6 +39,20 @@
 //	GET  /healthz        → 200 "ok"
 //	GET  /debug/pprof/*  → standard net/http/pprof profiles
 //
+// Cluster mode (Config.Cluster) shards the /v2 sessions across several
+// meghd nodes by consistent hashing: requests for sessions owned
+// elsewhere are proxied one hop to the owner (X-Megh-Proxied names it),
+// checkpoints replicate to the session's ring successors, and the
+// elected leader rebalances sessions after membership changes. The
+// cluster surface:
+//
+//	GET    /v2/cluster               → ClusterInfoResponse (enabled=false when unclustered)
+//	GET    /v2/cluster/route/{id}    → ClusterRouteResponse (owner + replica set for an ID)
+//	PUT    /v2/cluster/replicas/{id} checkpoint image → ClusterReplicaResponse (validated, atomic)
+//	GET    /v2/cluster/replicas/{id} → stored image (octet-stream)
+//	DELETE /v2/cluster/replicas/{id} → 204 (idempotent)
+//	POST   /v2/cluster/rebalance     → ClusterRebalanceResponse (one handoff sweep)
+//
 // Every error response, on every route and from every layer (including
 // the mux's own 404/405), is the JSON errorResponse envelope
 // {"error": "..."} with a meaningful status code, and every response

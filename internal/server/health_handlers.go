@@ -133,6 +133,9 @@ func (s *Service) decideExemplars() []obs.Exemplar {
 // (MetricsSessionTopK busiest sessions by name, the rest as "other").
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.slo.Publish(s.reg)
+	if s.cluster != nil {
+		s.cluster.publishGauges()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		return

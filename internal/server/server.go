@@ -100,6 +100,10 @@ type Config struct {
 	// their own session label, the rest fold into session="other". 0 means
 	// DefMetricsSessionTopK; negative means unbounded.
 	MetricsSessionTopK int
+	// Cluster, when set, makes this service one node of a meghd cluster:
+	// consistent-hash session routing, checkpoint replication to ring
+	// successors, and replica-promotion failover. Requires CheckpointDir.
+	Cluster *ClusterConfig
 }
 
 // DefSLODecideP99 is the default decide-latency objective in seconds.
@@ -131,6 +135,10 @@ type Service struct {
 	coalRounds     *obs.Counter
 	coalMerged     *obs.Counter
 	coalItems      *obs.Counter
+
+	// cluster is the cluster-mode runtime (nil = single-node): ring
+	// ownership, request proxying, checkpoint replication, rebalancing.
+	cluster *clusterRuntime
 
 	// slo tracks the decide-latency objective (nil = disabled; every
 	// method on a nil SLO is a no-op).
@@ -222,6 +230,19 @@ func New(cfg Config) (*Service, error) {
 
 	s := &Service{cfg: cfg, reg: reg, reqEpoch: time.Now().UnixNano()}
 	s.mgr = newSessionManager(cfg, reg)
+	if cfg.Cluster != nil {
+		cr, err := newClusterRuntime(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cr
+		// Every successful checkpoint write replicates to the session's
+		// ring successors, and a missing primary checkpoint falls back to
+		// a replicated image — the failover path.
+		s.mgr.onCheckpoint = s.cluster.replicate
+		s.mgr.onDelete = s.cluster.dropReplicas
+		s.mgr.promoteReplica = s.cluster.promoteReplica
+	}
 	s.throttled = reg.Counter("megh_http_throttled_total",
 		"Decide/feedback requests refused with 429 by the admission gate.", nil)
 	if cfg.MaxInFlight > 0 {
@@ -321,26 +342,38 @@ func (s *Service) Handler() http.Handler {
 		s.traceTailSession(w, r, s.def)
 	})
 
-	// /v2: the multi-tenant session surface.
+	// /v2: the multi-tenant session surface. Every {id}-scoped route goes
+	// through routeSession, which — in cluster mode — proxies requests
+	// for sessions owned by another node to that node (no-op wrapper when
+	// unclustered).
 	handle("GET /v2/sessions", s.handleSessionList)
-	handle("PUT /v2/sessions/{id}", s.handleSessionPut)
-	handle("GET /v2/sessions/{id}", s.handleSessionGet)
-	handle("DELETE /v2/sessions/{id}", s.handleSessionDelete)
-	handle("POST /v2/sessions/{id}/decide", s.withSession(s.decideSession))
-	handle("POST /v2/sessions/{id}/decide/batch", s.withSession(s.decideBatchSession))
-	handle("POST /v2/sessions/{id}/feedback", s.withSession(s.feedbackSession))
-	handle("POST /v2/sessions/{id}/checkpoint", s.withSession(
+	handle("PUT /v2/sessions/{id}", s.routeSession(s.handleSessionPut))
+	handle("GET /v2/sessions/{id}", s.routeSession(s.handleSessionGet))
+	handle("DELETE /v2/sessions/{id}", s.routeSession(s.handleSessionDelete))
+	handle("POST /v2/sessions/{id}/decide", s.routeSession(s.withSession(s.decideSession)))
+	handle("POST /v2/sessions/{id}/decide/batch", s.routeSession(s.withSession(s.decideBatchSession)))
+	handle("POST /v2/sessions/{id}/feedback", s.routeSession(s.withSession(s.feedbackSession)))
+	handle("POST /v2/sessions/{id}/checkpoint", s.routeSession(s.withSession(
 		func(w http.ResponseWriter, _ *http.Request, sess *session) {
 			s.checkpointHandler(w, sess)
-		}))
-	handle("GET /v2/sessions/{id}/stats", s.withSession(s.statsSession))
-	handle("GET /v2/sessions/{id}/trace/tail", s.withSession(s.traceTailSession))
-	handle("GET /v2/sessions/{id}/metrics", s.withSession(
+		})))
+	handle("GET /v2/sessions/{id}/stats", s.routeSession(s.withSession(s.statsSession)))
+	handle("GET /v2/sessions/{id}/trace/tail", s.routeSession(s.withSession(s.traceTailSession)))
+	handle("GET /v2/sessions/{id}/metrics", s.routeSession(s.withSession(
 		func(w http.ResponseWriter, r *http.Request, sess *session) {
 			sess.reg.Handler().ServeHTTP(w, r)
-		}))
-	handle("GET /v2/sessions/{id}/health", s.withSession(s.healthSession))
+		})))
+	handle("GET /v2/sessions/{id}/health", s.routeSession(s.withSession(s.healthSession)))
 	handle("GET /v2/health", s.handleFleetHealth)
+
+	// /v2/cluster: cluster mode. GET /v2/cluster answers on unclustered
+	// services too (enabled=false); the rest answer 412 there.
+	handle("GET /v2/cluster", s.handleClusterInfo)
+	handle("GET /v2/cluster/route/{id}", s.handleClusterRoute)
+	handle("PUT /v2/cluster/replicas/{id}", s.handleReplicaPut)
+	handle("GET /v2/cluster/replicas/{id}", s.handleReplicaGet)
+	handle("DELETE /v2/cluster/replicas/{id}", s.handleReplicaDelete)
+	handle("POST /v2/cluster/rebalance", s.handleRebalance)
 
 	// Like /v1's /metrics before it, the global scrape endpoint stays
 	// outside the instrument middleware so scrapes don't inflate the
@@ -895,6 +928,7 @@ func (s *Service) checkpointSession(sess *session) (CheckpointResponse, error) {
 			return err
 		}
 		resp = CheckpointResponse{Path: sess.ckptPath, Bytes: int(info.Size())}
+		s.mgr.noteCheckpoint(sess.id, sess.ckptPath)
 		return nil
 	})
 	if err != nil {

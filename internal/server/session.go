@@ -125,6 +125,16 @@ type sessionManager struct {
 	// default, negative disables probing (EWMAs still run).
 	healthProbeEvery int
 
+	// Cluster-mode hooks (all nil when single-node). onCheckpoint runs
+	// after every successful checkpoint write so the image replicates to
+	// ring peers; onDelete purges a deleted session's replicas;
+	// promoteReplica is the restore fallback — it lands a replicated
+	// image at the primary checkpoint path and reports whether it did,
+	// which is how a session fails over to a new owner.
+	onCheckpoint   func(id, path string)
+	onDelete       func(id string)
+	promoteReplica func(id, primaryPath string) bool
+
 	gLive    *obs.Gauge
 	gDefined *obs.Gauge
 	cEvict   *obs.Counter
@@ -192,6 +202,25 @@ func (m *sessionManager) checkpointPath(id string) string {
 	return filepath.Join(m.ckptDir, id+".ckpt")
 }
 
+// noteCheckpoint fires the cluster replication hook after a successful
+// checkpoint write.
+func (m *sessionManager) noteCheckpoint(id, path string) {
+	if m.onCheckpoint != nil {
+		m.onCheckpoint(id, path)
+	}
+}
+
+// loadCheckpoint restores a learner from path; when the primary image is
+// missing and the cluster promotion hook lands a replicated copy there,
+// the load is retried once — the failover path after ownership moved.
+func (m *sessionManager) loadCheckpoint(id, path string) (*core.Megh, error) {
+	l, err := core.LoadStateFile(path)
+	if errors.Is(err, fs.ErrNotExist) && m.promoteReplica != nil && m.promoteReplica(id, path) {
+		return core.LoadStateFile(path)
+	}
+	return l, err
+}
+
 // touch advances the LRU clock for the session.
 func (m *sessionManager) touch(s *session) { s.lastTouch.Store(m.clock.Add(1)) }
 
@@ -252,7 +281,7 @@ func (m *sessionManager) put(id string, spec SessionSpec, pinned bool) (*session
 	var learner *core.Megh
 	freshLearner := true
 	if s.ckptPath != "" {
-		l, err := core.LoadStateFile(s.ckptPath)
+		l, err := m.loadCheckpoint(id, s.ckptPath)
 		switch {
 		case err == nil:
 			if lc := l.Config(); lc.NumVMs != spec.NumVMs || lc.NumHosts != spec.NumHosts {
@@ -335,6 +364,12 @@ func (m *sessionManager) delete(id string) error {
 		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
+	}
+	// In cluster mode the session's replicated images die with it, so a
+	// later re-creation of the id starts fresh instead of resuming a
+	// deleted tenant's learning.
+	if m.onDelete != nil {
+		m.onDelete(id)
 	}
 	return nil
 }
@@ -462,7 +497,7 @@ func (m *sessionManager) withLearner(s *session, fn func(l *core.Megh) error) er
 	}
 	restored := false
 	if s.learner == nil {
-		l, err := core.LoadStateFile(s.ckptPath)
+		l, err := m.loadCheckpoint(s.id, s.ckptPath)
 		if err != nil {
 			s.mu.Unlock()
 			return fmt.Errorf("restoring session %q: %w", s.id, err)
@@ -572,6 +607,7 @@ func (m *sessionManager) evict(s *session) bool {
 	s.evictions++
 	m.cEvict.Inc()
 	m.noteResident(-1)
+	m.noteCheckpoint(s.id, s.ckptPath)
 	return true
 }
 
@@ -599,6 +635,7 @@ func (m *sessionManager) checkpointAll() (int, error) {
 					}
 				} else {
 					n++
+					m.noteCheckpoint(s.id, s.ckptPath)
 				}
 			}
 			s.mu.Unlock()

@@ -30,6 +30,7 @@
 package megh
 
 import (
+	"context"
 	"net/http"
 
 	"megh/internal/core"
@@ -168,6 +169,13 @@ type (
 	FeedbackRequest = server.FeedbackRequest
 	// StatsResponse reports a learner's internals over the wire.
 	StatsResponse = server.StatsResponse
+	// ClusterConfig turns a Service into one node of a meghd cluster:
+	// consistent-hash session routing, checkpoint replication, and
+	// leader-driven rebalancing. Set it on ServiceConfig.Cluster.
+	ClusterConfig = server.ClusterConfig
+	// ClusterClient routes session traffic straight to each session's
+	// ring owner, skipping the server-side proxy hop.
+	ClusterClient = server.ClusterClient
 )
 
 // NewService builds an HTTP service hosting Megh learners.
@@ -177,6 +185,12 @@ func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
 // httpClient uses http.DefaultClient.
 func NewServiceClient(baseURL string, httpClient *http.Client) *ServiceClient {
 	return server.NewClient(baseURL, httpClient)
+}
+
+// NewClusterClient builds a client-side router for a meghd cluster from
+// one or more seed URLs; see server.NewClusterClient.
+func NewClusterClient(ctx context.Context, seedURLs []string, httpClient *http.Client) (*ClusterClient, error) {
+	return server.NewClusterClient(ctx, seedURLs, httpClient)
 }
 
 // NewRemotePolicy adapts a v1 client into a simulator Policy.
